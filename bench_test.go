@@ -1,0 +1,241 @@
+// Benchmarks for every table and figure in the paper's evaluation
+// (Section 7), plus micro-benchmarks of the core operations. Each
+// BenchmarkFigure*/BenchmarkTable* regenerates the corresponding
+// exhibit at the small scale; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep, or `go run ./cmd/experiments -paper` to
+// regenerate the exhibits at the paper's parameter scales.
+package groupform
+
+import (
+	"fmt"
+	"testing"
+
+	"groupform/internal/baseline"
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/experiments"
+	"groupform/internal/ilp"
+	"groupform/internal/opt"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+// benchExhibit runs one experiments harness per iteration.
+func benchExhibit(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ex, err := run(experiments.Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ex.Series) == 0 && ex.Notes == "" {
+			b.Fatal("empty exhibit")
+		}
+	}
+}
+
+// Quality experiments (Figures 1-3, Tables 3-4).
+
+func BenchmarkTable3(b *testing.B)   { benchExhibit(b, experiments.Table3) }
+func BenchmarkFigure1a(b *testing.B) { benchExhibit(b, experiments.Figure1a) }
+func BenchmarkFigure1b(b *testing.B) { benchExhibit(b, experiments.Figure1b) }
+func BenchmarkFigure1c(b *testing.B) { benchExhibit(b, experiments.Figure1c) }
+func BenchmarkFigure2a(b *testing.B) { benchExhibit(b, experiments.Figure2a) }
+func BenchmarkFigure2b(b *testing.B) { benchExhibit(b, experiments.Figure2b) }
+func BenchmarkFigure3a(b *testing.B) { benchExhibit(b, experiments.Figure3a) }
+func BenchmarkFigure3b(b *testing.B) { benchExhibit(b, experiments.Figure3b) }
+func BenchmarkFigure3c(b *testing.B) { benchExhibit(b, experiments.Figure3c) }
+func BenchmarkFigure3d(b *testing.B) { benchExhibit(b, experiments.Figure3d) }
+func BenchmarkTable4(b *testing.B)   { benchExhibit(b, experiments.Table4) }
+
+// Scalability experiments (Figures 4-6).
+
+func BenchmarkFigure4a(b *testing.B) { benchExhibit(b, experiments.Figure4a) }
+func BenchmarkFigure4b(b *testing.B) { benchExhibit(b, experiments.Figure4b) }
+func BenchmarkFigure4c(b *testing.B) { benchExhibit(b, experiments.Figure4c) }
+func BenchmarkFigure5a(b *testing.B) { benchExhibit(b, experiments.Figure5a) }
+func BenchmarkFigure5b(b *testing.B) { benchExhibit(b, experiments.Figure5b) }
+func BenchmarkFigure5c(b *testing.B) { benchExhibit(b, experiments.Figure5c) }
+func BenchmarkFigure5d(b *testing.B) { benchExhibit(b, experiments.Figure5d) }
+func BenchmarkFigure6a(b *testing.B) { benchExhibit(b, experiments.Figure6a) }
+func BenchmarkFigure6b(b *testing.B) { benchExhibit(b, experiments.Figure6b) }
+func BenchmarkFigure6c(b *testing.B) { benchExhibit(b, experiments.Figure6c) }
+
+// User study (Figure 7).
+
+func BenchmarkFigure7(b *testing.B) { benchExhibit(b, experiments.Figure7) }
+
+// ---------------------------------------------------------------
+// Micro-benchmarks of the core operations.
+
+func benchDataset(b *testing.B, n, m int) *dataset.Dataset {
+	b.Helper()
+	ds, err := synth.YahooLike(n, m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkGRD measures the greedy formation across semantics and
+// aggregations at a fixed size (the ablation over the six algorithm
+// variants).
+func BenchmarkGRD(b *testing.B) {
+	ds := benchDataset(b, 10000, 2000)
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+			cfg := core.Config{K: 5, L: 10, Semantics: sem, Aggregation: agg}
+			b.Run(fmt.Sprintf("%s-%s", sem, agg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Form(ds, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGRDUsers is the Figure-4a ablation as a Go benchmark:
+// formation time versus the user count, one sub-benchmark per n.
+func BenchmarkGRDUsers(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		ds := benchDataset(b, n, 2000)
+		cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Form(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGRDTopK mirrors Figure 5: k grows geometrically.
+func BenchmarkGRDTopK(b *testing.B) {
+	ds := benchDataset(b, 10000, 2000)
+	for _, k := range []int{5, 25, 125, 625} {
+		cfg := core.Config{K: k, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Form(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaseline measures the two clustering backends.
+func BenchmarkBaseline(b *testing.B) {
+	small := benchDataset(b, 300, 100)
+	big := benchDataset(b, 10000, 2000)
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+	b.Run("kendall-medoids-n=300", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Form(small, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vector-kmeans-n=10000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Form(big, baseline.Config{Config: cfg, Method: baseline.VectorKMeans, MaxIter: 10, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKendallTau measures the O(m log m) distance on dense score
+// vectors.
+func BenchmarkKendallTau(b *testing.B) {
+	for _, m := range []int{100, 1000, 10000} {
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = float64((i * 7919) % 101)
+			ys[i] = float64((i * 104729) % 97)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rank.KendallTau(xs, ys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScorerTopK measures the group top-k computation (the
+// merged l-th group's cost) for growing group sizes.
+func BenchmarkScorerTopK(b *testing.B) {
+	ds := benchDataset(b, 20000, 2000)
+	sc := semantics.Scorer{DS: ds}
+	users := ds.Users()
+	for _, size := range []int{100, 1000, 10000} {
+		members := users[:size]
+		b.Run(fmt.Sprintf("members=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sc.TopK(semantics.LM, members, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExact measures the subset-DP optimal solver at its
+// feasibility edge.
+func BenchmarkExact(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		ds, err := synth.Generate(synth.Config{Users: n, Items: 6, Clusters: 3, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Exact(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalSearch measures the OPT proxy at quality-experiment
+// scale.
+func BenchmarkLocalSearch(b *testing.B) {
+	ds, err := synth.Generate(synth.Config{Users: 200, Items: 100, Clusters: 20, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.LocalSearch(ds, cfg, opt.LSOptions{Iterations: 2000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILP measures the Appendix-A integer program on the paper's
+// Example 1 (the k=1 optimal reference).
+func BenchmarkILP(b *testing.B) {
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{1, 4, 3}, {2, 3, 5}, {2, 5, 1}, {2, 5, 1}, {3, 1, 1}, {1, 2, 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ilp.SolveGF(ds, 3, semantics.LM, ilp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

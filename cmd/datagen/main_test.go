@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"groupform"
+)
+
+func TestDatagenCustom(t *testing.T) {
+	var out, logw bytes.Buffer
+	err := run([]string{"-users", "20", "-items", "10", "-clusters", "3", "-seed", "2"}, &out, &logw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logw.String(), "generated users=20") {
+		t.Errorf("log line: %q", logw.String())
+	}
+	ds, err := groupform.LoadCSV(&out, groupform.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 20 {
+		t.Errorf("round trip users = %d", ds.NumUsers())
+	}
+}
+
+func TestDatagenPresets(t *testing.T) {
+	for _, preset := range []string{"yahoo", "movielens", "flickr"} {
+		var out, logw bytes.Buffer
+		err := run([]string{"-preset", preset, "-users", "30", "-items", "15"}, &out, &logw)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s: empty output", preset)
+		}
+	}
+}
+
+func TestDatagenDefaultClusters(t *testing.T) {
+	var out, logw bytes.Buffer
+	// users/20 < 2 forces the cluster floor of 2.
+	if err := run([]string{"-users", "10", "-items", "5", "-noise", "0"}, &out, &logw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "bogus"},
+		{"-users", "0"},
+		{"-noise", "2"},
+	}
+	for i, args := range cases {
+		var out, logw bytes.Buffer
+		if err := run(args, &out, &logw); err == nil {
+			t.Errorf("case %d (%v) should error", i, args)
+		}
+	}
+}
+
+func TestDatagenBinary(t *testing.T) {
+	var out, logw bytes.Buffer
+	if err := run([]string{"-users", "15", "-items", "8", "-binary"}, &out, &logw); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := groupform.ReadBinary(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 15 {
+		t.Errorf("binary round trip users = %d", ds.NumUsers())
+	}
+}

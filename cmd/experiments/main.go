@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures and
+// prints the series rows (see EXPERIMENTS.md for the paper-vs-
+// measured comparison).
+//
+// Usage:
+//
+//	experiments                 # run everything at small scale
+//	experiments -exp f1a,f4c    # run selected exhibits
+//	experiments -paper          # use the paper's parameters (slow)
+//	experiments -seed 7 -runs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"groupform/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		exp   = fs.String("exp", "", "comma-separated exhibit IDs (default: all); e.g. f1a,t4,f7")
+		paper = fs.Bool("paper", false, "use the paper's parameter scales (much slower)")
+		seed  = fs.Int64("seed", 1, "base random seed")
+		runs  = fs.Int("runs", 0, "quality-metric repetitions (default 1 small / 3 paper)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed, Runs: *runs}
+	if *paper {
+		opts.Scale = experiments.ScalePaper
+	}
+
+	var ids []string
+	if *exp == "" {
+		for _, r := range experiments.Registry() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner := experiments.Lookup(id)
+		if runner == nil {
+			return fmt.Errorf("unknown exhibit %q (known: t3 f1a-f1c f2a-f2b f3a-f3d t4 f4a-f4c f5a-f5d f6a-f6c f7)", id)
+		}
+		start := time.Now()
+		ex, err := runner(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprint(out, ex.Format())
+		fmt.Fprintf(out, "(generated in %v at %s scale)\n\n", time.Since(start).Round(time.Millisecond), opts.Scale)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsSelected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "t3, f7", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "## T3") || !strings.Contains(s, "## F7") {
+		t.Errorf("missing exhibits:\n%s", s)
+	}
+	if !strings.Contains(s, "at small scale") {
+		t.Errorf("missing scale note:\n%s", s)
+	}
+}
+
+func TestExperimentsAblation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "a4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "## A4") {
+		t.Errorf("missing ablation exhibit:\n%s", out.String())
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "zz"}, &out); err == nil {
+		t.Error("unknown exhibit should error")
+	}
+}
+
+func TestExperimentsBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-notaflag"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+}

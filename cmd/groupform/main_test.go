@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"groupform"
+)
+
+func writeRatings(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ratings.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// example1CSV is the paper's Table 1 in CSV form.
+const example1CSV = `user,item,rating
+0,0,1
+0,1,4
+0,2,3
+1,0,2
+1,1,3
+1,2,5
+2,0,2
+2,1,5
+2,2,1
+3,0,2
+3,1,5
+3,2,1
+4,0,3
+4,1,1
+4,2,1
+5,0,1
+5,1,2
+5,2,5
+`
+
+func TestRunGRD(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-k", "1", "-l", "3", "-semantics", "lm", "-agg", "min"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "algorithm=GRD-LM-MIN objective=11.000 groups=3") {
+		t.Errorf("output missing expected summary:\n%s", s)
+	}
+	if !strings.Contains(s, "group sizes:") {
+		t.Errorf("output missing size summary:\n%s", s)
+	}
+}
+
+func TestRunExactAndVerbose(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algorithm", "exact", "-v"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "objective=12.000") {
+		t.Errorf("exact objective missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "members=") {
+		t.Errorf("verbose member output missing:\n%s", out.String())
+	}
+}
+
+func TestRunBaselineAndLocalSearch(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	for _, algo := range []string{"baseline", "kmeans", "localsearch"} {
+		var out bytes.Buffer
+		if err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algorithm", algo}, &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "objective=") {
+			t.Errorf("%s: no objective printed", algo)
+		}
+	}
+}
+
+func TestRunDensify(t *testing.T) {
+	// Sparse file: user 0 misses item 2.
+	sparse := "user,item,rating\n0,0,5\n0,1,4\n1,0,4\n1,1,4\n1,2,3\n2,0,4\n2,1,5\n2,2,3\n"
+	path := writeRatings(t, sparse)
+	for _, p := range []string{"knn", "itemknn", "mf"} {
+		var out bytes.Buffer
+		if err := run([]string{"-input", path, "-k", "1", "-l", "2", "-densify", p}, &out); err != nil {
+			t.Fatalf("densify %s: %v", p, err)
+		}
+		if !strings.Contains(out.String(), "densified to") {
+			t.Errorf("densify %s: missing densify line", p)
+		}
+	}
+}
+
+func TestRunMovieLensFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ratings.dat")
+	if err := os.WriteFile(path, []byte("1::10::5::0\n2::10::4::0\n1::20::3::0\n2::20::2::0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-format", "movielens", "-k", "1", "-l", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded users=2") {
+		t.Errorf("load line missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	cases := [][]string{
+		{},                           // missing -input
+		{"-input", "/nonexistent/x"}, // unreadable file
+		{"-input", path, "-format", "xml"},
+		{"-input", path, "-semantics", "zz"},
+		{"-input", path, "-agg", "zz"},
+		{"-input", path, "-algorithm", "zz"},
+		{"-input", path, "-densify", "zz"},
+		{"-input", path, "-k", "0"},
+		{"-input", path, "-k", "99"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v) should error", i, args)
+		}
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	// Generate binary data with datagen's format and read it back
+	// through the groupform CLI.
+	ds, err := groupform.FromDense(groupform.DefaultScale, [][]float64{
+		{1, 4, 3}, {2, 3, 5}, {2, 5, 1}, {2, 5, 1}, {3, 1, 1}, {1, 2, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ratings.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := groupform.WriteBinary(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-format", "binary", "-k", "1", "-l", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "objective=11.000") {
+		t.Errorf("binary path output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: form groups over the paper's running example (Table 1)
+// and compare the greedy result with the true optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupform"
+)
+
+func main() {
+	// The user-item preference ratings of the paper's Example 1:
+	// rows are users u1..u6, columns are items i1..i3.
+	ds, err := groupform.FromDense(groupform.DefaultScale, [][]float64{
+		{1, 4, 3}, // u1
+		{2, 3, 5}, // u2
+		{2, 5, 1}, // u3
+		{2, 5, 1}, // u4
+		{3, 1, 1}, // u5
+		{1, 2, 5}, // u6
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Partition into at most 3 groups; recommend 1 item per group
+	// under Least Misery semantics.
+	cfg := groupform.Config{
+		K:           1,
+		L:           3,
+		Semantics:   groupform.LM,
+		Aggregation: groupform.Min,
+	}
+
+	grd, err := groupform.Form(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: objective = %.0f\n", grd.Algorithm, grd.Objective)
+	for i, g := range grd.Groups {
+		fmt.Printf("  group %d: users %v -> item i%d (LM score %.0f)\n",
+			i+1, g.Members, g.Items[0]+1, g.Satisfaction)
+	}
+
+	// The instance is tiny, so the exact optimum is computable: the
+	// paper reports 12 for this example versus the greedy's 11 —
+	// within the theorem's rmax = 5 absolute-error bound.
+	exact, err := groupform.FormExact(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimum = %.0f (greedy error %.0f <= rmax %g)\n",
+		exact.Objective, exact.Objective-grd.Objective, ds.Scale().Max)
+
+	// The Appendix-A integer program (k = 1) agrees.
+	_, ipObj, err := groupform.SolveIP(ds, cfg.L, groupform.LM, groupform.IPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integer program optimum = %.0f\n", ipObj)
+}

@@ -1,0 +1,160 @@
+package groupform
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"groupform/internal/synth"
+)
+
+// TestPipelineEndToEnd exercises the full production path a
+// recommender-system operator would run: generate (stand-in for
+// collect) sparse explicit feedback, trim low-activity users/items,
+// persist and reload it, train a predictor, densify onto the rating
+// lattice, form groups under every semantics/aggregation pair, and
+// evaluate the groupings.
+func TestPipelineEndToEnd(t *testing.T) {
+	raw, err := Generate(SynthConfig{
+		Users: 120, Items: 60, Clusters: 10, RatingsPerUser: 25,
+		ExploreFrac: 0.2, NoiseRate: 0.1, OrderCorrelation: 0.3, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-processing: the paper trims Yahoo! Music to >= 20 ratings
+	// per user and >= 20 per item; scale the thresholds down.
+	trimmed := raw.Trim(10, 3)
+	if trimmed.NumUsers() == 0 {
+		t.Fatal("trim removed everyone")
+	}
+	for _, u := range trimmed.Users() {
+		if len(trimmed.UserRatings(u)) < 10 {
+			t.Fatalf("user %d under threshold after trim", u)
+		}
+	}
+
+	// Persistence round trip.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trimmed); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadCSV(&buf, DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.NumRatings() != trimmed.NumRatings() {
+		t.Fatalf("round trip lost ratings: %d vs %d", reloaded.NumRatings(), trimmed.NumRatings())
+	}
+
+	// Prediction layer.
+	pred, err := NewUserKNN(reloaded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DensifyQuantized(reloaded, pred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumRatings() != full.NumUsers()*full.NumItems() {
+		t.Fatal("densify incomplete")
+	}
+
+	// Formation under all six algorithm variants.
+	for _, sem := range []Semantics{LM, AV} {
+		for _, agg := range []Aggregation{Max, Min, Sum} {
+			cfg := Config{K: 5, L: 8, Semantics: sem, Aggregation: agg}
+			res, err := Form(full, cfg)
+			if err != nil {
+				t.Fatalf("%v-%v: %v", sem, agg, err)
+			}
+			if len(res.Groups) == 0 || len(res.Groups) > 8 {
+				t.Fatalf("%v-%v: %d groups", sem, agg, len(res.Groups))
+			}
+			covered := 0
+			total := 0.0
+			for _, g := range res.Groups {
+				covered += g.Size()
+				total += g.Satisfaction
+			}
+			if covered != full.NumUsers() {
+				t.Fatalf("%v-%v: covered %d of %d users", sem, agg, covered, full.NumUsers())
+			}
+			if math.Abs(total-res.Objective) > 1e-9 {
+				t.Fatalf("%v-%v: objective mismatch", sem, agg)
+			}
+
+			// Evaluation metrics all work on the result.
+			if _, err := AvgGroupSatisfaction(res); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := AvgGroupSatisfactionPerMember(res); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := GroupSizeSummary(res); err != nil {
+				t.Fatal(err)
+			}
+			sat, err := PerUserSatisfaction(full, res, 0)
+			if err != nil || len(sat) != full.NumUsers() {
+				t.Fatalf("per-user satisfaction: %v (%d entries)", err, len(sat))
+			}
+			ndcg, err := MeanNDCG(full, res, 0)
+			if err != nil || ndcg <= 0 || ndcg > 1+1e-9 {
+				t.Fatalf("NDCG = %v, err %v", ndcg, err)
+			}
+		}
+	}
+}
+
+// TestPipelineComparesAlgorithms runs greedy, baseline and the local
+// search on the same densified instance and checks the expected
+// dominance ordering of the objective.
+func TestPipelineComparesAlgorithms(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Users: 100, Items: 40, Clusters: 12, NoiseRate: 0.02, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, L: 8, Semantics: LM, Aggregation: Min}
+	grd, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := FormLocalSearch(ds, cfg, LSOptions{Iterations: 3000, Anneal: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := FormBaseline(ds, BaselineConfig{Config: cfg, Method: VectorKMeans, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Objective < grd.Objective {
+		t.Errorf("local search %v below its greedy seed %v", ls.Objective, grd.Objective)
+	}
+	if grd.Objective < base.Objective {
+		t.Errorf("GRD %v below clustering baseline %v on clustered data", grd.Objective, base.Objective)
+	}
+}
+
+// TestWeightedFormationThroughFacade checks the user-weights
+// extension end to end via the public API.
+func TestWeightedFormationThroughFacade(t *testing.T) {
+	ds, err := FromDense(DefaultScale, [][]float64{
+		{5, 1}, {1, 5}, {1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Form(ds, Config{
+		K: 1, L: 1, Semantics: AV, Aggregation: Min,
+		UserWeights: map[UserID]float64{0: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[0].Items[0] != 0 {
+		t.Errorf("weighted AV should favor the heavy user's item, got %d", res.Groups[0].Items[0])
+	}
+}

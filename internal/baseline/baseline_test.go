@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+func synthDS(t *testing.T, users, items, clusters int) *dataset.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{
+		Users: users, Items: items, Clusters: clusters,
+		RatingsPerUser: items, NoiseRate: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func checkPartition(t *testing.T, ds *dataset.Dataset, res *core.Result, l, k int) {
+	t.Helper()
+	if len(res.Groups) > l {
+		t.Fatalf("formed %d groups, budget %d", len(res.Groups), l)
+	}
+	seen := map[dataset.UserID]bool{}
+	total := 0.0
+	for _, g := range res.Groups {
+		if g.Size() == 0 {
+			t.Fatal("empty group")
+		}
+		if len(g.Items) != k || len(g.ItemScores) != k {
+			t.Fatalf("group list length %d, want %d", len(g.Items), k)
+		}
+		for _, u := range g.Members {
+			if seen[u] {
+				t.Fatalf("user %d in two groups", u)
+			}
+			seen[u] = true
+		}
+		total += g.Satisfaction
+	}
+	if len(seen) != ds.NumUsers() {
+		t.Fatalf("partition covers %d of %d users", len(seen), ds.NumUsers())
+	}
+	if math.Abs(total-res.Objective) > 1e-9 {
+		t.Fatalf("objective %v != satisfaction sum %v", res.Objective, total)
+	}
+}
+
+func TestKendallMedoidsForm(t *testing.T) {
+	ds := synthDS(t, 40, 12, 4)
+	cfg := Config{
+		Config: core.Config{K: 3, L: 4, Semantics: semantics.LM, Aggregation: semantics.Min},
+		Method: KendallMedoids,
+		Seed:   1,
+	}
+	res, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, ds, res, 4, 3)
+	if res.Algorithm != "Baseline-LM-MIN" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestVectorKMeansForm(t *testing.T) {
+	ds := synthDS(t, 60, 15, 5)
+	cfg := Config{
+		Config: core.Config{K: 4, L: 5, Semantics: semantics.AV, Aggregation: semantics.Sum},
+		Method: VectorKMeans,
+		Seed:   2,
+	}
+	res, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, ds, res, 5, 4)
+	if res.Algorithm != "Baseline-AV-SUM" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestClaraMedoidsForm(t *testing.T) {
+	ds := synthDS(t, 120, 15, 6)
+	cfg := Config{
+		Config: core.Config{K: 3, L: 6, Semantics: semantics.LM, Aggregation: semantics.Min},
+		Method: ClaraMedoids,
+		Seed:   4,
+	}
+	res, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, ds, res, 6, 3)
+}
+
+func TestClaraSmallPopulation(t *testing.T) {
+	// Population smaller than the CLARA sample size: degenerates to
+	// plain PAM and must still partition correctly.
+	ds := synthDS(t, 12, 8, 3)
+	cfg := Config{
+		Config: core.Config{K: 2, L: 4, Semantics: semantics.AV, Aggregation: semantics.Sum},
+		Method: ClaraMedoids,
+		Seed:   5,
+	}
+	res, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, ds, res, 4, 2)
+}
+
+func TestFormValidates(t *testing.T) {
+	ds := synthDS(t, 10, 5, 2)
+	bad := Config{Config: core.Config{K: 0, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min}}
+	if _, err := Form(ds, bad); err == nil {
+		t.Error("invalid embedded config should error")
+	}
+	badMethod := Config{
+		Config: core.Config{K: 1, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min},
+		Method: Method(9),
+	}
+	if _, err := Form(ds, badMethod); err == nil {
+		t.Error("invalid method should error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if KendallMedoids.String() != "kendall-medoids" || VectorKMeans.String() != "vector-kmeans" {
+		t.Error("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}
+
+func TestLGreaterThanN(t *testing.T) {
+	ds := synthDS(t, 5, 6, 2)
+	for _, m := range []Method{KendallMedoids, VectorKMeans} {
+		cfg := Config{
+			Config: core.Config{K: 2, L: 9, Semantics: semantics.LM, Aggregation: semantics.Min},
+			Method: m,
+			Seed:   3,
+		}
+		res, err := Form(ds, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		checkPartition(t, ds, res, 9, 2)
+	}
+}
+
+func TestClusteringFindsPlantedClusters(t *testing.T) {
+	// Noise-free planted clusters should be recovered well enough
+	// that clusters are pure most of the time; we assert the weaker,
+	// stable property that both backends produce at least 2 groups
+	// and a positive objective.
+	ds, err := synth.Generate(synth.Config{
+		Users: 30, Items: 10, Clusters: 3, RatingsPerUser: 10, NoiseRate: 0, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{KendallMedoids, VectorKMeans} {
+		res, err := Form(ds, Config{
+			Config: core.Config{K: 3, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min},
+			Method: m,
+			Seed:   4,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res.Groups) < 2 {
+			t.Errorf("%v: only %d groups formed", m, len(res.Groups))
+		}
+		if res.Objective <= 0 {
+			t.Errorf("%v: objective %v", m, res.Objective)
+		}
+	}
+}
+
+// TestGreedyBeatsBaseline is the paper's headline qualitative result
+// ("GRD algorithms outperform the corresponding baseline algorithms").
+// It is an empirical claim, not a theorem: on heavily noisy data with
+// Min aggregation the semantics-agnostic clustering can occasionally
+// edge ahead, because GRD's exact-match bucketing fragments. On data
+// with coherent taste clusters — the regime the paper's real datasets
+// are in after collaborative-filtering densification — GRD dominates,
+// which is what we assert here.
+func TestGreedyBeatsBaseline(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Users: 100, Items: 20, Clusters: 8, RatingsPerUser: 20, NoiseRate: 0, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		ccfg := core.Config{K: 5, L: 10, Semantics: sem, Aggregation: semantics.Min}
+		grd, err := core.Form(ds, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Form(ds, Config{Config: ccfg, Method: KendallMedoids, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grd.Objective < base.Objective {
+			t.Errorf("%v: GRD %v < Baseline %v", sem, grd.Objective, base.Objective)
+		}
+	}
+}

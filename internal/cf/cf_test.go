@@ -1,0 +1,243 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// blockDataset has two obvious taste blocks: users 0-3 love items
+// 0-2 and hate 3-5; users 4-7 are the reverse. One rating is held
+// out per block to test prediction.
+func blockDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	for u := 0; u < 8; u++ {
+		for i := 0; i < 6; i++ {
+			if u == 0 && i == 0 {
+				continue // held out: should predict high
+			}
+			if u == 4 && i == 3 {
+				continue // held out: should predict high
+			}
+			hi := (u < 4) == (i < 3)
+			v := 1.0
+			if hi {
+				v = 5.0
+			}
+			b.MustAdd(dataset.UserID(u), dataset.ItemID(i), v)
+		}
+	}
+	return b.Build()
+}
+
+func TestUserKNNPredictsBlocks(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewUserKNN(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 0); got < 4 {
+		t.Errorf("Predict(0,0) = %v, want high (>=4)", got)
+	}
+	if got := m.Predict(4, 3); got < 4 {
+		t.Errorf("Predict(4,3) = %v, want high (>=4)", got)
+	}
+}
+
+func TestItemKNNPredictsBlocks(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewItemKNN(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 0); got < 4 {
+		t.Errorf("Predict(0,0) = %v, want high (>=4)", got)
+	}
+	if got := m.Predict(4, 3); got < 4 {
+		t.Errorf("Predict(4,3) = %v, want high (>=4)", got)
+	}
+}
+
+func TestMFPredictsBlocks(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewMF(ds, MFConfig{Factors: 8, Epochs: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 0); got < 3.5 {
+		t.Errorf("Predict(0,0) = %v, want high (>=3.5)", got)
+	}
+	if got := m.Predict(0, 3); got > 2.5 {
+		t.Errorf("Predict(0,3) = %v, want low (<=2.5)", got)
+	}
+}
+
+func TestPredictReturnsKnownRating(t *testing.T) {
+	ds := blockDataset(t)
+	u, err := NewUserKNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := NewItemKNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMF(ds, MFConfig{Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Predictor{u, i, m} {
+		if got := p.Predict(1, 0); got != 5 {
+			t.Errorf("%T.Predict(1,0) = %v, want stored 5", p, got)
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	empty := dataset.NewBuilder(dataset.DefaultScale).Build()
+	if _, err := NewUserKNN(empty, 3); err == nil {
+		t.Error("empty dataset should error (user kNN)")
+	}
+	if _, err := NewItemKNN(empty, 3); err == nil {
+		t.Error("empty dataset should error (item kNN)")
+	}
+	if _, err := NewMF(empty, MFConfig{}); err == nil {
+		t.Error("empty dataset should error (MF)")
+	}
+	ds := blockDataset(t)
+	if _, err := NewUserKNN(ds, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewItemKNN(ds, -1); err == nil {
+		t.Error("k<0 should error")
+	}
+	if _, err := NewMF(ds, MFConfig{LearningRate: -1}); err == nil {
+		t.Error("negative learning rate should error")
+	}
+	if _, err := Densify(empty, nil); err == nil {
+		t.Error("Densify of empty dataset should error")
+	}
+}
+
+func TestFallbackChain(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewUserKNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown user, known item: item mean. Item 1 is loved by block
+	// one (5) and hated by block two (1) -> mean 3.
+	got := m.Predict(99, 1)
+	if math.Abs(got-3) > 0.01 {
+		t.Errorf("fallback Predict(99,1) = %v, want item mean 3", got)
+	}
+	// Unknown user, unknown item: global mean.
+	g := m.Predict(99, 99)
+	if g < 1 || g > 5 {
+		t.Errorf("global fallback = %v out of scale", g)
+	}
+}
+
+func TestDensifyCompletesMatrix(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewUserKNN(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Densify(ds, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRatings := full.NumUsers() * full.NumItems()
+	if full.NumRatings() != wantRatings {
+		t.Fatalf("densified ratings = %d, want %d", full.NumRatings(), wantRatings)
+	}
+	// Original ratings are preserved verbatim.
+	for _, u := range ds.Users() {
+		for _, e := range ds.UserRatings(u) {
+			v, ok := full.Rating(u, e.Item)
+			if !ok || v != e.Value {
+				t.Fatalf("densify changed original rating (%d,%d): %v", u, e.Item, v)
+			}
+		}
+	}
+	// Predictions are clamped to the scale.
+	for _, u := range full.Users() {
+		for _, e := range full.UserRatings(u) {
+			if !full.Scale().Valid(e.Value) {
+				t.Fatalf("densified rating %v outside scale", e.Value)
+			}
+		}
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewUserKNN(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := []dataset.Rating{{User: 0, Item: 0, Value: 5}, {User: 4, Item: 3, Value: 5}}
+	rmse, err := RMSE(m, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1.5 {
+		t.Errorf("RMSE = %v, want < 1.5 on easy blocks", rmse)
+	}
+	if _, err := RMSE(m, nil); err == nil {
+		t.Error("empty held-out should error")
+	}
+}
+
+// TestMFBeatsGlobalMean holds out 20% of a synthetic clustered
+// dataset and checks MF improves over predicting the global mean.
+func TestMFBeatsGlobalMean(t *testing.T) {
+	full, err := synth.Generate(synth.Config{
+		Users: 60, Items: 30, Clusters: 4, RatingsPerUser: 30, NoiseRate: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	var held []dataset.Rating
+	var sum float64
+	var count int
+	for _, u := range full.Users() {
+		for _, e := range full.UserRatings(u) {
+			if rng.Float64() < 0.2 {
+				held = append(held, dataset.Rating{User: u, Item: e.Item, Value: e.Value})
+			} else {
+				b.MustAdd(u, e.Item, e.Value)
+				sum += e.Value
+				count++
+			}
+		}
+	}
+	train := b.Build()
+	mean := sum / float64(count)
+
+	var meanSE float64
+	for _, r := range held {
+		d := mean - r.Value
+		meanSE += d * d
+	}
+	meanRMSE := math.Sqrt(meanSE / float64(len(held)))
+
+	m, err := NewMF(train, MFConfig{Factors: 12, Epochs: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfRMSE, err := RMSE(m, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfRMSE >= meanRMSE {
+		t.Errorf("MF RMSE %v not better than global-mean RMSE %v", mfRMSE, meanRMSE)
+	}
+}

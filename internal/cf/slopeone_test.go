@@ -1,0 +1,173 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// TestSlopeOneAdditiveModel: Slope One is exact when ratings follow
+// r(u, i) = base(i) + offset(u) — its defining strength. (On
+// polarized taste blocks its global deviations cancel out; that case
+// is covered by the kNN/MF models instead.)
+func TestSlopeOneAdditiveModel(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	base := []float64{3, 4, 2, 3}
+	offset := []float64{0, 1, -1}
+	for u := 0; u < 3; u++ {
+		for i := 0; i < 4; i++ {
+			if u == 0 && i == 3 {
+				continue // held out
+			}
+			b.MustAdd(dataset.UserID(u), dataset.ItemID(i), base[i]+offset[u])
+		}
+	}
+	m, err := NewSlopeOne(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 3); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Predict(0,3) = %v, want base 3 exactly", got)
+	}
+}
+
+func TestSlopeOneKnownRatingAndFallback(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewSlopeOne(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(1, 0); got != 5 {
+		t.Errorf("stored rating = %v, want 5", got)
+	}
+	if got := m.Predict(99, 99); got < 1 || got > 5 {
+		t.Errorf("fallback = %v out of scale", got)
+	}
+}
+
+func TestSlopeOneDeviationSymmetry(t *testing.T) {
+	// Two items with a constant offset of 2: the deviation must
+	// recover it exactly, in both directions.
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	for u := 0; u < 5; u++ {
+		b.MustAdd(dataset.UserID(u), 1, 4)
+		b.MustAdd(dataset.UserID(u), 2, 2)
+	}
+	b.MustAdd(9, 1, 4) // user 9 rated only item 1
+	b.MustAdd(8, 2, 2) // user 8 rated only item 2
+	ds := b.Build()
+	m, err := NewSlopeOne(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(9, 2); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Predict(9,2) = %v, want 2", got)
+	}
+	if got := m.Predict(8, 1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Predict(8,1) = %v, want 4", got)
+	}
+}
+
+func TestSlopeOneEmpty(t *testing.T) {
+	if _, err := NewSlopeOne(dataset.NewBuilder(dataset.DefaultScale).Build()); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	ds := blockDataset(t)
+	m, err := NewSlopeOne(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := []dataset.Rating{{User: 0, Item: 0, Value: 5}}
+	mae, err := MAE(m, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae < 0 || mae > 4 {
+		t.Errorf("MAE = %v out of plausible range", mae)
+	}
+	if _, err := MAE(m, nil); err == nil {
+		t.Error("empty held-out should error")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Users: 40, Items: 20, Clusters: 4, RatingsPerUser: 15, NoiseRate: 0.1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(ds, 4, 1, func(train *dataset.Dataset) (Predictor, error) {
+		return NewSlopeOne(train)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldRMSE) != 4 || len(res.FoldMAE) != 4 {
+		t.Fatalf("fold counts: %d/%d", len(res.FoldRMSE), len(res.FoldMAE))
+	}
+	if res.MeanRMSE <= 0 || res.MeanRMSE > 4 {
+		t.Errorf("mean RMSE = %v", res.MeanRMSE)
+	}
+	if res.MeanMAE > res.MeanRMSE+1e-9 {
+		t.Errorf("MAE %v exceeds RMSE %v", res.MeanMAE, res.MeanRMSE)
+	}
+}
+
+func TestCrossValidateComparesModels(t *testing.T) {
+	// A structured dataset: the learning models should beat a
+	// constant-prediction strawman.
+	ds, err := synth.Generate(synth.Config{
+		Users: 50, Items: 25, Clusters: 5, RatingsPerUser: 20, NoiseRate: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strawman, err := CrossValidate(ds, 3, 2, func(train *dataset.Dataset) (Predictor, error) {
+		return constPredictor{3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, err := CrossValidate(ds, 3, 2, func(train *dataset.Dataset) (Predictor, error) {
+		return NewSlopeOne(train)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope.MeanRMSE >= strawman.MeanRMSE {
+		t.Errorf("slope one RMSE %v not better than constant %v", slope.MeanRMSE, strawman.MeanRMSE)
+	}
+}
+
+type constPredictor struct{ v float64 }
+
+func (c constPredictor) Predict(dataset.UserID, dataset.ItemID) float64 { return c.v }
+
+func TestCrossValidateErrors(t *testing.T) {
+	ds := blockDataset(t)
+	if _, err := CrossValidate(ds, 1, 1, nil); err == nil {
+		t.Error("folds < 2 should error")
+	}
+	tiny := dataset.NewBuilder(dataset.DefaultScale)
+	tiny.MustAdd(1, 1, 3)
+	if _, err := CrossValidate(tiny.Build(), 5, 1, nil); err == nil {
+		t.Error("too few ratings should error")
+	}
+	if _, err := CrossValidate(ds, 2, 1, func(*dataset.Dataset) (Predictor, error) {
+		return nil, errFake
+	}); err == nil {
+		t.Error("trainer error should propagate")
+	}
+}
+
+var errFake = fmtError("fake")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }

@@ -1,0 +1,503 @@
+// Package core implements the paper's primary contribution: the
+// greedy recommendation-aware group-formation algorithms GRD-LM-MIN,
+// GRD-LM-MAX, GRD-LM-SUM (Section 4, Algorithm 1) and GRD-AV-MIN,
+// GRD-AV-MAX, GRD-AV-SUM (Section 5).
+//
+// All six share one framework:
+//
+//  1. Build each user's top-k preference list (O(nk) given sorted
+//     ratings).
+//  2. Hash users into intermediate groups ("buckets") keyed by their
+//     top-k item sequence plus — depending on semantics and
+//     aggregation — some of the scores:
+//     LM-MIN: sequence + k-th score (Algorithm 1 line 3);
+//     LM-MAX: top-1 item + its score (only the top item's LM score
+//     matters for Max aggregation; see appendKey);
+//     LM-SUM: sequence + all k scores;
+//     AV-*:   sequence only (Section 5: grouping on scores "is not a
+//     useful operation for AV semantics").
+//  3. Pop the l-1 best buckets from a max-heap ordered by the
+//     bucket's group satisfaction.
+//  4. Merge every remaining user into the l-th group and compute its
+//     top-k list from scratch under the semantics.
+//
+// For a bucket, the shared top-k sequence is provably a valid group
+// top-k list under either semantics (each member ranks every outside
+// item no higher than their own k-th item, and min/sum preserve the
+// shared within-list order), so satisfaction of the first l-1 groups
+// is computed directly from the bucket scores. Only the merged l-th
+// group requires a full top-k computation, which is what limits the
+// absolute error to rmax (Min/Max) or k*rmax (Sum) under LM
+// (Theorems 2 and 3).
+//
+// Heap ties are broken deterministically — higher satisfaction, then
+// larger bucket, then lexicographically smaller key — which
+// reproduces the paper's worked Examples 1, 2 and 5 exactly.
+package core
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"groupform/internal/dataset"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+)
+
+// Config parameterizes a group-formation run.
+type Config struct {
+	// K is the length of the recommended item list per group.
+	K int
+	// L is the maximum number of groups to form (l in the paper).
+	L int
+	// Semantics is the group recommendation semantics (LM or AV).
+	Semantics semantics.Semantics
+	// Aggregation is the satisfaction aggregation over the top-k
+	// list (Max, Min, Sum, or a weighted variant).
+	Aggregation semantics.Aggregation
+	// Missing is the score imputed for unrated (user, item) pairs;
+	// see semantics.Scorer. Zero is the conservative default.
+	Missing float64
+	// UserWeights optionally weights users under AV semantics
+	// (Section 9's "members are not treated equally" direction); nil
+	// or missing entries mean weight 1. Weights must be
+	// non-negative. LM is unaffected by weights.
+	UserWeights map[dataset.UserID]float64
+}
+
+// Validate reports whether the configuration is usable against ds.
+func (c Config) Validate(ds *dataset.Dataset) error {
+	if ds == nil || ds.NumUsers() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.K > ds.NumItems() {
+		return fmt.Errorf("core: K=%d exceeds item count %d", c.K, ds.NumItems())
+	}
+	if c.L <= 0 {
+		return fmt.Errorf("core: L must be positive, got %d", c.L)
+	}
+	if !c.Semantics.Valid() {
+		return fmt.Errorf("core: invalid semantics %d", int(c.Semantics))
+	}
+	if !c.Aggregation.Valid() {
+		return fmt.Errorf("core: invalid aggregation %d", int(c.Aggregation))
+	}
+	for u, w := range c.UserWeights {
+		if w < 0 {
+			return fmt.Errorf("core: negative weight %v for user %d", w, u)
+		}
+	}
+	return nil
+}
+
+// scorer builds the semantics scorer for this configuration.
+func (c Config) scorer(ds *dataset.Dataset) semantics.Scorer {
+	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights}
+}
+
+// weight returns u's AV weight under this configuration.
+func (c Config) weight(u dataset.UserID) float64 {
+	if c.UserWeights == nil {
+		return 1
+	}
+	if w, ok := c.UserWeights[u]; ok {
+		return w
+	}
+	return 1
+}
+
+// AlgorithmName returns the paper's name for the greedy algorithm this
+// configuration selects, e.g. "GRD-LM-MIN".
+func (c Config) AlgorithmName() string {
+	return fmt.Sprintf("GRD-%s-%s", c.Semantics, c.Aggregation)
+}
+
+// Group is one formed group together with its recommended top-k list.
+type Group struct {
+	// Members holds the user IDs in the group, ascending.
+	Members []dataset.UserID
+	// Items is the recommended top-k list I_g^k, best first.
+	Items []dataset.ItemID
+	// ItemScores[j] is sc(g, Items[j]) under the run's semantics.
+	ItemScores []float64
+	// Satisfaction is gs(I_g^k) under the run's aggregation.
+	Satisfaction float64
+	// Merged marks the l-th group assembled from leftover users.
+	Merged bool
+}
+
+// Size returns the number of members.
+func (g Group) Size() int { return len(g.Members) }
+
+// Result is the outcome of a formation run.
+type Result struct {
+	// Groups are the formed groups in the order they were created
+	// (heap pops first, merged remainder last).
+	Groups []Group
+	// Objective is the aggregated group satisfaction, the Obj of
+	// Section 2.4.
+	Objective float64
+	// Buckets is the number of intermediate groups formed in step 1;
+	// the paper observes AV produces fewer buckets than LM.
+	Buckets int
+	// Algorithm names the algorithm that produced the result.
+	Algorithm string
+}
+
+// bucket is an intermediate group: users indistinguishable under the
+// hashing key of the configured algorithm.
+type bucket struct {
+	key     string
+	items   []dataset.ItemID
+	scores  []float64 // group item scores at each list position
+	members []dataset.UserID
+}
+
+// Form runs the greedy group-formation algorithm selected by cfg.
+func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	prefs, err := rank.AllTopK(ds, cfg.K, cfg.Missing)
+	if err != nil {
+		return nil, err
+	}
+	buckets := bucketize(prefs, cfg)
+	res := &Result{Buckets: len(buckets), Algorithm: cfg.AlgorithmName()}
+	scorer := cfg.scorer(ds)
+
+	if len(buckets) <= cfg.L {
+		// Fewer intermediate groups than the budget allows: every
+		// bucket becomes final and, because the objective only grows
+		// with the number of groups (Section 4.1, step 2), surplus
+		// budget is spent splitting buckets. Splitting preserves each
+		// piece's satisfaction under LM (members are
+		// indistinguishable w.r.t. the aggregated score) and is
+		// neutral under AV (bucket satisfaction is additive over
+		// members), so splitting the highest-satisfaction buckets
+		// first is optimal given the bucketing — and is required for
+		// the rmax absolute-error guarantee of Theorem 2 when l
+		// exceeds the bucket count.
+		groups, err := splitBuckets(ds, scorer, buckets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = groups
+	} else {
+		h := newBucketHeap(buckets, cfg.Aggregation)
+		for len(res.Groups) < cfg.L-1 {
+			b := heap.Pop(h).(*bucket)
+			g, err := finalizeBucket(scorer, b, b.members, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Groups = append(res.Groups, g)
+		}
+		// Merge the remaining buckets into the l-th group and
+		// compute its top-k list from scratch.
+		var rest []dataset.UserID
+		for h.Len() > 0 {
+			b := heap.Pop(h).(*bucket)
+			rest = append(rest, b.members...)
+		}
+		sortUsers(rest)
+		items, scores, err := scorer.TopK(cfg.Semantics, rest, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, Group{
+			Members:      rest,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+			Merged:       true,
+		})
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
+	}
+	return res, nil
+}
+
+// splitBuckets handles the case of at most L buckets: each bucket
+// yields at least one group, and the L - len(buckets) surplus group
+// slots are awarded as extra pieces to buckets in heap order
+// (satisfaction first). Under LM every piece of a bucket scores the
+// full bucket satisfaction, so this maximizes the objective over all
+// ways to spend the budget; under AV the per-piece satisfactions
+// always sum to the bucket's, so splitting is harmless either way.
+func splitBuckets(ds *dataset.Dataset, scorer semantics.Scorer, buckets map[string]*bucket, cfg Config) ([]Group, error) {
+	h := newBucketHeap(buckets, cfg.Aggregation)
+	ordered := make([]*bucket, 0, len(buckets))
+	for h.Len() > 0 {
+		ordered = append(ordered, heap.Pop(h).(*bucket))
+	}
+	pieces := make([]int, len(ordered))
+	total := 0
+	for i := range ordered {
+		pieces[i] = 1
+		total++
+	}
+	for total < cfg.L {
+		// Give one more piece to the best bucket that can still be
+		// split further.
+		best := -1
+		for i, b := range ordered {
+			if pieces[i] < len(b.members) {
+				best = i
+				break // ordered by satisfaction already
+			}
+		}
+		if best < 0 {
+			break // every bucket fully split into singletons
+		}
+		pieces[best]++
+		total++
+	}
+	var groups []Group
+	for i, b := range ordered {
+		sortUsers(b.members)
+		n := len(b.members)
+		p := pieces[i]
+		// Contiguous, near-even chunks keep the output deterministic.
+		start := 0
+		for c := 0; c < p; c++ {
+			size := n / p
+			if c < n%p {
+				size++
+			}
+			part := b.members[start : start+size]
+			start += size
+			if len(b.items) == cfg.K && len(part) < n {
+				// A strict piece of a full-sequence bucket: refold
+				// the stored positions over the piece's members.
+				groups = append(groups, Group{
+					Members:    part,
+					Items:      b.items,
+					ItemScores: pieceScores(ds, part, b, cfg),
+				})
+				g := &groups[len(groups)-1]
+				g.Satisfaction = cfg.Aggregation.Aggregate(g.ItemScores)
+				continue
+			}
+			g, err := finalizeBucket(scorer, b, part, cfg)
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
+		}
+	}
+	return groups, nil
+}
+
+// pieceScores recomputes the per-position group scores of a bucket
+// piece directly from the ratings. For an unsplit bucket this equals
+// the maintained scores; for a strict subset, LM minima can only rise
+// and AV sums shrink to the piece's members.
+func pieceScores(ds *dataset.Dataset, part []dataset.UserID, b *bucket, cfg Config) []float64 {
+	if len(part) == len(b.members) {
+		return b.scores
+	}
+	scores := make([]float64, len(b.items))
+	for j, it := range b.items {
+		var acc float64
+		for i, u := range part {
+			v, ok := ds.Rating(u, it)
+			if !ok {
+				v = cfg.Missing
+			}
+			switch {
+			case i == 0:
+				acc = v
+				if cfg.Semantics == semantics.AV {
+					acc = cfg.weight(u) * v
+				}
+			case cfg.Semantics == semantics.LM:
+				if v < acc {
+					acc = v
+				}
+			default: // AV
+				acc += cfg.weight(u) * v
+			}
+		}
+		scores[j] = acc
+	}
+	return scores
+}
+
+// finalizeBucket converts an intermediate group (or a piece of one,
+// given by members) into a final Group. For full-sequence buckets the
+// recommended list is the shared top-k sequence with the maintained
+// scores; LM-MAX buckets store only the shared (top item, score) pair
+// and their list tail is completed from the ratings, which cannot
+// change the Max-aggregated satisfaction.
+func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID, cfg Config) (Group, error) {
+	sortUsers(members)
+	items, scores := b.items, b.scores
+	if len(items) < cfg.K {
+		var err error
+		items, scores, err = scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return Group{}, err
+		}
+	}
+	return Group{
+		Members:      members,
+		Items:        items,
+		ItemScores:   scores,
+		Satisfaction: cfg.Aggregation.Aggregate(scores),
+	}, nil
+}
+
+// bucketize hashes every user's preference list into intermediate
+// groups under the configured key (step 1 of the framework). Group
+// item scores are folded in as members join: min for LM, sum for AV.
+func bucketize(prefs []rank.PrefList, cfg Config) map[string]*bucket {
+	buckets := make(map[string]*bucket)
+	var keyBuf []byte
+	for _, p := range prefs {
+		keyBuf = appendKey(keyBuf[:0], p, cfg)
+		key := string(keyBuf)
+		b, ok := buckets[key]
+		if !ok {
+			// The pref list's slices are freshly allocated per user,
+			// so the bucket can adopt them without copying — at
+			// large n*k the copies would dominate memory.
+			items, scores := p.Items, p.Scores
+			if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {
+				// LM-MAX buckets agree only on the (top item, score)
+				// pair; members' list tails differ, so only position
+				// 0 is stored and the final list is completed later.
+				items, scores = items[:1], scores[:1]
+			}
+			scoresOwned := scores
+			if cfg.Semantics == semantics.AV {
+				// AV folds weighted copies; never alias the pref list.
+				w := cfg.weight(p.User)
+				scoresOwned = make([]float64, len(scores))
+				for j, s := range scores {
+					scoresOwned[j] = w * s
+				}
+			}
+			b = &bucket{key: key, items: items, scores: scoresOwned}
+			buckets[key] = b
+		} else {
+			// Fold the joining member's scores into the stored
+			// positions (LM-MAX buckets store a single position).
+			switch cfg.Semantics {
+			case semantics.LM:
+				for j := range b.scores {
+					if s := p.Scores[j]; s < b.scores[j] {
+						b.scores[j] = s
+					}
+				}
+			case semantics.AV:
+				w := cfg.weight(p.User)
+				for j := range b.scores {
+					b.scores[j] += w * p.Scores[j]
+				}
+			}
+		}
+		b.members = append(b.members, p.User)
+	}
+	return buckets
+}
+
+// appendKey encodes the hashing key for a preference list under cfg.
+// Item IDs are encoded big-endian so that lexicographic byte order
+// matches numeric order, keeping tie-breaking deterministic and
+// explainable.
+//
+// Under LM with Max aggregation, only the top item's LM score
+// determines satisfaction, so the key is just (top-1 item, top
+// score): every member rates the shared favorite at their personal
+// maximum, making the group's best LM score exactly that shared
+// rating, while all other items score no higher. Hashing the full
+// sequence would needlessly fragment the buckets (the mirror image of
+// Example 3's argument for why MIN must hash the full sequence).
+func appendKey(buf []byte, p rank.PrefList, cfg Config) []byte {
+	if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p.Items[0]))
+		return appendScore(buf, p.Scores[0])
+	}
+	for _, it := range p.Items {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(it))
+	}
+	if cfg.Semantics == semantics.AV {
+		return buf // sequence only, for every aggregation (Section 5)
+	}
+	switch cfg.Aggregation {
+	case semantics.Min:
+		buf = appendScore(buf, p.Scores[len(p.Scores)-1])
+	default: // Sum and weighted variants need every score to match
+		for _, s := range p.Scores {
+			buf = appendScore(buf, s)
+		}
+	}
+	return buf
+}
+
+func appendScore(buf []byte, s float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(s))
+}
+
+// bucketHeap orders buckets by (satisfaction desc, size desc, key
+// asc). The paper's Algorithm 1 keeps a heap of LM scores; ordering by
+// the aggregated bucket satisfaction generalizes that to all six
+// algorithm variants.
+type bucketHeap struct {
+	bs  []*bucket
+	sat []float64
+	agg semantics.Aggregation
+}
+
+func newBucketHeap(buckets map[string]*bucket, agg semantics.Aggregation) *bucketHeap {
+	h := &bucketHeap{agg: agg}
+	for _, b := range buckets {
+		h.bs = append(h.bs, b)
+		h.sat = append(h.sat, agg.Aggregate(b.scores))
+	}
+	heap.Init(h)
+	return h
+}
+
+func (h *bucketHeap) Len() int { return len(h.bs) }
+
+func (h *bucketHeap) Less(i, j int) bool {
+	if h.sat[i] != h.sat[j] {
+		return h.sat[i] > h.sat[j]
+	}
+	if len(h.bs[i].members) != len(h.bs[j].members) {
+		return len(h.bs[i].members) > len(h.bs[j].members)
+	}
+	return h.bs[i].key < h.bs[j].key
+}
+
+func (h *bucketHeap) Swap(i, j int) {
+	h.bs[i], h.bs[j] = h.bs[j], h.bs[i]
+	h.sat[i], h.sat[j] = h.sat[j], h.sat[i]
+}
+
+func (h *bucketHeap) Push(x any) {
+	b := x.(*bucket)
+	h.bs = append(h.bs, b)
+	h.sat = append(h.sat, h.agg.Aggregate(b.scores))
+}
+
+func (h *bucketHeap) Pop() any {
+	n := len(h.bs)
+	b := h.bs[n-1]
+	h.bs = h.bs[:n-1]
+	h.sat = h.sat[:n-1]
+	return b
+}
+
+func sortUsers(us []dataset.UserID) {
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+}

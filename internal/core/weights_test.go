@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+// TestUnitWeightsMatchUnweighted: an explicit all-ones weight map must
+// reproduce the unweighted result exactly.
+func TestUnitWeightsMatchUnweighted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(10), 2+rng.Intn(5)
+		ds := randomDense(rng, n, m)
+		weights := map[dataset.UserID]float64{}
+		for _, u := range ds.Users() {
+			weights[u] = 1
+		}
+		k, l := 1+rng.Intn(m), 1+rng.Intn(n)
+		for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+			plain, err := Form(ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg})
+			if err != nil {
+				return false
+			}
+			weighted, err := Form(ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg, UserWeights: weights})
+			if err != nil {
+				return false
+			}
+			if math.Abs(plain.Objective-weighted.Objective) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightsScaleAVObjective: multiplying every weight by c scales
+// every AV score, hence the objective, by c.
+func TestWeightsScaleAVObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := randomDense(rng, 8, 4)
+	base, err := Form(ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := map[dataset.UserID]float64{}
+	for _, u := range ds.Users() {
+		weights[u] = 2.5
+	}
+	scaled, err := Form(ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Objective-2.5*base.Objective) > 1e-9 {
+		t.Errorf("scaled objective %v, want %v", scaled.Objective, 2.5*base.Objective)
+	}
+}
+
+// TestHeavyUserDominatesAVList: a dominant-weight user's favorite item
+// must lead the merged group's AV list.
+func TestHeavyUserDominatesAVList(t *testing.T) {
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{5, 1, 1}, // user 0 loves item 0
+		{1, 5, 1},
+		{1, 5, 1},
+		{1, 1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min,
+		UserWeights: map[dataset.UserID]float64{0: 100}}
+	res, err := Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[0].Items[0] != 0 {
+		t.Errorf("heavy user's favorite should lead the list, got item %d", res.Groups[0].Items[0])
+	}
+	// Without weights, item 1 (two fans) wins.
+	plain, err := Form(ds, Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Groups[0].Items[0] != 1 {
+		t.Errorf("unweighted list should lead with item 1, got %d", plain.Groups[0].Items[0])
+	}
+}
+
+// TestWeightedBucketSatisfactionMatchesScorer extends the central
+// consistency property to weighted AV: every group's reported
+// satisfaction equals a from-scratch weighted computation.
+func TestWeightedBucketSatisfactionMatchesScorer(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(10), 2+rng.Intn(5)
+		ds := randomDense(rng, n, m)
+		weights := map[dataset.UserID]float64{}
+		for _, u := range ds.Users() {
+			weights[u] = float64(1+rng.Intn(4)) / 2
+		}
+		k, l := 1+rng.Intn(m), 1+rng.Intn(n)
+		cfg := Config{K: k, L: l, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights}
+		res, err := Form(ds, cfg)
+		if err != nil {
+			return false
+		}
+		sc := semantics.Scorer{DS: ds, Weights: weights}
+		for _, g := range res.Groups {
+			want, err := sc.Satisfaction(semantics.AV, semantics.Sum, g.Members, k)
+			if err != nil {
+				return false
+			}
+			if math.Abs(want-g.Satisfaction) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDense(rng, 3, 2)
+	cfg := Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min,
+		UserWeights: map[dataset.UserID]float64{0: -1}}
+	if _, err := Form(ds, cfg); err == nil {
+		t.Error("negative weight should be rejected")
+	}
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	b := NewBuilder(DefaultScale)
+	b.MustAdd(3, 7, 2)
+	b.MustAdd(1, 5, 4.5)
+	b.MustAdd(1, 2, 1)
+	b.MustAdd(10, 2, 5)
+	orig := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != orig.NumRatings() || back.NumUsers() != orig.NumUsers() || back.NumItems() != orig.NumItems() {
+		t.Fatalf("shape mismatch: %+v vs %+v", back.Describe(), orig.Describe())
+	}
+	if back.Scale() != orig.Scale() {
+		t.Fatalf("scale mismatch")
+	}
+	for _, u := range orig.Users() {
+		for _, e := range orig.UserRatings(u) {
+			v, ok := back.Rating(u, e.Item)
+			if !ok || v != e.Value {
+				t.Fatalf("rating (%d,%d) lost: %v %v", u, e.Item, v, ok)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	b := NewBuilder(DefaultScale)
+	b.MustAdd(1, 1, 3)
+	b.MustAdd(2, 2, 4)
+	ds := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"bad magic", func(bs []byte) []byte { out := append([]byte{}, bs...); out[0] = 'X'; return out }},
+		{"bad version", func(bs []byte) []byte { out := append([]byte{}, bs...); out[4] = 9; return out }},
+		{"truncated header", func(bs []byte) []byte { return bs[:8] }},
+		{"truncated body", func(bs []byte) []byte { return bs[:len(bs)-5] }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(tc.mangle(good))); err == nil {
+				t.Error("corrupted stream should error")
+			}
+		})
+	}
+	if _, err := ReadBinary(strings.NewReader("not a dataset at all")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestBinaryRejectsOutOfScaleValue(t *testing.T) {
+	b := NewBuilder(DefaultScale)
+	b.MustAdd(1, 1, 3)
+	ds := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	bs := buf.Bytes()
+	// The last 8 bytes are the rating value; overwrite with 99.
+	for i := 0; i < 8; i++ {
+		bs[len(bs)-8+i] = 0
+	}
+	bs[len(bs)-2] = 0x58 // float64(99) = 0x4058C00000000000 little-endian
+	bs[len(bs)-3] = 0xC0
+	bs[len(bs)-1] = 0x40
+	if _, err := ReadBinary(bytes.NewReader(bs)); err == nil {
+		t.Error("out-of-scale value should be rejected")
+	}
+}
+
+func TestBinaryEmptyDataset(t *testing.T) {
+	ds := NewBuilder(DefaultScale).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != 0 || back.NumRatings() != 0 {
+		t.Errorf("empty round trip: %+v", back.Describe())
+	}
+}

@@ -1,0 +1,363 @@
+// Package dataset implements the rating-data substrate of the
+// reproduction: an immutable, sparse user-item rating store with
+// explicit feedback on a bounded scale, plus loaders for the
+// MovieLens rating format and plain CSV.
+//
+// The paper assumes a recommender system with explicit ratings
+// sc(u, i) on a discrete scale (1-5 for both Yahoo! Music and
+// MovieLens); predicted ratings may be real-valued, so values are
+// stored as float64. Missing ratings are represented by absence, and
+// consumers choose an explicit policy for them (see
+// internal/semantics.Scorer).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UserID identifies a user. IDs are application-assigned and need not
+// be contiguous.
+type UserID int32
+
+// ItemID identifies an item.
+type ItemID int32
+
+// Scale bounds the rating values, rmin and rmax in the paper.
+type Scale struct {
+	Min float64
+	Max float64
+}
+
+// DefaultScale is the 1-5 star scale used by both of the paper's
+// datasets.
+var DefaultScale = Scale{Min: 1, Max: 5}
+
+// Valid reports whether v lies within the scale.
+func (s Scale) Valid(v float64) bool { return v >= s.Min && v <= s.Max }
+
+// Clamp forces v into the scale.
+func (s Scale) Clamp(v float64) float64 {
+	if v < s.Min {
+		return s.Min
+	}
+	if v > s.Max {
+		return s.Max
+	}
+	return v
+}
+
+// Entry is one (item, value) rating owned by some user.
+type Entry struct {
+	Item  ItemID
+	Value float64
+}
+
+// Rating is a fully-qualified rating triple.
+type Rating struct {
+	User  UserID
+	Item  ItemID
+	Value float64
+}
+
+// Dataset is an immutable sparse rating matrix. Construct one with a
+// Builder. Per-user entries are kept sorted by item ID so lookups are
+// O(log d) where d is the user's rating count, and iteration order is
+// deterministic.
+type Dataset struct {
+	scale   Scale
+	users   []UserID // sorted
+	items   []ItemID // sorted
+	byUser  map[UserID][]Entry
+	byItem  map[ItemID]int // rating count per item
+	ratings int
+}
+
+// Builder accumulates ratings and produces a Dataset.
+type Builder struct {
+	scale  Scale
+	byUser map[UserID]map[ItemID]float64
+}
+
+// NewBuilder returns a Builder enforcing the given scale.
+func NewBuilder(scale Scale) *Builder {
+	return &Builder{scale: scale, byUser: make(map[UserID]map[ItemID]float64)}
+}
+
+// Add records a rating. Values outside the scale are rejected. Adding
+// the same (user, item) twice overwrites the earlier value; explicit
+// feedback systems treat a re-rating as a correction.
+func (b *Builder) Add(u UserID, i ItemID, v float64) error {
+	if !b.scale.Valid(v) {
+		return fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+			v, u, i, b.scale.Min, b.scale.Max)
+	}
+	m, ok := b.byUser[u]
+	if !ok {
+		m = make(map[ItemID]float64)
+		b.byUser[u] = m
+	}
+	m[i] = v
+	return nil
+}
+
+// MustAdd is Add but panics on error; for tests and generators that
+// construct ratings known to be in range.
+func (b *Builder) MustAdd(u UserID, i ItemID, v float64) {
+	if err := b.Add(u, i, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build freezes the accumulated ratings into a Dataset. The Builder
+// may be reused afterwards; Build copies everything.
+func (b *Builder) Build() *Dataset {
+	ds := &Dataset{
+		scale:  b.scale,
+		byUser: make(map[UserID][]Entry, len(b.byUser)),
+		byItem: make(map[ItemID]int),
+	}
+	for u, m := range b.byUser {
+		entries := make([]Entry, 0, len(m))
+		for i, v := range m {
+			entries = append(entries, Entry{Item: i, Value: v})
+			ds.byItem[i]++
+		}
+		sort.Slice(entries, func(a, c int) bool { return entries[a].Item < entries[c].Item })
+		ds.byUser[u] = entries
+		ds.users = append(ds.users, u)
+		ds.ratings += len(entries)
+	}
+	sort.Slice(ds.users, func(a, c int) bool { return ds.users[a] < ds.users[c] })
+	ds.items = make([]ItemID, 0, len(ds.byItem))
+	for i := range ds.byItem {
+		ds.items = append(ds.items, i)
+	}
+	sort.Slice(ds.items, func(a, c int) bool { return ds.items[a] < ds.items[c] })
+	return ds
+}
+
+// FromRatings builds a Dataset directly from a slice of triples.
+func FromRatings(scale Scale, rs []Rating) (*Dataset, error) {
+	b := NewBuilder(scale)
+	for _, r := range rs {
+		if err := b.Add(r.User, r.Item, r.Value); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// FromDense builds a complete (dense) Dataset from a matrix indexed as
+// rows[u][i], with user IDs 0..len(rows)-1 and item IDs 0..m-1. Every
+// row must have the same length. This mirrors the paper's worked
+// examples, which are small dense tables.
+func FromDense(scale Scale, rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: no rows")
+	}
+	m := len(rows[0])
+	b := NewBuilder(scale)
+	for u, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("dataset: row %d has %d items, want %d", u, len(row), m)
+		}
+		for i, v := range row {
+			if err := b.Add(UserID(u), ItemID(i), v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// byItem sorts entries by item ID with a concrete sort.Interface (the
+// bulk constructor sorts millions of entries; reflection-based
+// sort.Slice swaps would dominate).
+type byItem []Entry
+
+func (s byItem) Len() int           { return len(s) }
+func (s byItem) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byItem) Less(i, j int) bool { return s[i].Item < s[j].Item }
+
+// FromUserEntries builds a Dataset from per-user entry slices without
+// the Builder's per-user maps, which matters when generating the
+// paper's scalability workloads (hundreds of thousands of users).
+// Entries are validated against the scale, sorted by item, and
+// deduplicated with the last occurrence winning. The input slices are
+// not retained.
+func FromUserEntries(scale Scale, perUser map[UserID][]Entry) (*Dataset, error) {
+	ds := &Dataset{
+		scale:  scale,
+		byUser: make(map[UserID][]Entry, len(perUser)),
+		byItem: make(map[ItemID]int),
+	}
+	for u, entries := range perUser {
+		es := make([]Entry, len(entries))
+		copy(es, entries)
+		for _, e := range es {
+			if !scale.Valid(e.Value) {
+				return nil, fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+					e.Value, u, e.Item, scale.Min, scale.Max)
+			}
+		}
+		sort.Stable(byItem(es))
+		// Deduplicate, keeping the last occurrence of each item (the
+		// stable sort preserves insertion order within equal items).
+		out := es[:0]
+		for i := 0; i < len(es); i++ {
+			if i+1 < len(es) && es[i+1].Item == es[i].Item {
+				continue
+			}
+			out = append(out, es[i])
+		}
+		es = out
+		for _, e := range es {
+			ds.byItem[e.Item]++
+		}
+		ds.byUser[u] = es
+		ds.users = append(ds.users, u)
+		ds.ratings += len(es)
+	}
+	sort.Slice(ds.users, func(a, c int) bool { return ds.users[a] < ds.users[c] })
+	ds.items = make([]ItemID, 0, len(ds.byItem))
+	for i := range ds.byItem {
+		ds.items = append(ds.items, i)
+	}
+	sort.Slice(ds.items, func(a, c int) bool { return ds.items[a] < ds.items[c] })
+	return ds, nil
+}
+
+// Scale returns the rating scale.
+func (ds *Dataset) Scale() Scale { return ds.scale }
+
+// NumUsers returns the number of distinct users.
+func (ds *Dataset) NumUsers() int { return len(ds.users) }
+
+// NumItems returns the number of distinct items (items with >= 1
+// rating, plus any registered through a dense build).
+func (ds *Dataset) NumItems() int { return len(ds.items) }
+
+// NumRatings returns the total number of stored ratings.
+func (ds *Dataset) NumRatings() int { return ds.ratings }
+
+// Users returns the sorted user IDs. The returned slice is shared; do
+// not modify it.
+func (ds *Dataset) Users() []UserID { return ds.users }
+
+// Items returns the sorted item IDs. The returned slice is shared; do
+// not modify it.
+func (ds *Dataset) Items() []ItemID { return ds.items }
+
+// Rating returns the rating of item i by user u, and whether it
+// exists.
+func (ds *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
+	entries := ds.byUser[u]
+	lo := sort.Search(len(entries), func(j int) bool { return entries[j].Item >= i })
+	if lo < len(entries) && entries[lo].Item == i {
+		return entries[lo].Value, true
+	}
+	return 0, false
+}
+
+// UserRatings returns user u's ratings sorted by item ID. The slice is
+// shared; do not modify it. Unknown users yield nil.
+func (ds *Dataset) UserRatings(u UserID) []Entry { return ds.byUser[u] }
+
+// ItemCount returns how many users rated item i.
+func (ds *Dataset) ItemCount(i ItemID) int { return ds.byItem[i] }
+
+// SubsetUsers returns a new Dataset restricted to the given users.
+// Items with no remaining ratings disappear. Duplicate or unknown user
+// IDs are ignored.
+func (ds *Dataset) SubsetUsers(users []UserID) *Dataset {
+	b := NewBuilder(ds.scale)
+	seen := make(map[UserID]bool, len(users))
+	for _, u := range users {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, e := range ds.byUser[u] {
+			b.MustAdd(u, e.Item, e.Value)
+		}
+	}
+	return b.Build()
+}
+
+// Trim repeatedly removes users with fewer than minUserRatings ratings
+// and items with fewer than minItemRatings ratings until the dataset
+// is stable. This is the paper's pre-processing ("each user has rated
+// at least 20 songs, and each song has been rated by at least 20
+// users"), which must iterate because removing an item can push a user
+// under the threshold and vice versa.
+func (ds *Dataset) Trim(minUserRatings, minItemRatings int) *Dataset {
+	cur := ds
+	for {
+		badUser := false
+		keepUsers := make([]UserID, 0, cur.NumUsers())
+		for _, u := range cur.users {
+			if len(cur.byUser[u]) >= minUserRatings {
+				keepUsers = append(keepUsers, u)
+			} else {
+				badUser = true
+			}
+		}
+		if badUser {
+			cur = cur.SubsetUsers(keepUsers)
+			continue
+		}
+		badItem := make(map[ItemID]bool)
+		for i, c := range cur.byItem {
+			if c < minItemRatings {
+				badItem[i] = true
+			}
+		}
+		if len(badItem) == 0 {
+			return cur
+		}
+		b := NewBuilder(cur.scale)
+		for _, u := range cur.users {
+			for _, e := range cur.byUser[u] {
+				if !badItem[e.Item] {
+					b.MustAdd(u, e.Item, e.Value)
+				}
+			}
+		}
+		cur = b.Build()
+	}
+}
+
+// Stats summarizes a dataset; Table 3 of the paper reports exactly
+// these figures for Yahoo! Music and MovieLens.
+type Stats struct {
+	Users    int
+	Items    int
+	Ratings  int
+	Density  float64 // ratings / (users*items)
+	MeanRate float64 // average rating value
+}
+
+// Describe computes summary statistics.
+func (ds *Dataset) Describe() Stats {
+	st := Stats{Users: ds.NumUsers(), Items: ds.NumItems(), Ratings: ds.NumRatings()}
+	if st.Users > 0 && st.Items > 0 {
+		st.Density = float64(st.Ratings) / (float64(st.Users) * float64(st.Items))
+	}
+	if st.Ratings > 0 {
+		sum := 0.0
+		for _, u := range ds.users {
+			for _, e := range ds.byUser[u] {
+				sum += e.Value
+			}
+		}
+		st.MeanRate = sum / float64(st.Ratings)
+	}
+	return st
+}
+
+// String renders stats in a Table-3-like row.
+func (st Stats) String() string {
+	return fmt.Sprintf("users=%d items=%d ratings=%d density=%.4f mean=%.2f",
+		st.Users, st.Items, st.Ratings, st.Density, st.MeanRate)
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadMovieLens(t *testing.T) {
+	in := `1::10::5::978300760
+1::20::3::978302109
+
+# a comment
+2::10::4::978301968
+`
+	ds, err := LoadMovieLens(strings.NewReader(in), DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 || ds.NumItems() != 2 || ds.NumRatings() != 3 {
+		t.Errorf("got %+v", ds.Describe())
+	}
+	v, ok := ds.Rating(1, 20)
+	if !ok || v != 3 {
+		t.Errorf("Rating(1,20) = %v,%v", v, ok)
+	}
+}
+
+func TestLoadMovieLensErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"too few fields", "1::10\n"},
+		{"garbage", "a::b::c::d\n"},
+		{"out of scale", "1::10::9::0\n"},
+		{"empty", ""},
+		{"only comments", "# nothing\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadMovieLens(strings.NewReader(tc.in), DefaultScale); err == nil {
+				t.Errorf("LoadMovieLens(%q) should error", tc.in)
+			}
+		})
+	}
+}
+
+func TestLoadCSVWithHeader(t *testing.T) {
+	in := "user,item,rating\n1,10,5\n2,10,4.5\n"
+	ds, err := LoadCSV(strings.NewReader(in), DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRatings() != 2 {
+		t.Errorf("NumRatings = %d, want 2", ds.NumRatings())
+	}
+	v, _ := ds.Rating(2, 10)
+	if v != 4.5 {
+		t.Errorf("Rating(2,10) = %v, want 4.5", v)
+	}
+}
+
+func TestLoadCSVWithoutHeader(t *testing.T) {
+	in := "1,10,5\n2,10,4\n"
+	ds, err := LoadCSV(strings.NewReader(in), DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRatings() != 2 {
+		t.Errorf("NumRatings = %d, want 2", ds.NumRatings())
+	}
+}
+
+func TestLoadCSVExtraColumns(t *testing.T) {
+	in := "1,10,5,2009-01-01\n"
+	ds, err := LoadCSV(strings.NewReader(in), DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRatings() != 1 {
+		t.Errorf("NumRatings = %d, want 1", ds.NumRatings())
+	}
+}
+
+func TestLoadCSVBadBody(t *testing.T) {
+	in := "user,item,rating\n1,x,5\n"
+	if _, err := LoadCSV(strings.NewReader(in), DefaultScale); err == nil {
+		t.Error("unparseable body row should error")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	b := NewBuilder(DefaultScale)
+	b.MustAdd(3, 7, 2)
+	b.MustAdd(1, 5, 4.5)
+	b.MustAdd(1, 2, 1)
+	orig := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != orig.NumRatings() {
+		t.Fatalf("round trip lost ratings: %d vs %d", back.NumRatings(), orig.NumRatings())
+	}
+	for _, u := range orig.Users() {
+		for _, e := range orig.UserRatings(u) {
+			v, ok := back.Rating(u, e.Item)
+			if !ok || v != e.Value {
+				t.Errorf("round trip mismatch at (%d,%d): %v,%v", u, e.Item, v, ok)
+			}
+		}
+	}
+}

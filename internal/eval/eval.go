@@ -1,0 +1,178 @@
+// Package eval computes the quality metrics of the paper's
+// experimental section: the objective value, the average group
+// satisfaction over the recommended top-k lists (Section 7.1.2), the
+// distribution of group sizes (Table 4), and per-user satisfaction
+// measures used by the user study and the Section 6 extensions.
+package eval
+
+import (
+	"fmt"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+	"groupform/internal/stats"
+)
+
+// AvgGroupSatisfaction is the paper's quality metric
+//
+//	(sum_x sum_j sc(g_x, i^j)) / l
+//
+// — the per-group average of the summed group scores over the
+// recommended top-k items, computed from the lists the formation run
+// attached to each group. l is the number of formed groups.
+func AvgGroupSatisfaction(res *core.Result) (float64, error) {
+	if res == nil || len(res.Groups) == 0 {
+		return 0, fmt.Errorf("eval: no groups")
+	}
+	total := 0.0
+	for _, g := range res.Groups {
+		for _, s := range g.ItemScores {
+			total += s
+		}
+	}
+	return total / float64(len(res.Groups)), nil
+}
+
+// AvgGroupSatisfactionPerMember is the Figure-3 variant of the
+// metric: each group's summed item scores are first divided by the
+// group size, so that under AV semantics the value is the average
+// *per-member* score and is bounded by k*rmax (the paper notes "the
+// maximum possible satisfaction per group over the top-k item list
+// could be as high as 25 when 5 items are recommended" on the 1-5
+// scale — which only holds for the per-member average).
+func AvgGroupSatisfactionPerMember(res *core.Result) (float64, error) {
+	if res == nil || len(res.Groups) == 0 {
+		return 0, fmt.Errorf("eval: no groups")
+	}
+	total := 0.0
+	for _, g := range res.Groups {
+		sum := 0.0
+		for _, s := range g.ItemScores {
+			sum += s
+		}
+		total += sum / float64(g.Size())
+	}
+	return total / float64(len(res.Groups)), nil
+}
+
+// GroupSizes returns the member count of each formed group.
+func GroupSizes(res *core.Result) []int {
+	out := make([]int, len(res.Groups))
+	for i, g := range res.Groups {
+		out[i] = g.Size()
+	}
+	return out
+}
+
+// SizeSummary is the Table 4 statistic: the 5-point summary of the
+// group-size distribution.
+func SizeSummary(res *core.Result) (stats.FivePoint, error) {
+	sizes := GroupSizes(res)
+	if len(sizes) == 0 {
+		return stats.FivePoint{}, fmt.Errorf("eval: no groups")
+	}
+	return stats.Summarize(stats.Ints(sizes))
+}
+
+// Singletons counts degenerate one-member groups; the paper examines
+// "whether our solution can give rise to many degenerated groups".
+func Singletons(res *core.Result) int {
+	n := 0
+	for _, g := range res.Groups {
+		if g.Size() == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// UserSatisfaction is user u's individual satisfaction with the item
+// list recommended to their group: the mean of u's own ratings of the
+// listed items (missing ratings imputed). It stays on the rating
+// scale, which is how the user study's 1-5 satisfaction answers are
+// simulated.
+func UserSatisfaction(ds *dataset.Dataset, u dataset.UserID, items []dataset.ItemID, missing float64) (float64, error) {
+	if len(items) == 0 {
+		return 0, fmt.Errorf("eval: empty item list")
+	}
+	total := 0.0
+	for _, it := range items {
+		v, ok := ds.Rating(u, it)
+		if !ok {
+			v = missing
+		}
+		total += v
+	}
+	return total / float64(len(items)), nil
+}
+
+// PerUserSatisfaction maps every user in the result to their
+// individual satisfaction with their group's list.
+func PerUserSatisfaction(ds *dataset.Dataset, res *core.Result, missing float64) (map[dataset.UserID]float64, error) {
+	out := make(map[dataset.UserID]float64)
+	for _, g := range res.Groups {
+		for _, u := range g.Members {
+			s, err := UserSatisfaction(ds, u, g.Items, missing)
+			if err != nil {
+				return nil, err
+			}
+			out[u] = s
+		}
+	}
+	return out, nil
+}
+
+// MeanNDCG is the Section 6 "weights at the user level" metric: the
+// mean NDCG of the recommended lists over all users, under the
+// scorer's missing-rating policy.
+func MeanNDCG(ds *dataset.Dataset, res *core.Result, missing float64) (float64, error) {
+	if res == nil || len(res.Groups) == 0 {
+		return 0, fmt.Errorf("eval: no groups")
+	}
+	sc := semantics.Scorer{DS: ds, Missing: missing}
+	total, n := 0.0, 0
+	for _, g := range res.Groups {
+		for _, u := range g.Members {
+			total += sc.NDCG(u, g.Items)
+			n++
+		}
+	}
+	return total / float64(n), nil
+}
+
+// FullySatisfied counts users whose group's recommended list exactly
+// matches their personal top-k list (Section 6 remarks that all users
+// outside the merged l-th group are fully satisfied in this sense).
+func FullySatisfied(ds *dataset.Dataset, res *core.Result, missing float64) (int, error) {
+	count := 0
+	for _, g := range res.Groups {
+		k := len(g.Items)
+		for _, u := range g.Members {
+			own, err := topKItems(ds, u, k, missing)
+			if err != nil {
+				return 0, err
+			}
+			match := true
+			for j := range own {
+				if own[j] != g.Items[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+func topKItems(ds *dataset.Dataset, u dataset.UserID, k int, missing float64) ([]dataset.ItemID, error) {
+	p, err := rank.TopK(ds, u, k, missing)
+	if err != nil {
+		return nil, err
+	}
+	return p.Items, nil
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+func example1(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{1, 4, 3}, {2, 3, 5}, {2, 5, 1}, {2, 5, 1}, {3, 1, 1}, {1, 2, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func form(t *testing.T, ds *dataset.Dataset, cfg core.Config) *core.Result {
+	t.Helper()
+	res, err := core.Form(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAvgGroupSatisfaction(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	// Groups score 5, 5, 1 on their single recommended item:
+	// average 11/3.
+	got, err := AvgGroupSatisfaction(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-11.0/3.0) > 1e-9 {
+		t.Errorf("avg = %v, want 11/3", got)
+	}
+	if _, err := AvgGroupSatisfaction(&core.Result{}); err == nil {
+		t.Error("empty result should error")
+	}
+	if _, err := AvgGroupSatisfaction(nil); err == nil {
+		t.Error("nil result should error")
+	}
+}
+
+func TestAvgGroupSatisfactionPerMember(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	// Groups {u3,u4}(5), {u2,u6}(5), {u1,u5}(1): per-member averages
+	// are 2.5, 2.5, 0.5 -> mean 11/6.
+	got, err := AvgGroupSatisfactionPerMember(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-11.0/6.0) > 1e-9 {
+		t.Errorf("per-member avg = %v, want 11/6", got)
+	}
+	// Under AV the value is bounded by k*rmax.
+	resAV := form(t, ds, core.Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Min})
+	gotAV, err := AvgGroupSatisfactionPerMember(resAV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAV <= 0 || gotAV > 2*5 {
+		t.Errorf("AV per-member avg = %v, want in (0, k*rmax]", gotAV)
+	}
+	if _, err := AvgGroupSatisfactionPerMember(&core.Result{}); err == nil {
+		t.Error("empty result should error")
+	}
+}
+
+func TestGroupSizesAndSummary(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	sizes := GroupSizes(res)
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 6 {
+		t.Errorf("sizes sum to %d, want 6", total)
+	}
+	fp, err := SizeSummary(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Min != 2 || fp.Max != 2 {
+		// Groups are {u3,u4}, {u2,u6}, {u1,u5}: all size 2.
+		t.Errorf("summary = %+v, want all 2", fp)
+	}
+	if _, err := SizeSummary(&core.Result{}); err == nil {
+		t.Error("empty result should error")
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	// Groups: {u1}, {u2}, rest -> 2 singletons.
+	if got := Singletons(res); got != 2 {
+		t.Errorf("singletons = %d, want 2", got)
+	}
+}
+
+func TestUserSatisfaction(t *testing.T) {
+	ds := example1(t)
+	// u1 rates (i1,i2,i3) = (1,4,3); list (i2,i3) -> (4+3)/2.
+	got, err := UserSatisfaction(ds, 0, []dataset.ItemID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Errorf("satisfaction = %v, want 3.5", got)
+	}
+	if _, err := UserSatisfaction(ds, 0, nil, 0); err == nil {
+		t.Error("empty list should error")
+	}
+	// Missing rating imputed.
+	got, err = UserSatisfaction(ds, 99, []dataset.ItemID{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("imputed satisfaction = %v, want 2", got)
+	}
+}
+
+func TestPerUserSatisfaction(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	m, err := PerUserSatisfaction(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 6 {
+		t.Fatalf("per-user map has %d entries, want 6", len(m))
+	}
+	// u3 is in {u3,u4} recommended i2, which u3 rates 5.
+	if m[2] != 5 {
+		t.Errorf("u3 satisfaction = %v, want 5", m[2])
+	}
+}
+
+func TestMeanNDCG(t *testing.T) {
+	ds := example1(t)
+	res := form(t, ds, core.Config{K: 2, L: 6, Semantics: semantics.LM, Aggregation: semantics.Min})
+	got, err := MeanNDCG(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1+1e-9 {
+		t.Errorf("mean NDCG = %v, want in (0,1]", got)
+	}
+	if _, err := MeanNDCG(ds, &core.Result{}, 0); err == nil {
+		t.Error("empty result should error")
+	}
+}
+
+func TestFullySatisfied(t *testing.T) {
+	ds := example1(t)
+	// l = n: every user is alone (bucket splitting) and fully
+	// satisfied.
+	res := form(t, ds, core.Config{K: 2, L: 6, Semantics: semantics.LM, Aggregation: semantics.Min})
+	got, err := FullySatisfied(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("fully satisfied = %d, want 6", got)
+	}
+	// With l = 3 and k = 2 the merged group {u3,u4,u5,u6} gets a
+	// list that can't match everyone.
+	res = form(t, ds, core.Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	got, err = FullySatisfied(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 2 || got >= 6 {
+		t.Errorf("fully satisfied = %d, want >=2 (the popped singletons) and <6", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (Section 7): the quality experiments of Figures
+// 1-3 and Table 4, the scalability experiments of Figures 4-6, the
+// user study of Figure 7, and the dataset statistics of Table 3.
+//
+// Each exhibit has a function returning an Exhibit value with the
+// same series the paper plots. Two scales are supported: ScaleSmall
+// shrinks the sweeps so the whole suite runs in seconds (used by
+// tests and the default benchmarks), ScalePaper uses the paper's
+// parameter values. Absolute numbers differ from the paper's (the
+// substrate is synthetic and the hardware different); EXPERIMENTS.md
+// records the shape comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects sweep sizes.
+type Scale int
+
+const (
+	// ScaleSmall shrinks every sweep for fast runs.
+	ScaleSmall Scale = iota
+	// ScalePaper uses the paper's parameters (n up to 200k).
+	ScalePaper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "small"
+}
+
+// Options parameterizes an exhibit run.
+type Options struct {
+	// Scale selects sweep sizes; ScaleSmall by default.
+	Scale Scale
+	// Seed drives dataset generation and randomized algorithms.
+	Seed int64
+	// Runs averages quality metrics over this many generated
+	// datasets; 0 means 1 (small) or 3 (paper, matching "average of
+	// three runs").
+	Runs int
+}
+
+func (o Options) runs() int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	if o.Scale == ScalePaper {
+		return 3
+	}
+	return 1
+}
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Exhibit is a reproduced table or figure.
+type Exhibit struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries exhibit-specific commentary (e.g. Table 4 rows).
+	Notes string
+}
+
+// Format renders the exhibit as aligned text rows, one line per x
+// value with every series' y value, which is the form the paper's
+// figures are read in.
+func (e Exhibit) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n", e.ID, e.Title)
+	if len(e.Series) > 0 {
+		fmt.Fprintf(&b, "%-12s", e.XLabel)
+		for _, s := range e.Series {
+			fmt.Fprintf(&b, " %20s", s.Name)
+		}
+		b.WriteByte('\n')
+		xs := e.xValues()
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%-12g", x)
+			for _, s := range e.Series {
+				y, ok := s.at(x)
+				if ok {
+					fmt.Fprintf(&b, " %20.3f", y)
+				} else {
+					fmt.Fprintf(&b, " %20s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if e.Notes != "" {
+		b.WriteString(e.Notes)
+		if !strings.HasSuffix(e.Notes, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func (e Exhibit) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range e.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Runner is an exhibit generator.
+type Runner func(Options) (Exhibit, error)
+
+// Registry maps exhibit IDs to their generator, in the paper's order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"t3", Table3},
+		{"f1a", Figure1a}, {"f1b", Figure1b}, {"f1c", Figure1c},
+		{"f2a", Figure2a}, {"f2b", Figure2b},
+		{"f3a", Figure3a}, {"f3b", Figure3b}, {"f3c", Figure3c}, {"f3d", Figure3d},
+		{"t4", Table4},
+		{"f4a", Figure4a}, {"f4b", Figure4b}, {"f4c", Figure4c},
+		{"f5a", Figure5a}, {"f5b", Figure5b}, {"f5c", Figure5c}, {"f5d", Figure5d},
+		{"f6a", Figure6a}, {"f6b", Figure6b}, {"f6c", Figure6c},
+		{"f7", Figure7},
+		{"a1", AblationDensify}, {"a2", AblationSeeding},
+		{"a3", AblationLocalSearch}, {"a4", AblationBuckets},
+	}
+}
+
+// Lookup finds a runner by ID (case-insensitive), or nil.
+func Lookup(id string) Runner {
+	id = strings.ToLower(id)
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r.Run
+		}
+	}
+	return nil
+}

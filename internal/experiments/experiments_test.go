@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllExhibits(t *testing.T) {
+	want := []string{
+		"t3", "f1a", "f1b", "f1c", "f2a", "f2b",
+		"f3a", "f3b", "f3c", "f3d", "t4",
+		"f4a", "f4b", "f4c", "f5a", "f5b", "f5c", "f5d",
+		"f6a", "f6b", "f6c", "f7",
+		"a1", "a2", "a3", "a4",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d exhibits, want %d", len(reg), len(want))
+	}
+	for i, w := range want {
+		if reg[i].ID != w {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].ID, w)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("f1a") == nil || Lookup("F1A") == nil {
+		t.Error("Lookup should be case-insensitive")
+	}
+	if Lookup("nope") != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleSmall.String() != "small" || ScalePaper.String() != "paper" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestExhibitFormat(t *testing.T) {
+	ex := Exhibit{
+		ID: "X", Title: "demo", XLabel: "n",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 2}, {2, 3}}},
+			{Name: "b", Points: []Point{{1, 5}}},
+		},
+		Notes: "note",
+	}
+	got := ex.Format()
+	for _, want := range []string{"## X — demo", "a", "b", "note"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format missing %q:\n%s", want, got)
+		}
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(got, "-") {
+		t.Errorf("missing point should render as dash:\n%s", got)
+	}
+}
+
+// checkExhibit validates common invariants: every series non-empty,
+// same x coverage for GRD and Baseline, finite values.
+func checkExhibit(t *testing.T, ex Exhibit, wantSeries int) {
+	t.Helper()
+	if len(ex.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", ex.ID, len(ex.Series), wantSeries)
+	}
+	for _, s := range ex.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: series %q empty", ex.ID, s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 {
+				t.Fatalf("%s: series %q has negative value %v", ex.ID, s.Name, p.Y)
+			}
+		}
+	}
+	if ex.Format() == "" {
+		t.Fatalf("%s: empty Format", ex.ID)
+	}
+}
+
+func TestFigure1aSmall(t *testing.T) {
+	ex, err := Figure1a(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 3)
+	// Qualitative shape: GRD at least matches the baseline, and the
+	// OPT proxy dominates GRD, at every x.
+	grd, base, optS := ex.Series[0], ex.Series[1], ex.Series[2]
+	for i := range grd.Points {
+		if grd.Points[i].Y < base.Points[i].Y {
+			t.Errorf("x=%v: GRD %v < Baseline %v", grd.Points[i].X, grd.Points[i].Y, base.Points[i].Y)
+		}
+		if optS.Points[i].Y < grd.Points[i].Y-1e-9 {
+			t.Errorf("x=%v: OPT %v < GRD %v", grd.Points[i].X, optS.Points[i].Y, grd.Points[i].Y)
+		}
+	}
+}
+
+func TestFigure1bAnd1cSmall(t *testing.T) {
+	for _, f := range []Runner{Figure1b, Figure1c} {
+		ex, err := f(Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExhibit(t, ex, 3)
+	}
+}
+
+func TestFigure2Small(t *testing.T) {
+	exA, err := Figure2a(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, exA, 3)
+	// Min aggregation: objective should not increase with k (paper:
+	// "with increasing k, the objective function value decreases").
+	grd := exA.Series[0]
+	if grd.Points[len(grd.Points)-1].Y > grd.Points[0].Y+1e-9 {
+		t.Errorf("LM-Min objective grew with k: %v -> %v",
+			grd.Points[0].Y, grd.Points[len(grd.Points)-1].Y)
+	}
+
+	exB, err := Figure2b(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, exB, 3)
+	// Sum aggregation: objective increases with k.
+	grdB := exB.Series[0]
+	if grdB.Points[len(grdB.Points)-1].Y < grdB.Points[0].Y {
+		t.Errorf("LM-Sum objective shrank with k: %v -> %v",
+			grdB.Points[0].Y, grdB.Points[len(grdB.Points)-1].Y)
+	}
+}
+
+func TestFigure3Small(t *testing.T) {
+	for _, f := range []Runner{Figure3a, Figure3b, Figure3c, Figure3d} {
+		ex, err := f(Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExhibit(t, ex, 3)
+	}
+}
+
+func TestTable4Small(t *testing.T) {
+	ex, err := Table4(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Notes, "LM") || !strings.Contains(ex.Notes, "AV") {
+		t.Errorf("Table 4 notes missing rows:\n%s", ex.Notes)
+	}
+}
+
+func TestTable3Small(t *testing.T) {
+	ex, err := Table3(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Notes, "Yahoo!-like") || !strings.Contains(ex.Notes, "MovieLens-like") {
+		t.Errorf("Table 3 notes:\n%s", ex.Notes)
+	}
+}
+
+func TestRuntimeFiguresSmall(t *testing.T) {
+	for _, f := range []Runner{Figure4a, Figure4b, Figure4c, Figure5a, Figure5b, Figure5c, Figure5d, Figure6a, Figure6b, Figure6c} {
+		ex, err := f(Options{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExhibit(t, ex, 2)
+		for _, s := range ex.Series {
+			for _, p := range s.Points {
+				if p.Y <= 0 {
+					t.Errorf("%s/%s: non-positive runtime %v", ex.ID, s.Name, p.Y)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure7Small(t *testing.T) {
+	ex, err := Figure7(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 4) // GRD/Baseline x Min/Sum
+	if !strings.Contains(ex.Notes, "prefer GRD") {
+		t.Errorf("Figure 7 notes missing preference summary:\n%s", ex.Notes)
+	}
+}
+
+func TestAblationDensify(t *testing.T) {
+	ex, err := AblationDensify(Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 2)
+	// With most ratings predicted, real-valued scores should shatter
+	// the buckets far more than lattice-rounded ones for k > 1.
+	quant, raw := ex.Series[0], ex.Series[1]
+	last := len(quant.Points) - 1
+	if quant.Points[last].Y >= raw.Points[last].Y {
+		t.Errorf("k=%v: quantized buckets %v not fewer than raw %v",
+			quant.Points[last].X, quant.Points[last].Y, raw.Points[last].Y)
+	}
+}
+
+func TestAblationSeeding(t *testing.T) {
+	ex, err := AblationSeeding(Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 2)
+}
+
+func TestAblationLocalSearch(t *testing.T) {
+	ex, err := AblationLocalSearch(Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 1)
+	// Objective is non-decreasing in the budget (x=0 is the greedy
+	// seed; hill climbing never goes below its best).
+	pts := ex.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[0].Y-1e-9 {
+			t.Errorf("budget %v fell below the greedy seed: %v < %v", pts[i].X, pts[i].Y, pts[0].Y)
+		}
+	}
+}
+
+func TestAblationBuckets(t *testing.T) {
+	ex, err := AblationBuckets(Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExhibit(t, ex, 4)
+	// Section 5's observation: AV buckets <= LM-MIN buckets <=
+	// LM-SUM buckets at every k (each key is a refinement of the
+	// previous).
+	byName := map[string]Series{}
+	for _, s := range ex.Series {
+		byName[s.Name] = s
+	}
+	for i := range byName["AV-any"].Points {
+		av := byName["AV-any"].Points[i].Y
+		lmMin := byName["LM-MIN"].Points[i].Y
+		lmSum := byName["LM-SUM"].Points[i].Y
+		if av > lmMin || lmMin > lmSum {
+			t.Errorf("bucket refinement violated at point %d: AV=%v LM-MIN=%v LM-SUM=%v", i, av, lmMin, lmSum)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"time"
+
+	"groupform/internal/baseline"
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+// scaleParams are the scalability-experiment defaults ("number of
+// users = 100,000, number of items = 10,000, number of groups = 10,
+// k = 5 and Min-aggregation"), shrunk under ScaleSmall.
+type scaleParams struct {
+	n, m, l, k int
+	users      []int
+	items      []int
+	groups     []int
+	ks         []int
+	maxIter    int // clustering iteration cap for the baseline
+}
+
+func scaleDefaults(s Scale) scaleParams {
+	if s == ScalePaper {
+		return scaleParams{
+			n: 100000, m: 10000, l: 10, k: 5,
+			users:   []int{1000, 10000, 100000, 200000},
+			items:   []int{10000, 25000, 50000, 100000},
+			groups:  []int{10, 100, 1000, 10000},
+			ks:      []int{5, 25, 125, 625},
+			maxIter: 20,
+		}
+	}
+	return scaleParams{
+		n: 600, m: 300, l: 10, k: 5,
+		users:   []int{200, 400, 800},
+		items:   []int{150, 300, 600},
+		groups:  []int{5, 10, 20},
+		ks:      []int{5, 10, 20},
+		maxIter: 10,
+	}
+}
+
+// scaleDataset generates the sparse Yahoo!-like workload used by all
+// runtime experiments.
+func scaleDataset(n, m int, seed int64) (*dataset.Dataset, error) {
+	return synth.YahooLike(n, m, seed)
+}
+
+// timeMS measures f's wall-clock time in milliseconds.
+func timeMS(f func() error) (float64, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000.0, nil
+}
+
+// runtimeSweep measures GRD and Baseline formation time across one
+// parameter sweep.
+func runtimeSweep(o Options, id, title, xlabel string, sem semantics.Semantics,
+	agg semantics.Aggregation, xs []int,
+	mk func(x int, p scaleParams) (n, m, l, k int)) (Exhibit, error) {
+
+	p := scaleDefaults(o.Scale)
+	cfg := core.Config{Semantics: sem, Aggregation: agg}
+	semAgg := cfg.AlgorithmName()[len("GRD-"):]
+	ex := Exhibit{ID: id, Title: title, XLabel: xlabel, YLabel: "Run time (ms)"}
+	grdS := Series{Name: "GRD-" + semAgg}
+	baseS := Series{Name: "Baseline-" + semAgg}
+	for _, x := range xs {
+		n, m, l, k := mk(x, p)
+		ds, err := scaleDataset(n, m, o.Seed+int64(x))
+		if err != nil {
+			return Exhibit{}, err
+		}
+		c := cfg
+		c.K, c.L = k, l
+		gt, err := timeMS(func() error {
+			_, err := core.Form(ds, c)
+			return err
+		})
+		if err != nil {
+			return Exhibit{}, err
+		}
+		grdS.Points = append(grdS.Points, Point{float64(x), gt})
+		// Lloyd assignment is O(n*l*d) per iteration; at the paper's
+		// most extreme point (100k users, 10k groups) even a single
+		// iteration takes hours on one core, so the baseline point
+		// is omitted beyond a work bound (rendered as "-", the same
+		// way the paper omits OPT beyond 200 users) and the
+		// iteration cap adapts downward before that.
+		if n*l > 100_000_000 {
+			continue
+		}
+		maxIter := p.maxIter
+		if n*l > 10_000_000 {
+			maxIter = 3
+		}
+		bt, err := timeMS(func() error {
+			_, err := baseline.Form(ds, baseline.Config{
+				Config: c, Method: baseline.VectorKMeans, MaxIter: maxIter, Seed: o.Seed,
+			})
+			return err
+		})
+		if err != nil {
+			return Exhibit{}, err
+		}
+		baseS.Points = append(baseS.Points, Point{float64(x), bt})
+	}
+	ex.Series = []Series{grdS, baseS}
+	return ex, nil
+}
+
+// Figure4a: LM runtime vs number of users.
+func Figure4a(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F4a", "Run time vs #users (Yahoo!-like, LM-Min)", "#users",
+		semantics.LM, semantics.Min, p.users,
+		func(x int, p scaleParams) (int, int, int, int) { return x, p.m, p.l, p.k })
+}
+
+// Figure4b: LM runtime vs number of items.
+func Figure4b(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F4b", "Run time vs #items (Yahoo!-like, LM-Min)", "#items",
+		semantics.LM, semantics.Min, p.items,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, x, p.l, p.k })
+}
+
+// Figure4c: LM runtime vs number of groups.
+func Figure4c(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F4c", "Run time vs #groups (Yahoo!-like, LM-Min)", "#groups",
+		semantics.LM, semantics.Min, p.groups,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, x, p.k })
+}
+
+// Figure5a: runtime vs k, LM with Min aggregation.
+func Figure5a(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F5a", "Run time vs top-k (Yahoo!-like, LM-Min)", "top-k",
+		semantics.LM, semantics.Min, p.ks,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, p.l, x })
+}
+
+// Figure5b: runtime vs k, LM with Sum aggregation.
+func Figure5b(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F5b", "Run time vs top-k (Yahoo!-like, LM-Sum)", "top-k",
+		semantics.LM, semantics.Sum, p.ks,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, p.l, x })
+}
+
+// Figure5c: runtime vs k, AV with Min aggregation.
+func Figure5c(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F5c", "Run time vs top-k (Yahoo!-like, AV-Min)", "top-k",
+		semantics.AV, semantics.Min, p.ks,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, p.l, x })
+}
+
+// Figure5d: runtime vs k, AV with Sum aggregation.
+func Figure5d(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F5d", "Run time vs top-k (Yahoo!-like, AV-Sum)", "top-k",
+		semantics.AV, semantics.Sum, p.ks,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, p.l, x })
+}
+
+// Figure6a: AV runtime vs number of users.
+func Figure6a(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F6a", "Run time vs #users (Yahoo!-like, AV-Min)", "#users",
+		semantics.AV, semantics.Min, p.users,
+		func(x int, p scaleParams) (int, int, int, int) { return x, p.m, p.l, p.k })
+}
+
+// Figure6b: AV runtime vs number of items.
+func Figure6b(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F6b", "Run time vs #items (Yahoo!-like, AV-Min)", "#items",
+		semantics.AV, semantics.Min, p.items,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, x, p.l, p.k })
+}
+
+// Figure6c: AV runtime vs number of groups.
+func Figure6c(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	return runtimeSweep(o, "F6c", "Run time vs #groups (Yahoo!-like, AV-Min)", "#groups",
+		semantics.AV, semantics.Min, p.groups,
+		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, x, p.k })
+}

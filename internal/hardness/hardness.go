@@ -1,0 +1,202 @@
+// Package hardness implements the paper's NP-hardness reductions
+// (Section 3): Exact Cover by 3-Sets (X3C) reduces to Perfect
+// Expected Component Sum (PECS, Lemma 1), which reduces to the Group
+// Formation decision problem with k = 1 under LM semantics
+// (Theorem 1). Small instances of all three problems can be decided
+// exactly, so the reductions are machine-checked end to end in tests
+// — a replay of the paper's correctness arguments.
+package hardness
+
+import (
+	"fmt"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/opt"
+	"groupform/internal/semantics"
+)
+
+// X3C is an instance of Exact Cover by 3-Sets: a ground set
+// {0, ..., 3Q-1} and a collection of 3-element subsets. The question
+// is whether some subcollection covers every element exactly once.
+type X3C struct {
+	Q    int
+	Sets [][3]int
+}
+
+// Validate checks element ranges and set distinctness within a set.
+func (x X3C) Validate() error {
+	if x.Q <= 0 {
+		return fmt.Errorf("hardness: Q must be positive, got %d", x.Q)
+	}
+	for i, s := range x.Sets {
+		for _, e := range s {
+			if e < 0 || e >= 3*x.Q {
+				return fmt.Errorf("hardness: set %d element %d outside ground set of size %d", i, e, 3*x.Q)
+			}
+		}
+		if s[0] == s[1] || s[1] == s[2] || s[0] == s[2] {
+			return fmt.Errorf("hardness: set %d has duplicate elements", i)
+		}
+	}
+	return nil
+}
+
+// SolveX3C decides the instance by backtracking over the elements in
+// order, trying each set that covers the first uncovered element.
+// Exponential in general; fine for the reduction tests.
+func SolveX3C(x X3C) (bool, error) {
+	if err := x.Validate(); err != nil {
+		return false, err
+	}
+	covered := make([]bool, 3*x.Q)
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		for next < 3*x.Q && covered[next] {
+			next++
+		}
+		if next == 3*x.Q {
+			return true
+		}
+		for _, s := range x.Sets {
+			if s[0] != next && s[1] != next && s[2] != next {
+				continue
+			}
+			if covered[s[0]] || covered[s[1]] || covered[s[2]] {
+				continue
+			}
+			covered[s[0]], covered[s[1]], covered[s[2]] = true, true, true
+			if rec(next + 1) {
+				return true
+			}
+			covered[s[0]], covered[s[1]], covered[s[2]] = false, false, false
+		}
+		return false
+	}
+	return rec(0), nil
+}
+
+// PECS is an instance of Perfect Expected Component Sum: boolean
+// vectors V in {0,1}^m and a block count K. The question is whether V
+// can be partitioned into K blocks V_1..V_K such that
+// sum_i max_j sum_{v in V_i} v[j] equals |V|.
+type PECS struct {
+	Vectors [][]bool
+	K       int
+}
+
+// X3CToPECS is the Lemma-1 reduction: one vector per ground element,
+// one dimension per set, v_i[j] = 1 iff element i is in set j, and
+// K = Q.
+func X3CToPECS(x X3C) (PECS, error) {
+	if err := x.Validate(); err != nil {
+		return PECS{}, err
+	}
+	m := len(x.Sets)
+	vecs := make([][]bool, 3*x.Q)
+	for i := range vecs {
+		vecs[i] = make([]bool, m)
+	}
+	for j, s := range x.Sets {
+		for _, e := range s {
+			vecs[e][j] = true
+		}
+	}
+	return PECS{Vectors: vecs, K: x.Q}, nil
+}
+
+// SolvePECS decides the instance by enumerating assignments of
+// vectors to K blocks (with the usual symmetry breaking that vector i
+// may only open block i at the first unused index). Exponential;
+// test-sized inputs only.
+func SolvePECS(p PECS) (bool, error) {
+	n := len(p.Vectors)
+	if n == 0 || p.K <= 0 || p.K > n {
+		return false, fmt.Errorf("hardness: PECS needs 0 < K <= |V|, got K=%d |V|=%d", p.K, n)
+	}
+	m := len(p.Vectors[0])
+	for i, v := range p.Vectors {
+		if len(v) != m {
+			return false, fmt.Errorf("hardness: vector %d has dimension %d, want %d", i, len(v), m)
+		}
+	}
+	assign := make([]int, n)
+	var rec func(i, used int) bool
+	rec = func(i, used int) bool {
+		if i == n {
+			if used != p.K {
+				return false
+			}
+			total := 0
+			for b := 0; b < used; b++ {
+				best := 0
+				for j := 0; j < m; j++ {
+					sum := 0
+					for v := 0; v < n; v++ {
+						if assign[v] == b && p.Vectors[v][j] {
+							sum++
+						}
+					}
+					if sum > best {
+						best = sum
+					}
+				}
+				total += best
+			}
+			return total == n
+		}
+		limit := used
+		if used < p.K {
+			limit = used + 1
+		}
+		for b := 0; b < limit; b++ {
+			assign[i] = b
+			nu := used
+			if b == used {
+				nu++
+			}
+			if rec(i+1, nu) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0), nil
+}
+
+// PECSToGF is the Theorem-1 reduction: each vector becomes a user
+// with binary preferences over the m items, and the decision is
+// whether a partition into K groups achieves aggregated LM
+// satisfaction at least K with k = 1 (where Max, Min and Sum
+// aggregation coincide).
+func PECSToGF(p PECS) (*dataset.Dataset, int, error) {
+	n := len(p.Vectors)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("hardness: empty PECS instance")
+	}
+	scale := dataset.Scale{Min: 0, Max: 1}
+	b := dataset.NewBuilder(scale)
+	for u, vec := range p.Vectors {
+		for j, bit := range vec {
+			v := 0.0
+			if bit {
+				v = 1.0
+			}
+			b.MustAdd(dataset.UserID(u), dataset.ItemID(j), v)
+		}
+	}
+	return b.Build(), p.K, nil
+}
+
+// DecideGF decides the GF decision problem exactly via the subset DP:
+// does some partition into at most K groups reach aggregated LM
+// satisfaction >= K for k = 1?
+func DecideGF(ds *dataset.Dataset, k int) (bool, error) {
+	res, err := opt.Exact(ds, core.Config{
+		K: 1, L: k, Semantics: semantics.LM, Aggregation: semantics.Min,
+	})
+	if err != nil {
+		return false, err
+	}
+	return res.Objective >= float64(k)-1e-9, nil
+}

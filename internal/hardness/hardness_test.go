@@ -1,0 +1,224 @@
+package hardness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// yesX3C has the exact cover {0,1,2}, {3,4,5}.
+func yesX3C() X3C {
+	return X3C{Q: 2, Sets: [][3]int{
+		{0, 1, 2}, {3, 4, 5}, {1, 2, 3},
+	}}
+}
+
+// noX3C cannot cover element 5 and element 0 disjointly.
+func noX3C() X3C {
+	return X3C{Q: 2, Sets: [][3]int{
+		{0, 1, 2}, {2, 3, 4}, {1, 4, 5},
+	}}
+}
+
+func TestSolveX3C(t *testing.T) {
+	ok, err := SolveX3C(yesX3C())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("YES instance decided NO")
+	}
+	ok, err = SolveX3C(noX3C())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("NO instance decided YES")
+	}
+}
+
+func TestX3CValidate(t *testing.T) {
+	bad := []X3C{
+		{Q: 0},
+		{Q: 1, Sets: [][3]int{{0, 1, 5}}},  // element out of range
+		{Q: 1, Sets: [][3]int{{0, 0, 1}}},  // duplicate in set
+		{Q: 1, Sets: [][3]int{{-1, 0, 1}}}, // negative element
+	}
+	for i, x := range bad {
+		if _, err := SolveX3C(x); err == nil {
+			t.Errorf("instance %d should be rejected", i)
+		}
+	}
+}
+
+func TestX3CToPECSShape(t *testing.T) {
+	p, err := X3CToPECS(yesX3C())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vectors) != 6 || p.K != 2 {
+		t.Fatalf("reduction shape: %d vectors, K=%d", len(p.Vectors), p.K)
+	}
+	// Element 1 is in sets 0 and 2.
+	if !p.Vectors[1][0] || p.Vectors[1][1] || !p.Vectors[1][2] {
+		t.Errorf("vector for element 1 = %v", p.Vectors[1])
+	}
+	// Each dimension has at most three ones (3-element sets).
+	for j := range p.Vectors[0] {
+		ones := 0
+		for i := range p.Vectors {
+			if p.Vectors[i][j] {
+				ones++
+			}
+		}
+		if ones != 3 {
+			t.Errorf("dimension %d has %d ones, want 3", j, ones)
+		}
+	}
+}
+
+func TestSolvePECSDirect(t *testing.T) {
+	// Two vectors, each with its own dimension: split into 2 blocks
+	// gives max sums 1+1 = 2 = |V|: YES.
+	p := PECS{Vectors: [][]bool{{true, false}, {false, true}}, K: 2}
+	ok, err := SolvePECS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("trivial YES instance decided NO")
+	}
+	// Same vectors forced into one block: max component sum is 1 < 2:
+	// NO.
+	p.K = 1
+	ok, err = SolvePECS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("K=1 instance decided YES")
+	}
+}
+
+func TestSolvePECSErrors(t *testing.T) {
+	if _, err := SolvePECS(PECS{}); err == nil {
+		t.Error("empty instance should error")
+	}
+	if _, err := SolvePECS(PECS{Vectors: [][]bool{{true}}, K: 2}); err == nil {
+		t.Error("K > |V| should error")
+	}
+	if _, err := SolvePECS(PECS{Vectors: [][]bool{{true}, {true, false}}, K: 1}); err == nil {
+		t.Error("ragged vectors should error")
+	}
+}
+
+// TestLemma1 verifies the X3C -> PECS reduction on the hand-built
+// instances: X3C is YES iff the reduced PECS is YES.
+func TestLemma1(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		x    X3C
+	}{
+		{"yes", yesX3C()},
+		{"no", noX3C()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := SolveX3C(tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := X3CToPECS(tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SolvePECS(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("X3C=%v but PECS=%v", want, got)
+			}
+		})
+	}
+}
+
+// TestTheorem1 verifies the PECS -> GF reduction: the reduced group
+// formation instance reaches objective K iff PECS is YES.
+func TestTheorem1(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		x    X3C
+	}{
+		{"yes", yesX3C()},
+		{"no", noX3C()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := X3CToPECS(tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SolvePECS(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, k, err := PECSToGF(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecideGF(ds, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("PECS=%v but GF=%v", want, got)
+			}
+		})
+	}
+}
+
+// TestReductionChainProperty machine-checks the full chain
+// X3C -> PECS -> GF on random small instances: all three deciders
+// must agree.
+func TestReductionChainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 2 + rng.Intn(2) // ground set of 6 or 9 elements
+		numSets := 2 + rng.Intn(4)
+		x := X3C{Q: q}
+		for s := 0; s < numSets; s++ {
+			perm := rng.Perm(3 * q)
+			set := [3]int{perm[0], perm[1], perm[2]}
+			x.Sets = append(x.Sets, set)
+		}
+		x3c, err := SolveX3C(x)
+		if err != nil {
+			return false
+		}
+		p, err := X3CToPECS(x)
+		if err != nil {
+			return false
+		}
+		pecs, err := SolvePECS(p)
+		if err != nil {
+			return false
+		}
+		ds, k, err := PECSToGF(p)
+		if err != nil {
+			return false
+		}
+		gf, err := DecideGF(ds, k)
+		if err != nil {
+			return false
+		}
+		return x3c == pecs && pecs == gf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPECSToGFErrors(t *testing.T) {
+	if _, _, err := PECSToGF(PECS{}); err == nil {
+		t.Error("empty instance should error")
+	}
+}

@@ -1,0 +1,248 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"groupform/internal/dataset"
+	"groupform/internal/lp"
+	"groupform/internal/semantics"
+)
+
+// Formulation is a GF instance encoded as a 0/1 integer program, per
+// Appendix A of the paper, for k = 1 (where Max, Min and Sum
+// aggregation coincide; the paper's own NP-hardness proof is for this
+// restriction). The paper's formulation as printed contains products
+// of booleans; this implementation uses the standard linearization.
+type Formulation struct {
+	// Problem is the linear relaxation; Binaries lists the 0/1
+	// variable indices.
+	Problem  *lp.Problem
+	Binaries []int
+
+	sem   semantics.Semantics
+	users []dataset.UserID
+	items []dataset.ItemID
+	l     int
+	nVars int
+}
+
+// variable indexing ------------------------------------------------
+
+// uVar is 1 iff user index ui is placed in group g.
+func (f *Formulation) uVar(ui, g int) int { return f.l + ui*f.l + g }
+
+// yVar is 1 iff item index ij is the top-1 item recommended to group
+// g.
+func (f *Formulation) yVar(ij, g int) int {
+	return f.l + len(f.users)*f.l + ij*f.l + g
+}
+
+// tVar is group g's satisfaction score (continuous; LM only).
+func (f *Formulation) tVar(g int) int { return g }
+
+// zVar linearizes u_{ig} * y_{jg} (AV only). Laid out after u and y.
+func (f *Formulation) zVar(ui, ij, g int) int {
+	return f.l + len(f.users)*f.l + len(f.items)*f.l + (ui*len(f.items)+ij)*f.l + g
+}
+
+// BuildLM constructs the k=1 LM formulation:
+//
+//	max   sum_g t_g
+//	s.t.  sum_g u_{ig} = 1                                (each user in one group)
+//	      sum_j y_{jg} = 1                                (one top item per group)
+//	      t_g <= sum_j sc(i,j) y_{jg} + rmax (1 - u_{ig}) (LM: every member caps t_g)
+//	      t_g <= rmax sum_i u_{ig}                        (empty groups score 0)
+//	      u, y binary; t_g >= 0
+//
+// With symmetryBreak, user i may only join groups 0..i, removing the
+// factorial relabeling symmetry that otherwise cripples
+// branch-and-bound on partitioning problems.
+func BuildLM(ds *dataset.Dataset, l int, symmetryBreak bool) (*Formulation, error) {
+	f, err := newFormulation(ds, l, semantics.LM)
+	if err != nil {
+		return nil, err
+	}
+	n, m := len(f.users), len(f.items)
+	rmax := ds.Scale().Max
+	f.nVars = l + n*l + m*l
+	p := &lp.Problem{NumVars: f.nVars, Maximize: true, Objective: make([]float64, f.nVars)}
+	for g := 0; g < l; g++ {
+		p.Objective[f.tVar(g)] = 1
+	}
+	f.addAssignmentRows(p)
+	// LM cap rows: t_g - sum_j sc(i,j) y_{jg} + rmax u_{ig} <= rmax.
+	for ui, u := range f.users {
+		for g := 0; g < l; g++ {
+			co := make([]float64, f.nVars)
+			co[f.tVar(g)] = 1
+			for ij, it := range f.items {
+				v, ok := ds.Rating(u, it)
+				if !ok {
+					v = 0
+				}
+				co[f.yVar(ij, g)] = -v
+			}
+			co[f.uVar(ui, g)] = rmax
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.LE, RHS: rmax})
+		}
+	}
+	// Empty-group rows: t_g - rmax sum_i u_{ig} <= 0.
+	for g := 0; g < l; g++ {
+		co := make([]float64, f.nVars)
+		co[f.tVar(g)] = 1
+		for ui := range f.users {
+			co[f.uVar(ui, g)] = -rmax
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.LE, RHS: 0})
+	}
+	f.finish(p, symmetryBreak)
+	return f, nil
+}
+
+// BuildAV constructs the k=1 AV formulation with the standard product
+// linearization z_{ijg} <= u_{ig}, z_{ijg} <= y_{jg}:
+//
+//	max   sum_{i,j,g} sc(i,j) z_{ijg}
+//	s.t.  sum_g u_{ig} = 1, sum_j y_{jg} = 1, z <= u, z <= y
+//
+// Maximization with non-negative ratings pushes each z up to
+// min(u, y), so z is automatically integral once u and y are.
+func BuildAV(ds *dataset.Dataset, l int, symmetryBreak bool) (*Formulation, error) {
+	f, err := newFormulation(ds, l, semantics.AV)
+	if err != nil {
+		return nil, err
+	}
+	n, m := len(f.users), len(f.items)
+	f.nVars = l + n*l + m*l + n*m*l
+	p := &lp.Problem{NumVars: f.nVars, Maximize: true, Objective: make([]float64, f.nVars)}
+	for ui, u := range f.users {
+		for ij, it := range f.items {
+			v, ok := ds.Rating(u, it)
+			if !ok {
+				v = 0
+			}
+			for g := 0; g < l; g++ {
+				p.Objective[f.zVar(ui, ij, g)] = v
+			}
+		}
+	}
+	f.addAssignmentRows(p)
+	for ui := range f.users {
+		for ij := range f.items {
+			for g := 0; g < l; g++ {
+				coU := make([]float64, f.nVars)
+				coU[f.zVar(ui, ij, g)] = 1
+				coU[f.uVar(ui, g)] = -1
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coU, Sense: lp.LE, RHS: 0})
+				coY := make([]float64, f.nVars)
+				coY[f.zVar(ui, ij, g)] = 1
+				coY[f.yVar(ij, g)] = -1
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coY, Sense: lp.LE, RHS: 0})
+			}
+		}
+	}
+	f.finish(p, symmetryBreak)
+	return f, nil
+}
+
+func newFormulation(ds *dataset.Dataset, l int, sem semantics.Semantics) (*Formulation, error) {
+	if ds == nil || ds.NumUsers() == 0 {
+		return nil, fmt.Errorf("ilp: empty dataset")
+	}
+	if l <= 0 {
+		return nil, fmt.Errorf("ilp: l must be positive, got %d", l)
+	}
+	return &Formulation{sem: sem, users: ds.Users(), items: ds.Items(), l: l}, nil
+}
+
+// addAssignmentRows adds the shared partition/choice constraints.
+func (f *Formulation) addAssignmentRows(p *lp.Problem) {
+	for ui := range f.users {
+		co := make([]float64, f.nVars)
+		for g := 0; g < f.l; g++ {
+			co[f.uVar(ui, g)] = 1
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.EQ, RHS: 1})
+	}
+	for g := 0; g < f.l; g++ {
+		co := make([]float64, f.nVars)
+		for ij := range f.items {
+			co[f.yVar(ij, g)] = 1
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.EQ, RHS: 1})
+	}
+}
+
+// finish registers binaries and optional symmetry breaking.
+func (f *Formulation) finish(p *lp.Problem, symmetryBreak bool) {
+	for ui := range f.users {
+		for g := 0; g < f.l; g++ {
+			f.Binaries = append(f.Binaries, f.uVar(ui, g))
+		}
+	}
+	for ij := range f.items {
+		for g := 0; g < f.l; g++ {
+			f.Binaries = append(f.Binaries, f.yVar(ij, g))
+		}
+	}
+	if symmetryBreak {
+		// User ui may only join groups 0..ui.
+		for ui := range f.users {
+			for g := ui + 1; g < f.l; g++ {
+				co := make([]float64, f.uVar(ui, g)+1)
+				co[f.uVar(ui, g)] = 1
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.EQ, RHS: 0})
+			}
+		}
+	}
+	f.Problem = p
+}
+
+// Decode extracts the non-empty groups from a solution vector.
+func (f *Formulation) Decode(x []float64) [][]dataset.UserID {
+	groups := make([][]dataset.UserID, f.l)
+	for ui, u := range f.users {
+		for g := 0; g < f.l; g++ {
+			if x[f.uVar(ui, g)] > 0.5 {
+				groups[g] = append(groups[g], u)
+				break
+			}
+		}
+	}
+	out := make([][]dataset.UserID, 0, f.l)
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SolveGF builds and solves the k=1 optimal group formation problem
+// under sem, returning the optimal partition and objective. This is
+// the OPT-LM / OPT-AV reference of the paper's quality experiments,
+// restricted (like the paper's own hardness construction) to k = 1.
+func SolveGF(ds *dataset.Dataset, l int, sem semantics.Semantics, opts Options) ([][]dataset.UserID, float64, error) {
+	var f *Formulation
+	var err error
+	switch sem {
+	case semantics.LM:
+		f, err = BuildLM(ds, l, true)
+	case semantics.AV:
+		f, err = BuildAV(ds, l, true)
+	default:
+		return nil, 0, fmt.Errorf("ilp: invalid semantics %d", int(sem))
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sol, err := Solve(f.Problem, f.Binaries, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("ilp: GF solve status %v", sol.Status)
+	}
+	return f.Decode(sol.X), math.Round(sol.Objective*1e6) / 1e6, nil
+}

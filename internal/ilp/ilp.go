@@ -1,0 +1,197 @@
+// Package ilp implements a branch-and-bound mixed 0/1 integer
+// programming solver on top of the simplex solver in internal/lp,
+// plus the paper's Appendix-A integer-programming formulations of
+// optimal group formation under LM and AV semantics.
+//
+// Together, lp + ilp substitute for IBM CPLEX, which the paper uses
+// as the optimal reference on small instances. Like the paper's
+// OPT-LM / OPT-AV, these solvers are exponential in the worst case
+// and intended only for calibration-sized inputs.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"groupform/internal/lp"
+)
+
+// Options bounds the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes; 0 means the
+	// default of 200000. When exceeded, Solve returns ErrNodeLimit.
+	MaxNodes int
+	// Tol is the integrality tolerance; 0 means 1e-6.
+	Tol float64
+}
+
+// ErrNodeLimit is returned when the search exceeds Options.MaxNodes
+// without proving optimality.
+var ErrNodeLimit = fmt.Errorf("ilp: node limit exceeded")
+
+// Solution is an integral solution to a mixed 0/1 program.
+type Solution struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int // explored branch-and-bound nodes
+}
+
+// Solve optimizes the given LP with the variables listed in binaries
+// restricted to {0,1}. Binary variables additionally get an implicit
+// x <= 1 bound. Maximization and minimization follow p.Maximize.
+func Solve(p *lp.Problem, binaries []int, opts Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	for _, b := range binaries {
+		if b < 0 || b >= p.NumVars {
+			return Solution{}, fmt.Errorf("ilp: binary index %d out of range [0,%d)", b, p.NumVars)
+		}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	// Base problem: original constraints plus x_b <= 1 for binaries.
+	base := &lp.Problem{
+		NumVars:   p.NumVars,
+		Maximize:  p.Maximize,
+		Objective: p.Objective,
+	}
+	base.Constraints = append(base.Constraints, p.Constraints...)
+	for _, b := range binaries {
+		co := make([]float64, b+1)
+		co[b] = 1
+		base.Constraints = append(base.Constraints, lp.Constraint{Coeffs: co, Sense: lp.LE, RHS: 1})
+	}
+
+	isBin := make(map[int]bool, len(binaries))
+	for _, b := range binaries {
+		isBin[b] = true
+	}
+
+	s := &search{
+		base:     base,
+		isBin:    isBin,
+		binaries: binaries,
+		tol:      tol,
+		maxNodes: maxNodes,
+		sign:     1,
+	}
+	if !p.Maximize {
+		s.sign = -1
+	}
+	s.bestObj = math.Inf(-1) // in sign-adjusted (maximization) space
+
+	err := s.branch(map[int]float64{})
+	if err != nil && err != errPruneAll {
+		return Solution{Nodes: s.nodes}, err
+	}
+	if s.bestX == nil {
+		return Solution{Status: lp.Infeasible, Nodes: s.nodes}, nil
+	}
+	return Solution{
+		Status:    lp.Optimal,
+		X:         s.bestX,
+		Objective: s.sign * s.bestObj,
+		Nodes:     s.nodes,
+	}, nil
+}
+
+var errPruneAll = fmt.Errorf("ilp: internal prune sentinel")
+
+type search struct {
+	base     *lp.Problem
+	isBin    map[int]bool
+	binaries []int
+	tol      float64
+	maxNodes int
+	nodes    int
+	sign     float64 // +1 for maximize, -1 for minimize
+	bestObj  float64
+	bestX    []float64
+}
+
+// branch solves the relaxation with the given variable fixings and
+// recurses on the most fractional binary.
+func (s *search) branch(fixed map[int]float64) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return ErrNodeLimit
+	}
+	prob := s.withFixings(fixed)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil
+	case lp.Unbounded:
+		// With all binaries bounded this means the continuous part
+		// is unbounded; surface it as an error.
+		return fmt.Errorf("ilp: relaxation unbounded")
+	}
+	relaxObj := s.sign * sol.Objective
+	if relaxObj <= s.bestObj+1e-9 {
+		return nil // bound: cannot beat incumbent
+	}
+	// Find the most fractional binary.
+	branchVar := -1
+	worst := s.tol
+	for _, b := range s.binaries {
+		frac := math.Abs(sol.X[b] - math.Round(sol.X[b]))
+		if frac > worst {
+			worst = frac
+			branchVar = b
+		}
+	}
+	if branchVar < 0 {
+		// Integral: new incumbent.
+		if relaxObj > s.bestObj {
+			s.bestObj = relaxObj
+			s.bestX = append([]float64(nil), sol.X...)
+			// Snap binaries exactly.
+			for _, b := range s.binaries {
+				s.bestX[b] = math.Round(s.bestX[b])
+			}
+		}
+		return nil
+	}
+	// Depth-first: try the branch suggested by the relaxation first.
+	first, second := 1.0, 0.0
+	if sol.X[branchVar] < 0.5 {
+		first, second = 0.0, 1.0
+	}
+	for _, v := range []float64{first, second} {
+		fixed[branchVar] = v
+		if err := s.branch(fixed); err != nil {
+			delete(fixed, branchVar)
+			return err
+		}
+	}
+	delete(fixed, branchVar)
+	return nil
+}
+
+// withFixings returns the base problem plus x_b = v equality rows.
+func (s *search) withFixings(fixed map[int]float64) *lp.Problem {
+	p := &lp.Problem{
+		NumVars:   s.base.NumVars,
+		Maximize:  s.base.Maximize,
+		Objective: s.base.Objective,
+	}
+	p.Constraints = append(p.Constraints, s.base.Constraints...)
+	for b, v := range fixed {
+		co := make([]float64, b+1)
+		co[b] = 1
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.EQ, RHS: v})
+	}
+	return p
+}

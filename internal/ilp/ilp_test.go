@@ -1,0 +1,211 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/lp"
+	"groupform/internal/opt"
+	"groupform/internal/semantics"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) -> a,b -> 16.
+	p := &lp.Problem{
+		NumVars:   3,
+		Maximize:  true,
+		Objective: []float64{10, 6, 4},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 1}, Sense: lp.LE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p, []int{0, 1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-16) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 16", sol.Status, sol.Objective)
+	}
+	if sol.X[0] != 1 || sol.X[1] != 1 || sol.X[2] != 0 {
+		t.Errorf("x = %v, want [1 1 0]", sol.X)
+	}
+}
+
+func TestIntegralityMatters(t *testing.T) {
+	// LP relaxation of max x+y s.t. 2x+2y <= 3 gives 1.5; the binary
+	// optimum is 1.
+	p := &lp.Problem{
+		NumVars:   2,
+		Maximize:  true,
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{2, 2}, Sense: lp.LE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p, []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1) > 1e-6 {
+		t.Errorf("obj = %v, want 1", sol.Objective)
+	}
+}
+
+func TestMinimization(t *testing.T) {
+	// min x + y s.t. x + y >= 1.5, binary -> 2.
+	p := &lp.Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Sense: lp.GE, RHS: 1.5},
+		},
+	}
+	sol, err := Solve(p, []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("obj = %v, want 2", sol.Objective)
+	}
+}
+
+func TestInfeasibleIP(t *testing.T) {
+	// 0/1 x with x >= 0.2 and x <= 0.8 has no integral solution.
+	p := &lp.Problem{
+		NumVars:   1,
+		Maximize:  true,
+		Objective: []float64{1},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1}, Sense: lp.GE, RHS: 0.2},
+			{Coeffs: []float64{1}, Sense: lp.LE, RHS: 0.8},
+		},
+	}
+	sol, err := Solve(p, []int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 14
+	p := &lp.Problem{NumVars: n, Maximize: true, Objective: make([]float64, n)}
+	co := make([]float64, n)
+	bins := make([]int, n)
+	for i := 0; i < n; i++ {
+		p.Objective[i] = float64(1 + rng.Intn(50))
+		co[i] = float64(1 + rng.Intn(50))
+		bins[i] = i
+	}
+	p.Constraints = []lp.Constraint{{Coeffs: co, Sense: lp.LE, RHS: 60}}
+	if _, err := Solve(p, bins, Options{MaxNodes: 2}); err != ErrNodeLimit {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
+	if _, err := Solve(p, []int{5}, Options{}); err == nil {
+		t.Error("out-of-range binary index should error")
+	}
+	if _, err := Solve(&lp.Problem{}, nil, Options{}); err == nil {
+		t.Error("invalid problem should error")
+	}
+}
+
+func example1(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{1, 4, 3}, {2, 3, 5}, {2, 5, 1}, {2, 5, 1}, {3, 1, 1}, {1, 2, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestSolveGFLMExample1 solves the Appendix A.1 integer program on
+// Example 1 with k=1, l=3 and must reproduce the paper's optimum 12
+// ({u1,u3,u4}, {u2,u6}, {u5}).
+func TestSolveGFLMExample1(t *testing.T) {
+	groups, obj, err := SolveGF(example1(t), 3, semantics.LM, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 12 {
+		t.Fatalf("IP optimum = %v, want 12", obj)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	seen := map[dataset.UserID]bool{}
+	for _, g := range groups {
+		for _, u := range g {
+			if seen[u] {
+				t.Fatalf("user %d duplicated", u)
+			}
+			seen[u] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("covers %d users, want 6", len(seen))
+	}
+}
+
+func TestSolveGFRejectsBadInput(t *testing.T) {
+	if _, _, err := SolveGF(nil, 3, semantics.LM, Options{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, _, err := SolveGF(example1(t), 0, semantics.LM, Options{}); err == nil {
+		t.Error("l=0 should error")
+	}
+	if _, _, err := SolveGF(example1(t), 2, semantics.Semantics(9), Options{}); err == nil {
+		t.Error("invalid semantics should error")
+	}
+}
+
+// TestIPMatchesExactDP cross-validates the integer program against
+// the subset-DP exact solver on random small instances, for both
+// semantics at k=1.
+func TestIPMatchesExactDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(4), 2+rng.Intn(3)
+		l := 1 + rng.Intn(3)
+		rows := make([][]float64, n)
+		for u := range rows {
+			rows[u] = make([]float64, m)
+			for i := range rows[u] {
+				rows[u][i] = float64(1 + rng.Intn(5))
+			}
+		}
+		ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+		if err != nil {
+			return false
+		}
+		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+			_, ipObj, err := SolveGF(ds, l, sem, Options{MaxNodes: 100000})
+			if err != nil {
+				return false
+			}
+			ex, err := opt.Exact(ds, core.Config{K: 1, L: l, Semantics: sem, Aggregation: semantics.Min})
+			if err != nil {
+				return false
+			}
+			if math.Abs(ipObj-ex.Objective) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs. It plays the role of the LP core of IBM CPLEX,
+// which the paper uses to solve its integer programming formulations
+// (Appendix A); package ilp builds branch-and-bound on top of it.
+//
+// Problems have the form
+//
+//	max / min  c'x
+//	subject to a_r'x (<=|=|>=) b_r   for each constraint r
+//	           x >= 0
+//
+// The solver uses Bland's anti-cycling rule, which guarantees
+// termination at the cost of speed — appropriate for the small
+// formulation sizes the paper solves optimally (it reports CPLEX
+// itself stops scaling at 200 users).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint.
+type Sense int
+
+const (
+	// LE is a 'less than or equal' constraint.
+	LE Sense = iota
+	// EQ is an equality constraint.
+	EQ
+	// GE is a 'greater than or equal' constraint.
+	GE
+)
+
+// String renders the operator.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint is one linear constraint a'x (sense) b. Coeffs may be
+// shorter than the variable count; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Maximize    bool
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars must be positive, got %d", p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for r, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", r, len(c.Coeffs), p.NumVars)
+		}
+		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
+			return fmt.Errorf("lp: constraint %d has invalid sense %d", r, int(c.Sense))
+		}
+		for _, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d has non-finite coefficient", r)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has non-finite RHS", r)
+		}
+	}
+	return nil
+}
+
+// Status classifies the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective can improve without limit.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// tableau is the dense simplex working state: rows = constraints,
+// columns = structural vars + slack/surplus + artificials + RHS.
+type tableau struct {
+	a       [][]float64 // m x (cols+1); last column is RHS
+	cols    int         // number of variable columns
+	basis   []int       // basis[r] = column basic in row r
+	nStruct int         // structural variable count
+	artOf   []int       // artificial column index per row, or -1
+}
+
+// Solve optimizes the problem. It returns an error only for malformed
+// input; infeasibility and unboundedness are reported via Status.
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count extra columns: one slack/surplus per inequality, one
+	// artificial per >= or = row (and per <= row with negative RHS,
+	// handled by pre-negation below).
+	rows := make([]Constraint, m)
+	for r, c := range p.Constraints {
+		cc := Constraint{Coeffs: make([]float64, n), Sense: c.Sense, RHS: c.RHS}
+		copy(cc.Coeffs, c.Coeffs)
+		if cc.RHS < 0 {
+			for i := range cc.Coeffs {
+				cc.Coeffs[i] = -cc.Coeffs[i]
+			}
+			cc.RHS = -cc.RHS
+			switch cc.Sense {
+			case LE:
+				cc.Sense = GE
+			case GE:
+				cc.Sense = LE
+			}
+		}
+		rows[r] = cc
+	}
+	slacks := 0
+	arts := 0
+	for _, c := range rows {
+		if c.Sense != EQ {
+			slacks++
+		}
+		if c.Sense != LE {
+			arts++
+		}
+	}
+	cols := n + slacks + arts
+	t := &tableau{
+		a:       make([][]float64, m),
+		cols:    cols,
+		basis:   make([]int, m),
+		nStruct: n,
+		artOf:   make([]int, m),
+	}
+	slackAt := n
+	artAt := n + slacks
+	for r, c := range rows {
+		row := make([]float64, cols+1)
+		copy(row, c.Coeffs)
+		row[cols] = c.RHS
+		t.artOf[r] = -1
+		switch c.Sense {
+		case LE:
+			row[slackAt] = 1
+			t.basis[r] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			t.basis[r] = artAt
+			t.artOf[r] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			t.basis[r] = artAt
+			t.artOf[r] = artAt
+			artAt++
+		}
+		t.a[r] = row
+	}
+
+	// Phase 1: minimize the sum of artificials, i.e. maximize their
+	// negated sum.
+	if arts > 0 {
+		phase1 := make([]float64, cols)
+		for _, ac := range t.artOf {
+			if ac >= 0 {
+				phase1[ac] = -1
+			}
+		}
+		status, obj := t.optimize(phase1, n+slacks+arts)
+		if status == Unbounded {
+			// Cannot happen: phase-1 objective is bounded by 0.
+			return Solution{Status: Infeasible}, nil
+		}
+		if obj < -1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate
+		// zero rows); if impossible the row is redundant.
+		for r := 0; r < m; r++ {
+			if t.artOf[r] >= 0 && t.basis[r] == t.artOf[r] {
+				pivoted := false
+				for c := 0; c < n+slacks; c++ {
+					if math.Abs(t.a[r][c]) > eps {
+						t.pivot(r, c)
+						pivoted = true
+						break
+					}
+				}
+				_ = pivoted // row is all-zero: harmless, keep artificial at 0
+			}
+		}
+	}
+
+	// Phase 2: the real objective over structural + slack columns;
+	// artificial columns are forbidden (treated as absent).
+	obj2 := make([]float64, cols)
+	for i := 0; i < len(p.Objective); i++ {
+		if p.Maximize {
+			obj2[i] = p.Objective[i]
+		} else {
+			obj2[i] = -p.Objective[i]
+		}
+	}
+	status, objVal := t.optimize(obj2, n+slacks)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for r, b := range t.basis {
+		if b < n {
+			x[b] = t.a[r][cols]
+		}
+	}
+	if !p.Maximize {
+		objVal = -objVal
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+// optimize runs primal simplex maximizing obj over the first
+// allowedCols columns, returning the final status and objective value.
+func (t *tableau) optimize(obj []float64, allowedCols int) (Status, float64) {
+	m := len(t.a)
+	cols := t.cols
+	// Reduced costs: z_j - c_j computed fresh each iteration from the
+	// basis (slower than maintaining an objective row, but simpler
+	// and numerically self-correcting on these problem sizes).
+	cb := make([]float64, m)
+	for {
+		for r := 0; r < m; r++ {
+			cb[r] = obj[t.basis[r]]
+		}
+		// Entering column: Bland — smallest index with positive
+		// reduced profit c_j - z_j.
+		enter := -1
+		for c := 0; c < allowedCols; c++ {
+			z := 0.0
+			for r := 0; r < m; r++ {
+				z += cb[r] * t.a[r][c]
+			}
+			if obj[c]-z > eps {
+				if isBasic(t.basis, c) {
+					continue
+				}
+				enter = c
+				break
+			}
+		}
+		if enter < 0 {
+			val := 0.0
+			for r := 0; r < m; r++ {
+				val += cb[r] * t.a[r][cols]
+			}
+			return Optimal, val
+		}
+		// Leaving row: minimum ratio, ties by smallest basis column
+		// (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < m; r++ {
+			if t.a[r][enter] > eps {
+				ratio := t.a[r][cols] / t.a[r][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[r] < t.basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func isBasic(basis []int, c int) bool {
+	for _, b := range basis {
+		if b == c {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column c basic in row r.
+func (t *tableau) pivot(r, c int) {
+	m := len(t.a)
+	cols := t.cols
+	pv := t.a[r][c]
+	inv := 1 / pv
+	for j := 0; j <= cols; j++ {
+		t.a[r][j] *= inv
+	}
+	t.a[r][c] = 1 // exact
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+		t.a[i][c] = 0 // exact
+	}
+	t.basis[r] = c
+}

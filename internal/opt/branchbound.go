@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+// BBOptions bounds the branch-and-bound search.
+type BBOptions struct {
+	// MaxNodes caps explored nodes; 0 means 5,000,000. Exceeding it
+	// returns ErrBBNodeLimit.
+	MaxNodes int
+}
+
+// ErrBBNodeLimit is returned when BranchAndBound exhausts its node
+// budget without proving optimality.
+var ErrBBNodeLimit = fmt.Errorf("opt: branch-and-bound node limit exceeded")
+
+// BranchAndBound computes an optimal grouping by assigning users one
+// at a time to an existing group or a fresh one (restricted-growth
+// enumeration of set partitions with at most L blocks), pruning with
+// an admissible bound: a partial assignment can never beat the
+// incumbent if
+//
+//	current objective delta + (unassigned users) * bestSingle
+//
+// falls short, where bestSingle is the largest satisfaction any
+// single future group could reach (each unassigned user's own top-k
+// satisfaction upper-bounds every group they could join under LM;
+// under AV the bound sums per-user contributions). Compared to Exact
+// (subset DP, O(3^n)), the search reaches noticeably larger n on
+// structured instances while remaining exact; on adversarial inputs
+// it degrades to full enumeration, which is what MaxNodes guards.
+func BranchAndBound(ds *dataset.Dataset, cfg core.Config, opts BBOptions) (*core.Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 5_000_000
+	}
+	users := ds.Users()
+	n := len(users)
+	l := cfg.L
+	if l > n {
+		l = n
+	}
+	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing, Weights: cfg.UserWeights}
+
+	// Per-user optimistic quantities.
+	//
+	// LM: a group's satisfaction never exceeds any member's singleton
+	// satisfaction (group item scores are pointwise at most each
+	// member's own scores, and every aggregation here is monotone),
+	// and adding a member to an existing group cannot raise its
+	// satisfaction. So all future gain comes from the at most `free`
+	// new blocks, each worth at most the best remaining singleton.
+	//
+	// AV: every item's group score is at most sum over members of
+	// w_u * mx_u (mx_u = the larger of u's maximum rating and the
+	// Missing imputation). A score list bounded pointwise by a
+	// constant c aggregates to at most c * aggFactor, where aggFactor
+	// = Aggregate(1,...,1) (1 for Min/Max, k for Sum, the weight sum
+	// for the weighted variants). Hence each user contributes at most
+	// w_u * mx_u * aggFactor to whichever single group they join —
+	// note the k-th-best statistic is NOT subadditive, so the
+	// tempting "sum of singleton satisfactions" bound would be
+	// inadmissible for AV-Min.
+	single := make([]float64, n)
+	contrib := make([]float64, n)
+	ones := make([]float64, cfg.K)
+	for j := range ones {
+		ones[j] = 1
+	}
+	aggFactor := cfg.Aggregation.Aggregate(ones)
+	for i, u := range users {
+		s, err := scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, []dataset.UserID{u}, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		single[i] = s
+		mx := cfg.Missing
+		for _, e := range ds.UserRatings(u) {
+			if e.Value > mx {
+				mx = e.Value
+			}
+		}
+		contrib[i] = scorer.Weight(u) * mx * aggFactor
+	}
+	// suffixMax[i] = max single[j] for j >= i; suffixContrib likewise
+	// sums the AV contribution bounds.
+	suffixMax := make([]float64, n+1)
+	suffixContrib := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixMax[i] = single[i]
+		if suffixMax[i+1] > suffixMax[i] {
+			suffixMax[i] = suffixMax[i+1]
+		}
+		suffixContrib[i] = suffixContrib[i+1] + contrib[i]
+	}
+	// optimistic returns an upper bound on the total satisfaction
+	// the users i.. can still add, given `free` unopened group slots
+	// and the option of joining existing groups.
+	optimistic := func(i, free int) float64 {
+		if i >= n {
+			return 0
+		}
+		if cfg.Semantics == semantics.LM {
+			return float64(free) * suffixMax[i]
+		}
+		return suffixContrib[i]
+	}
+
+	// Group satisfaction cache for the blocks of the current partial
+	// assignment.
+	type block struct {
+		members []dataset.UserID
+		sat     float64
+	}
+	blocks := make([]block, 0, l)
+	groupSat := func(members []dataset.UserID) (float64, error) {
+		return scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, members, cfg.K)
+	}
+
+	bestObj := math.Inf(-1)
+	var bestAssign []int
+	assign := make([]int, n)
+	nodes := 0
+
+	var rec func(i int, obj float64) error
+	rec = func(i int, obj float64) error {
+		nodes++
+		if nodes > maxNodes {
+			return ErrBBNodeLimit
+		}
+		if i == n {
+			if obj > bestObj {
+				bestObj = obj
+				bestAssign = append(bestAssign[:0], assign...)
+			}
+			return nil
+		}
+		free := l - len(blocks)
+		if obj+optimistic(i, free) <= bestObj+1e-12 {
+			return nil // prune
+		}
+		u := users[i]
+		// Try joining each existing block.
+		for b := range blocks {
+			old := blocks[b]
+			newMembers := append(append([]dataset.UserID(nil), old.members...), u)
+			newSat, err := groupSat(newMembers)
+			if err != nil {
+				return err
+			}
+			blocks[b] = block{members: newMembers, sat: newSat}
+			assign[i] = b
+			if err := rec(i+1, obj-old.sat+newSat); err != nil {
+				return err
+			}
+			blocks[b] = old
+		}
+		// Open a new block (restricted growth: only one "new block"
+		// branch, eliminating block-label symmetry).
+		if free > 0 {
+			sat := single[i]
+			blocks = append(blocks, block{members: []dataset.UserID{u}, sat: sat})
+			assign[i] = len(blocks) - 1
+			if err := rec(i+1, obj+sat); err != nil {
+				return err
+			}
+			blocks = blocks[:len(blocks)-1]
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+
+	// Materialize the best partition.
+	res := &core.Result{Algorithm: fmt.Sprintf("OPT-BB-%s-%s", cfg.Semantics, cfg.Aggregation)}
+	byBlock := map[int][]dataset.UserID{}
+	maxB := -1
+	for i, b := range bestAssign {
+		byBlock[b] = append(byBlock[b], users[i])
+		if b > maxB {
+			maxB = b
+		}
+	}
+	for b := 0; b <= maxB; b++ {
+		members := byBlock[b]
+		if len(members) == 0 {
+			continue
+		}
+		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, core.Group{
+			Members:      members,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+		})
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
+	}
+	return res, nil
+}

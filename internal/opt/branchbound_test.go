@@ -1,0 +1,176 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+// TestBBExample1 reproduces the paper's optimum for Example 1
+// (k=1, l=3): 12.
+func TestBBExample1(t *testing.T) {
+	res, err := BranchAndBound(example1(t), core.Config{
+		K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min,
+	}, BBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 12 {
+		t.Fatalf("B&B optimum = %v, want 12", res.Objective)
+	}
+	if res.Algorithm != "OPT-BB-LM-MIN" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+// TestBBExample2AV finds the corrected optimum 16 for Example 2
+// under AV, k=2, l=2 (the paper claims 14; see EXPERIMENTS.md).
+func TestBBExample2AV(t *testing.T) {
+	res, err := BranchAndBound(example2(t), core.Config{
+		K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min,
+	}, BBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 16 {
+		t.Fatalf("B&B optimum = %v, want 16", res.Objective)
+	}
+}
+
+// TestBBMatchesExactDP cross-validates branch-and-bound against the
+// subset DP on random instances across semantics and aggregations —
+// this is the admissibility test for the pruning bounds (an
+// inadmissible bound shows up as B&B < DP).
+func TestBBMatchesExactDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(7), 2+rng.Intn(4)
+		ds := randomDense(rng, n, m)
+		k := 1 + rng.Intn(m)
+		l := 1 + rng.Intn(n)
+		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum, semantics.WeightedSumLog} {
+				cfg := core.Config{K: k, L: l, Semantics: sem, Aggregation: agg}
+				bb, err := BranchAndBound(ds, cfg, BBOptions{})
+				if err != nil {
+					return false
+				}
+				ex, err := Exact(ds, cfg)
+				if err != nil {
+					return false
+				}
+				if math.Abs(bb.Objective-ex.Objective) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBBWithWeights checks the weighted-AV extension stays optimal:
+// compare against a weighted exact computation via brute force on a
+// tiny instance.
+func TestBBWithWeights(t *testing.T) {
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{5, 1}, {1, 5}, {1, 5}, {3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := map[dataset.UserID]float64{0: 10}
+	cfg := core.Config{K: 1, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min, UserWeights: weights}
+	bb, err := BranchAndBound(ds, cfg, BBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over all 2-partitions of 4 users.
+	sc := semantics.Scorer{DS: ds, Weights: weights}
+	best := math.Inf(-1)
+	users := ds.Users()
+	for mask := 0; mask < 1<<4; mask++ {
+		var a, b []dataset.UserID
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				a = append(a, users[i])
+			} else {
+				b = append(b, users[i])
+			}
+		}
+		total := 0.0
+		for _, g := range [][]dataset.UserID{a, b} {
+			if len(g) == 0 {
+				continue
+			}
+			s, err := sc.Satisfaction(semantics.AV, semantics.Min, g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		if total > best {
+			best = total
+		}
+	}
+	if math.Abs(bb.Objective-best) > 1e-9 {
+		t.Fatalf("weighted B&B = %v, brute force = %v", bb.Objective, best)
+	}
+}
+
+func TestBBNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randomDense(rng, 10, 4)
+	_, err := BranchAndBound(ds, core.Config{
+		K: 2, L: 5, Semantics: semantics.AV, Aggregation: semantics.Sum,
+	}, BBOptions{MaxNodes: 5})
+	if err != ErrBBNodeLimit {
+		t.Fatalf("err = %v, want ErrBBNodeLimit", err)
+	}
+}
+
+func TestBBValidatesConfig(t *testing.T) {
+	if _, err := BranchAndBound(example1(t), core.Config{}, BBOptions{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// TestBBReachesBeyondDP runs an instance above the subset-DP size
+// cap to demonstrate the wider reach on structured data.
+func TestBBReachesBeyondDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// 22 users in 3 obvious taste blocks: the bound prunes hard.
+	rows := make([][]float64, 22)
+	for u := range rows {
+		rows[u] = make([]float64, 6)
+		base := (u % 3) * 2
+		for i := range rows[u] {
+			rows[u][i] = 1
+		}
+		rows[u][base] = 5
+		rows[u][base+1] = float64(3 + rng.Intn(2))
+	}
+	ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min}
+	if _, err := Exact(ds, cfg); err == nil {
+		t.Fatal("expected DP to reject n=22")
+	}
+	res, err := BranchAndBound(ds, cfg, BBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: each taste block groups together, top-1 scored 5.
+	if res.Objective != 15 {
+		t.Fatalf("objective = %v, want 15", res.Objective)
+	}
+}

@@ -1,0 +1,147 @@
+// Package opt provides optimal and near-optimal reference solvers for
+// the group formation problem, standing in for the paper's
+// CPLEX-based OPT-LM / OPT-AV:
+//
+//   - Exact: a subset dynamic program over all 2^n user subsets,
+//     optimal for every semantics, aggregation and k, feasible up to
+//     n of roughly 16-18 users.
+//   - LocalSearch: hill climbing / simulated annealing over
+//     partitions, seeded by the greedy algorithms; the scalable OPT
+//     proxy used at the paper's quality-experiment scale (200 users),
+//     where the paper reports even CPLEX stops terminating.
+//
+// Package ilp solves the same problem via the paper's Appendix-A
+// integer programs (k = 1); the three solvers cross-validate each
+// other in tests.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+// MaxExactUsers is the largest instance Exact accepts by default; the
+// DP costs O(l * 3^n) time and O(l * 2^n) space.
+const MaxExactUsers = 18
+
+// Exact computes an optimal grouping by dynamic programming over
+// subsets. It returns the optimal partition as a core.Result whose
+// Objective is the true optimum OPT(I).
+func Exact(ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	n := ds.NumUsers()
+	if n > MaxExactUsers {
+		return nil, fmt.Errorf("opt: exact solver limited to %d users, got %d", MaxExactUsers, n)
+	}
+	users := ds.Users()
+	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
+
+	// Satisfaction of every non-empty subset.
+	size := 1 << n
+	sat := make([]float64, size)
+	membuf := make([]dataset.UserID, 0, n)
+	for mask := 1; mask < size; mask++ {
+		membuf = membuf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				membuf = append(membuf, users[i])
+			}
+		}
+		s, err := scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, membuf, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		sat[mask] = s
+	}
+
+	l := cfg.L
+	if l > n {
+		l = n
+	}
+	// best[j][mask] = max objective partitioning mask into at most j
+	// non-empty groups; choice[j][mask] = the block containing the
+	// lowest set bit of mask in that optimum.
+	neg := math.Inf(-1)
+	best := make([][]float64, l+1)
+	choice := make([][]int, l+1)
+	for j := 0; j <= l; j++ {
+		best[j] = make([]float64, size)
+		choice[j] = make([]int, size)
+		for m := 1; m < size; m++ {
+			best[j][m] = neg
+		}
+	}
+	for m := 1; m < size; m++ {
+		best[1][m] = sat[m]
+		choice[1][m] = m
+	}
+	for j := 2; j <= l; j++ {
+		for mask := 1; mask < size; mask++ {
+			low := mask & (-mask)
+			bestV := best[j-1][mask] // using fewer groups is allowed
+			bestC := choice[j-1][mask]
+			// Enumerate submasks of mask that contain the lowest set
+			// bit, as the block of that user.
+			rest := mask ^ low
+			for sub := rest; ; sub = (sub - 1) & rest {
+				block := sub | low
+				var v float64
+				if block == mask {
+					v = sat[block]
+				} else {
+					v = sat[block] + best[j-1][mask^block]
+				}
+				if v > bestV {
+					bestV = v
+					bestC = block
+				}
+				if sub == 0 {
+					break
+				}
+			}
+			best[j][mask] = bestV
+			choice[j][mask] = bestC
+		}
+	}
+
+	// Reconstruct the partition.
+	full := size - 1
+	res := &core.Result{Objective: best[l][full], Algorithm: fmt.Sprintf("OPT-%s-%s", cfg.Semantics, cfg.Aggregation)}
+	mask := full
+	j := l
+	for mask != 0 {
+		// choice[j][mask] is the block of the lowest set bit in an
+		// optimal <=j-group partition of mask (propagated from j-1
+		// when using fewer groups is at least as good), so peeling
+		// it off and descending one level reconstructs a partition.
+		block := choice[j][mask]
+		members := make([]dataset.UserID, 0, bits.OnesCount(uint(block)))
+		for i := 0; i < n; i++ {
+			if block&(1<<i) != 0 {
+				members = append(members, users[i])
+			}
+		}
+		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, core.Group{
+			Members:      members,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+		})
+		mask ^= block
+		if j > 1 {
+			j--
+		}
+	}
+	return res, nil
+}

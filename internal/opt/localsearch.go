@@ -1,0 +1,224 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+// LSOptions tunes LocalSearch.
+type LSOptions struct {
+	// Iterations is the number of candidate moves per restart;
+	// 0 means 200 * n.
+	Iterations int
+	// Restarts is the number of independent searches; 0 means 1.
+	// The first restart is seeded from the greedy solution, later
+	// ones from random partitions.
+	Restarts int
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Anneal enables simulated annealing acceptance of worsening
+	// moves; plain hill climbing otherwise.
+	Anneal bool
+	// T0 is the initial annealing temperature; 0 means rmax.
+	T0 float64
+}
+
+// LocalSearch improves a partition by relocation and swap moves. It
+// is the scalable OPT proxy used where both the subset DP and the
+// integer program are intractable; because the first restart starts
+// from the greedy solution and only accepts improvements (hill
+// climbing) or converges back (annealing keeps the incumbent), its
+// result is never worse than GRD's.
+func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	n := ds.NumUsers()
+	users := ds.Users()
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = 200 * n
+	}
+	restarts := opts.Restarts
+	if restarts == 0 {
+		restarts = 1
+	}
+	t0 := opts.T0
+	if t0 == 0 {
+		t0 = ds.Scale().Max
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
+
+	// Seed assignment from the greedy algorithm.
+	grd, err := core.Form(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	idxOf := make(map[dataset.UserID]int, n)
+	for i, u := range users {
+		idxOf[u] = i
+	}
+	greedyAssign := make([]int, n)
+	for gi, g := range grd.Groups {
+		for _, u := range g.Members {
+			greedyAssign[idxOf[u]] = gi
+		}
+	}
+
+	var bestAssign []int
+	bestObj := math.Inf(-1)
+	for r := 0; r < restarts; r++ {
+		assign := make([]int, n)
+		if r == 0 {
+			copy(assign, greedyAssign)
+		} else {
+			for i := range assign {
+				assign[i] = rng.Intn(cfg.L)
+			}
+		}
+		obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+		if obj > bestObj {
+			bestObj = obj
+			bestAssign = append(bestAssign[:0], assign...)
+		}
+	}
+
+	// Materialize the result.
+	res := &core.Result{Algorithm: fmt.Sprintf("OPT-LS-%s-%s", cfg.Semantics, cfg.Aggregation)}
+	groups := make([][]dataset.UserID, cfg.L)
+	for i, g := range bestAssign {
+		groups[g] = append(groups[g], users[i])
+	}
+	for _, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, core.Group{
+			Members:      members,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+		})
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
+	}
+	return res, nil
+}
+
+// runSearch mutates assign in place and returns the objective of the
+// best state visited (assign holds that state on return).
+func runSearch(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
+	assign []int, iters int, rng *rand.Rand, anneal bool, t0 float64) float64 {
+
+	n := len(users)
+	members := make([][]dataset.UserID, cfg.L)
+	for i, g := range assign {
+		members[g] = append(members[g], users[i])
+	}
+	sat := make([]float64, cfg.L)
+	groupSat := func(g int) float64 {
+		if len(members[g]) == 0 {
+			return 0
+		}
+		s, err := scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, members[g], cfg.K)
+		if err != nil {
+			return 0
+		}
+		return s
+	}
+	obj := 0.0
+	for g := 0; g < cfg.L; g++ {
+		sat[g] = groupSat(g)
+		obj += sat[g]
+	}
+
+	remove := func(g int, u dataset.UserID) {
+		ms := members[g]
+		for i, v := range ms {
+			if v == u {
+				ms[i] = ms[len(ms)-1]
+				members[g] = ms[:len(ms)-1]
+				return
+			}
+		}
+	}
+
+	bestObj := obj
+	bestAssign := append([]int(nil), assign...)
+	for it := 0; it < iters; it++ {
+		// Neighborhood: mostly single-user relocations, with an
+		// occasional two-user swap across groups, which escapes
+		// plateaus that relocations alone cannot (a swap keeps both
+		// group sizes, so it explores states relocation chains would
+		// have to pass through a worse intermediate to reach).
+		ui := rng.Intn(n)
+		from := assign[ui]
+		u := users[ui]
+		swap := rng.Intn(4) == 0
+		var vi int
+		var to int
+		if swap {
+			vi = rng.Intn(n)
+			to = assign[vi]
+			if to == from {
+				continue
+			}
+		} else {
+			to = rng.Intn(cfg.L)
+			if to == from {
+				continue
+			}
+		}
+		// Apply the move tentatively.
+		remove(from, u)
+		members[to] = append(members[to], u)
+		if swap {
+			v := users[vi]
+			remove(to, v)
+			members[from] = append(members[from], v)
+		}
+		newFrom, newTo := groupSat(from), groupSat(to)
+		delta := (newFrom + newTo) - (sat[from] + sat[to])
+		accept := delta > 0
+		if !accept && anneal {
+			temp := t0 * math.Pow(0.995, float64(it))
+			if temp > 1e-9 && rng.Float64() < math.Exp(delta/temp) {
+				accept = true
+			}
+		}
+		if accept {
+			assign[ui] = to
+			if swap {
+				assign[vi] = from
+			}
+			sat[from], sat[to] = newFrom, newTo
+			obj += delta
+			if obj > bestObj {
+				bestObj = obj
+				copy(bestAssign, assign)
+			}
+		} else {
+			// Undo.
+			remove(to, u)
+			members[from] = append(members[from], u)
+			if swap {
+				v := users[vi]
+				remove(from, v)
+				members[to] = append(members[to], v)
+			}
+		}
+	}
+	copy(assign, bestAssign)
+	return bestObj
+}

@@ -1,0 +1,106 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpearmanFootrule returns the normalized Spearman footrule distance
+// between the rankings induced by score vectors a and b: the sum of
+// absolute rank displacements, divided by its maximum (⌊m²/2⌋ for m
+// items), so the value lies in [0,1]. Ties receive fractional
+// (average) ranks, the standard treatment.
+//
+// The footrule is the other classic permutation metric next to
+// Kendall-Tau; the Diaconis-Graham inequality ties them together
+// (K ≤ F ≤ 2K on strict rankings in unnormalized form), which the
+// tests verify. The baseline clustering can use either; Kendall is
+// the paper's choice, footrule is provided for sensitivity analysis.
+func SpearmanFootrule(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rank: footrule inputs differ in length: %d vs %d", len(a), len(b))
+	}
+	m := len(a)
+	if m < 2 {
+		return 0, nil
+	}
+	ra := fractionalRanks(a)
+	rb := fractionalRanks(b)
+	total := 0.0
+	for i := 0; i < m; i++ {
+		d := ra[i] - rb[i]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	maxF := float64((m * m) / 2)
+	return total / maxF, nil
+}
+
+// fractionalRanks assigns rank 1 to the highest score; ties share the
+// average of the ranks they span.
+func fractionalRanks(xs []float64) []float64 {
+	m := len(xs)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] > xs[idx[j]] })
+	ranks := make([]float64, m)
+	i := 0
+	for i < m {
+		j := i
+		for j+1 < m && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share rank (i+1 + j+1)/2.
+		avg := float64(i+j+2) / 2
+		for p := i; p <= j; p++ {
+			ranks[idx[p]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// UnnormalizedKendallAndFootrule computes the raw (pair-count Kendall
+// inversion, rank-displacement footrule) distances between two strict
+// rankings given as score vectors without ties; used by the
+// Diaconis-Graham property test and exposed for diagnostics. Errors
+// if either vector contains ties.
+func UnnormalizedKendallAndFootrule(a, b []float64) (kendall, footrule float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("rank: inputs differ in length")
+	}
+	if hasTies(a) || hasTies(b) {
+		return 0, 0, fmt.Errorf("rank: strict rankings required")
+	}
+	m := len(a)
+	kd, err := KendallTau(a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	kendall = kd * float64(m) * float64(m-1) / 2
+	ra := fractionalRanks(a)
+	rb := fractionalRanks(b)
+	for i := range ra {
+		d := ra[i] - rb[i]
+		if d < 0 {
+			d = -d
+		}
+		footrule += d
+	}
+	return kendall, footrule, nil
+}
+
+func hasTies(xs []float64) bool {
+	seen := make(map[float64]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}

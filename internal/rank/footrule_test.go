@@ -1,0 +1,145 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFootruleIdentical(t *testing.T) {
+	a := []float64{5, 4, 3, 2, 1}
+	d, err := SpearmanFootrule(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestFootruleReversal(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	d, err := SpearmanFootrule(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Displacements 3+1+1+3 = 8 = max for m=4 -> normalized 1.
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("reversal distance = %v, want 1", d)
+	}
+}
+
+func TestFootruleSingleSwap(t *testing.T) {
+	a := []float64{4, 3, 2, 1}
+	b := []float64{3, 4, 2, 1}
+	d, err := SpearmanFootrule(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two items displaced by 1 each: 2 of max 8.
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("single swap = %v, want 0.25", d)
+	}
+}
+
+func TestFootruleTies(t *testing.T) {
+	// Fractional ranks: ties share average rank, so two vectors
+	// tying the same pair are at distance 0.
+	a := []float64{3, 3, 1}
+	b := []float64{2, 2, 1}
+	d, err := SpearmanFootrule(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("tied-alike distance = %v, want 0", d)
+	}
+}
+
+func TestFootruleErrorsAndEdges(t *testing.T) {
+	if _, err := SpearmanFootrule([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	d, err := SpearmanFootrule([]float64{1}, []float64{2})
+	if err != nil || d != 0 {
+		t.Errorf("m=1: %v, %v", d, err)
+	}
+}
+
+func TestFractionalRanks(t *testing.T) {
+	// Scores 5, 3, 3, 1: ranks 1, 2.5, 2.5, 4.
+	got := fractionalRanks([]float64{5, 3, 3, 1})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDiaconisGraham verifies K <= F <= 2K (unnormalized, strict
+// rankings) on random permutations — a strong cross-check of both
+// distance implementations.
+func TestDiaconisGraham(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(30)
+		mk := func() []float64 {
+			xs := make([]float64, m)
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			rng.Shuffle(m, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+			return xs
+		}
+		a, b := mk(), mk()
+		k, fr, err := UnnormalizedKendallAndFootrule(a, b)
+		if err != nil {
+			return false
+		}
+		return k <= fr+1e-9 && fr <= 2*k+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnnormalizedRejectsTies(t *testing.T) {
+	if _, _, err := UnnormalizedKendallAndFootrule([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("ties should be rejected")
+	}
+	if _, _, err := UnnormalizedKendallAndFootrule([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+// TestFootruleMetricProperty: symmetry, bounds, triangle inequality
+// on strict rankings.
+func TestFootruleMetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(15)
+		mk := func() []float64 {
+			xs := make([]float64, m)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			rng.Shuffle(m, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+			return xs
+		}
+		a, b, c := mk(), mk(), mk()
+		dab, _ := SpearmanFootrule(a, b)
+		dba, _ := SpearmanFootrule(b, a)
+		dac, _ := SpearmanFootrule(a, c)
+		dcb, _ := SpearmanFootrule(c, b)
+		if math.Abs(dab-dba) > 1e-12 || dab < 0 || dab > 1 {
+			return false
+		}
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

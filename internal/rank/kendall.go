@@ -1,0 +1,174 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KendallTau returns the normalized, tie-aware Kendall-Tau distance
+// between the rankings induced by the score vectors a and b (higher
+// score = better rank). The distance is
+//
+//	( #discordant pairs + 0.5 * #pairs tied in exactly one ranking ) / C(m,2)
+//
+// and lies in [0,1]: 0 for identical rankings, 1 for exact reversals
+// of strict rankings. Ties in *both* rankings are agreement and cost
+// nothing; a pair tied in one ranking but ordered in the other is half
+// a disagreement, the standard convention for partial rankings.
+//
+// The implementation is Knight's O(m log m) algorithm: sort by (a, b),
+// count tie runs, and count discordant pairs as merge-sort inversions
+// of the b sequence.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
+	}
+	m := len(a)
+	if m < 2 {
+		return 0, nil
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		if a[idx[x]] != a[idx[y]] {
+			return a[idx[x]] < a[idx[y]]
+		}
+		return b[idx[x]] < b[idx[y]]
+	})
+
+	// Pairs tied in a (n1) and tied in both (n3), via runs over the
+	// (a, b)-sorted order.
+	var n1, n3 int64
+	runStart := 0
+	for i := 1; i <= m; i++ {
+		if i == m || a[idx[i]] != a[idx[runStart]] {
+			t := int64(i - runStart)
+			n1 += t * (t - 1) / 2
+			// Within an equal-a run, count sub-runs of equal b.
+			sub := runStart
+			for j := runStart + 1; j <= i; j++ {
+				if j == i || b[idx[j]] != b[idx[sub]] {
+					s := int64(j - sub)
+					n3 += s * (s - 1) / 2
+					sub = j
+				}
+			}
+			runStart = i
+		}
+	}
+
+	// Discordant pairs: inversions of the b sequence in (a, b)-sorted
+	// order. Because ties in a were broken by ascending b, pairs tied
+	// in a contribute no inversions, and pairs tied in b are not
+	// counted as inversions (strict >). So swaps = #pairs with
+	// a_i < a_j and b_i > b_j = discordant pairs.
+	bs := make([]float64, m)
+	for i, id := range idx {
+		bs[i] = b[id]
+	}
+	discordant := countInversions(bs)
+
+	// Pairs tied in b (n2), via sorting b alone.
+	sortedB := make([]float64, m)
+	copy(sortedB, b)
+	sort.Float64s(sortedB)
+	var n2 int64
+	runStart = 0
+	for i := 1; i <= m; i++ {
+		if i == m || sortedB[i] != sortedB[runStart] {
+			t := int64(i - runStart)
+			n2 += t * (t - 1) / 2
+			runStart = i
+		}
+	}
+
+	total := int64(m) * int64(m-1) / 2
+	tiedExactlyOne := (n1 - n3) + (n2 - n3)
+	return (float64(discordant) + 0.5*float64(tiedExactlyOne)) / float64(total), nil
+}
+
+// countInversions counts pairs i<j with xs[i] > xs[j] using an
+// iterative bottom-up merge sort. xs is clobbered.
+func countInversions(xs []float64) int64 {
+	n := len(xs)
+	buf := make([]float64, n)
+	var inv int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				break
+			}
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if xs[i] <= xs[j] {
+					buf[k] = xs[i]
+					i++
+				} else {
+					buf[k] = xs[j]
+					j++
+					inv += int64(mid - i)
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = xs[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = xs[j]
+				j++
+				k++
+			}
+			copy(xs[lo:hi], buf[lo:hi])
+		}
+	}
+	return inv
+}
+
+// KendallTauNaive is the O(m^2) reference implementation of the same
+// distance, used to validate KendallTau in tests and fine for the
+// short vectors of the user study.
+func KendallTauNaive(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
+	}
+	m := len(a)
+	if m < 2 {
+		return 0, nil
+	}
+	var penalty float64
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			da := sign(a[i] - a[j])
+			db := sign(b[i] - b[j])
+			switch {
+			case da == 0 && db == 0:
+				// agreement on a tie: no cost
+			case da == 0 || db == 0:
+				penalty += 0.5
+			case da != db:
+				penalty++
+			}
+		}
+	}
+	total := float64(m) * float64(m-1) / 2
+	return penalty / total, nil
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

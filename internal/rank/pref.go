@@ -1,0 +1,162 @@
+// Package rank implements ranking utilities on top of the rating
+// store: per-user preference lists (the L_u lists of Algorithm 1) and
+// tie-aware Kendall-Tau rank distance (used by the paper's clustering
+// baseline).
+package rank
+
+import (
+	"fmt"
+	"sort"
+
+	"groupform/internal/dataset"
+)
+
+// PrefList is a user's items ordered by non-increasing rating; ties
+// are broken by ascending item ID so every list is deterministic. The
+// paper writes L_u = <i3,5; i2,3; i1,2> for user u2 of Example 1.
+type PrefList struct {
+	User  dataset.UserID
+	Items []dataset.ItemID
+	// Scores[j] is the user's rating of Items[j].
+	Scores []float64
+}
+
+// Len returns the number of ranked items.
+func (p PrefList) Len() int { return len(p.Items) }
+
+// String renders the list in the paper's notation.
+func (p PrefList) String() string {
+	s := fmt.Sprintf("L_u%d = <", p.User)
+	for j := range p.Items {
+		if j > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("i%d,%g", p.Items[j], p.Scores[j])
+	}
+	return s + ">"
+}
+
+// byPreference sorts entries by value descending, item ascending — a
+// concrete sort.Interface to avoid sort.Slice's reflection-based
+// swaps on the per-user hot path.
+type byPreference []dataset.Entry
+
+func (s byPreference) Len() int           { return len(s) }
+func (s byPreference) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byPreference) Less(i, j int) bool { return prefLess(s[i], s[j]) }
+
+// prefLess reports whether a ranks strictly ahead of b.
+func prefLess(a, b dataset.Entry) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Item < b.Item
+}
+
+// TopK returns user u's top-k preference list. If the user has rated
+// fewer than k items, the list is padded with the user's unrated items
+// in ascending item-ID order at the padValue score, so that every list
+// has exactly min(k, NumItems) entries; the paper assumes a complete
+// (or completed-by-prediction) matrix, and padding makes the greedy
+// algorithms well defined on sparse data too.
+func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefList, error) {
+	if k <= 0 {
+		return PrefList{}, fmt.Errorf("rank: k must be positive, got %d", k)
+	}
+	if k > ds.NumItems() {
+		return PrefList{}, fmt.Errorf("rank: k=%d exceeds item count %d", k, ds.NumItems())
+	}
+	entries := ds.UserRatings(u)
+	var ranked []dataset.Entry
+	if k < len(entries)/2 {
+		// Partial selection: maintain the best k in a small insertion
+		// buffer, O(d*k) — the common case (k of 5 against dozens of
+		// ratings) and allocation-light, which matters because this
+		// runs once per user.
+		ranked = make([]dataset.Entry, 0, k)
+		for _, e := range entries {
+			pos := len(ranked)
+			for pos > 0 && prefLess(e, ranked[pos-1]) {
+				pos--
+			}
+			if pos == len(ranked) {
+				if len(ranked) < k {
+					ranked = append(ranked, e)
+				}
+				continue
+			}
+			if len(ranked) < k {
+				ranked = append(ranked, dataset.Entry{})
+			}
+			copy(ranked[pos+1:], ranked[pos:])
+			ranked[pos] = e
+		}
+	} else {
+		ranked = make([]dataset.Entry, len(entries))
+		copy(ranked, entries)
+		sort.Sort(byPreference(ranked))
+		if len(ranked) > k {
+			ranked = ranked[:k]
+		}
+	}
+	p := PrefList{User: u, Items: make([]dataset.ItemID, 0, k), Scores: make([]float64, 0, k)}
+	for _, e := range ranked {
+		p.Items = append(p.Items, e.Item)
+		p.Scores = append(p.Scores, e.Value)
+	}
+	if len(p.Items) < k {
+		// Pad with unrated items (ascending ID) at padValue.
+		rated := make(map[dataset.ItemID]bool, len(entries))
+		for _, e := range entries {
+			rated[e.Item] = true
+		}
+		for _, it := range ds.Items() {
+			if len(p.Items) == k {
+				break
+			}
+			if !rated[it] {
+				p.Items = append(p.Items, it)
+				p.Scores = append(p.Scores, padValue)
+			}
+		}
+	}
+	return p, nil
+}
+
+// AllTopK computes top-k preference lists for every user in the
+// dataset, in the dataset's (sorted) user order. This is the O(nk)
+// preprocessing step of the greedy algorithms.
+func AllTopK(ds *dataset.Dataset, k int, padValue float64) ([]PrefList, error) {
+	users := ds.Users()
+	out := make([]PrefList, 0, len(users))
+	for _, u := range users {
+		p, err := TopK(ds, u, k, padValue)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FullRanking returns the user's scores over every item in the
+// dataset's item order, with missing ratings mapped to missingValue.
+// The paper's baseline computes Kendall-Tau over the ranking of *all*
+// items ("it is not sufficient to consider only top-k items").
+func FullRanking(ds *dataset.Dataset, u dataset.UserID, missingValue float64) []float64 {
+	items := ds.Items()
+	out := make([]float64, len(items))
+	entries := ds.UserRatings(u)
+	j := 0
+	for idx, it := range items {
+		for j < len(entries) && entries[j].Item < it {
+			j++
+		}
+		if j < len(entries) && entries[j].Item == it {
+			out[idx] = entries[j].Value
+		} else {
+			out[idx] = missingValue
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package semantics
+
+import (
+	"fmt"
+	"sort"
+
+	"groupform/internal/dataset"
+)
+
+// PseudoUserTopK implements the *other* dominant group-recommendation
+// strategy the paper's related-work section describes ("creates a
+// pseudo-user representing the group and then makes recommendations
+// to that pseudo-user"): the group's profile rates each item with the
+// weighted mean of the member ratings that exist, and the top-k of
+// that profile is recommended. Returned scores are the profile means.
+//
+// On a complete matrix with equal weights this ranks items exactly
+// like AV (the mean is the sum over a constant |g|); on sparse data
+// the two diverge — the mean ignores non-raters while the AV sum
+// (with Missing 0) penalizes items few members rated. MinRaters
+// filters items supported by too few members (1 by default).
+func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]dataset.ItemID, []float64, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("semantics: k must be positive, got %d", k)
+	}
+	if k > sc.DS.NumItems() {
+		return nil, nil, fmt.Errorf("semantics: k=%d exceeds item count %d", k, sc.DS.NumItems())
+	}
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("semantics: empty group")
+	}
+	if minRaters <= 0 {
+		minRaters = 1
+	}
+	type acc struct {
+		wsum  float64
+		w     float64
+		count int
+	}
+	profile := make(map[dataset.ItemID]*acc)
+	for _, u := range members {
+		w := sc.Weight(u)
+		for _, e := range sc.DS.UserRatings(u) {
+			a, ok := profile[e.Item]
+			if !ok {
+				profile[e.Item] = &acc{wsum: w * e.Value, w: w, count: 1}
+				continue
+			}
+			a.wsum += w * e.Value
+			a.w += w
+			a.count++
+		}
+	}
+	type scored struct {
+		item  dataset.ItemID
+		score float64
+	}
+	all := make([]scored, 0, len(profile))
+	for it, a := range profile {
+		if a.count < minRaters || a.w == 0 {
+			continue
+		}
+		all = append(all, scored{it, a.wsum / a.w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].item < all[j].item
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	items := make([]dataset.ItemID, 0, k)
+	scores := make([]float64, 0, k)
+	for _, s := range all {
+		items = append(items, s.item)
+		scores = append(scores, s.score)
+	}
+	if len(items) < k {
+		listed := make(map[dataset.ItemID]bool, len(items))
+		for _, it := range items {
+			listed[it] = true
+		}
+		for _, it := range sc.DS.Items() {
+			if len(items) == k {
+				break
+			}
+			if !listed[it] {
+				items = append(items, it)
+				scores = append(scores, sc.Missing)
+			}
+		}
+	}
+	return items, scores, nil
+}

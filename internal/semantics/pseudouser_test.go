@@ -1,0 +1,131 @@
+package semantics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupform/internal/dataset"
+)
+
+func TestPseudoUserMatchesAVOnDenseData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(5), 2+rng.Intn(6)
+		rows := make([][]float64, n)
+		for u := range rows {
+			rows[u] = make([]float64, m)
+			for i := range rows[u] {
+				rows[u][i] = float64(1 + rng.Intn(5))
+			}
+		}
+		ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+		if err != nil {
+			return false
+		}
+		sc := Scorer{DS: ds}
+		members := ds.Users()
+		k := 1 + rng.Intn(m)
+		avItems, avScores, err := sc.TopK(AV, members, k)
+		if err != nil {
+			return false
+		}
+		puItems, puScores, err := sc.PseudoUserTopK(members, k, 1)
+		if err != nil {
+			return false
+		}
+		for j := range avItems {
+			if avItems[j] != puItems[j] {
+				return false
+			}
+			// Profile mean = AV sum / |g|.
+			if math.Abs(puScores[j]-avScores[j]/float64(n)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPseudoUserDivergesOnSparseData(t *testing.T) {
+	// Item 1: one enthusiast at 5. Item 2: three members at 3.
+	// The pseudo-user mean ranks item 1 first (5 > 3); AV with
+	// Missing 0 ranks item 2 first (9 > 5).
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 1, 5)
+	for u := dataset.UserID(1); u <= 3; u++ {
+		b.MustAdd(u, 2, 3)
+	}
+	ds := b.Build()
+	sc := Scorer{DS: ds}
+	members := []dataset.UserID{1, 2, 3}
+	avItems, _, err := sc.TopK(AV, members, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	puItems, puScores, err := sc.PseudoUserTopK(members, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avItems[0] != 2 {
+		t.Errorf("AV top item = %d, want 2", avItems[0])
+	}
+	if puItems[0] != 1 || puScores[0] != 5 {
+		t.Errorf("pseudo-user top = %d (%v), want 1 (5)", puItems[0], puScores[0])
+	}
+	// MinRaters = 2 suppresses the single-rater item.
+	puItems, _, err = sc.PseudoUserTopK(members, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if puItems[0] != 2 {
+		t.Errorf("with MinRaters=2 top = %d, want 2", puItems[0])
+	}
+}
+
+func TestPseudoUserWeights(t *testing.T) {
+	ds := dense(t, [][]float64{
+		{5, 1},
+		{1, 5},
+	})
+	sc := Scorer{DS: ds, Weights: map[dataset.UserID]float64{0: 3}}
+	items, scores, err := sc.PseudoUserTopK([]dataset.UserID{0, 1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted means: item 0 = (3*5+1)/4 = 4; item 1 = (3*1+5)/4 = 2.
+	if items[0] != 0 || math.Abs(scores[0]-4) > 1e-9 {
+		t.Errorf("weighted profile top = i%d (%v), want i0 (4)", items[0], scores[0])
+	}
+	if math.Abs(scores[1]-2) > 1e-9 {
+		t.Errorf("second score = %v, want 2", scores[1])
+	}
+}
+
+func TestPseudoUserPadsAndValidates(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 1, 4)
+	b.MustAdd(2, 2, 3)
+	ds := b.Build()
+	sc := Scorer{DS: ds}
+	items, scores, err := sc.PseudoUserTopK([]dataset.UserID{1}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || scores[1] != 0 {
+		t.Errorf("padding failed: %v %v", items, scores)
+	}
+	if _, _, err := sc.PseudoUserTopK(nil, 1, 1); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, _, err := sc.PseudoUserTopK([]dataset.UserID{1}, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := sc.PseudoUserTopK([]dataset.UserID{1}, 99, 1); err == nil {
+		t.Error("k>m should error")
+	}
+}

@@ -1,0 +1,332 @@
+// Package semantics implements the group-recommendation semantics of
+// the paper: Least Misery (LM) and Aggregate Voting (AV) group item
+// scores (Definitions 1 and 2), top-k list computation for a given
+// group, and the Max/Min/Sum/WeightedSum satisfaction aggregations of
+// Section 2.3 and Section 6.
+package semantics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"groupform/internal/dataset"
+)
+
+// Semantics selects how a group's score for a single item is derived
+// from its members' scores.
+type Semantics int
+
+const (
+	// LM is Least Misery: sc(g,i) = min over members of sc(u,i).
+	LM Semantics = iota
+	// AV is Aggregate Voting: sc(g,i) = sum over members of sc(u,i).
+	AV
+)
+
+// String returns the paper's abbreviation.
+func (s Semantics) String() string {
+	switch s {
+	case LM:
+		return "LM"
+	case AV:
+		return "AV"
+	}
+	return fmt.Sprintf("Semantics(%d)", int(s))
+}
+
+// Valid reports whether s is a known semantics.
+func (s Semantics) Valid() bool { return s == LM || s == AV }
+
+// Aggregation selects how a group's satisfaction with a top-k list is
+// derived from the k item scores.
+type Aggregation int
+
+const (
+	// Max scores the list by its first (best) item.
+	Max Aggregation = iota
+	// Min scores the list by its k-th (worst) item.
+	Min
+	// Sum scores the list by the sum over all k items.
+	Sum
+	// WeightedSumPos scores by sum of score[j]/(j+1) (position
+	// weights; Section 6, "weights at the item list level").
+	WeightedSumPos
+	// WeightedSumLog scores by sum of score[j]/log2(j+2)
+	// (logarithmic discount, DCG-style).
+	WeightedSumLog
+)
+
+// String returns a short name.
+func (a Aggregation) String() string {
+	switch a {
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Sum:
+		return "SUM"
+	case WeightedSumPos:
+		return "WSUM-POS"
+	case WeightedSumLog:
+		return "WSUM-LOG"
+	}
+	return fmt.Sprintf("Aggregation(%d)", int(a))
+}
+
+// Valid reports whether a is a known aggregation.
+func (a Aggregation) Valid() bool {
+	switch a {
+	case Max, Min, Sum, WeightedSumPos, WeightedSumLog:
+		return true
+	}
+	return false
+}
+
+// Weight returns the positional weight the aggregation assigns to the
+// item at 0-based position j. Max/Min/Sum use implicit indicator
+// weights and are not expressed through this function.
+func (a Aggregation) Weight(j int) float64 {
+	switch a {
+	case WeightedSumPos:
+		return 1 / float64(j+1)
+	case WeightedSumLog:
+		return 1 / math.Log2(float64(j+2))
+	}
+	return 1
+}
+
+// Aggregate computes the group satisfaction gs(I_g^k) from the group's
+// item scores, ordered best-first. Empty score lists aggregate to 0.
+func (a Aggregation) Aggregate(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	switch a {
+	case Max:
+		return scores[0]
+	case Min:
+		return scores[len(scores)-1]
+	case Sum:
+		s := 0.0
+		for _, v := range scores {
+			s += v
+		}
+		return s
+	case WeightedSumPos, WeightedSumLog:
+		s := 0.0
+		for j, v := range scores {
+			s += a.Weight(j) * v
+		}
+		return s
+	}
+	return 0
+}
+
+// Scorer evaluates group scores over a dataset. Missing is the value
+// imputed for an unrated (user, item) pair; the paper assumes a
+// complete matrix (observed or predicted), so Missing only matters on
+// sparse data. A Missing of 0, below rmin, makes LM ignore items not
+// rated by every member and makes AV weight items by their rater
+// count — both conservative choices.
+type Scorer struct {
+	DS      *dataset.Dataset
+	Missing float64
+	// Weights optionally assigns per-user importance under AV
+	// semantics (the paper's "forming groups where the individual
+	// members are not treated equally" future-work direction): the
+	// AV score becomes the weighted sum of member ratings. Missing
+	// entries and a nil map mean weight 1. Weights do not affect LM,
+	// whose min is scale-free. Weights must be non-negative.
+	Weights map[dataset.UserID]float64
+}
+
+// Weight returns u's weight (1 by default).
+func (sc Scorer) Weight(u dataset.UserID) float64 {
+	if sc.Weights == nil {
+		return 1
+	}
+	if w, ok := sc.Weights[u]; ok {
+		return w
+	}
+	return 1
+}
+
+// ItemScore returns sc(g, i) for the given members under sem.
+func (sc Scorer) ItemScore(sem Semantics, members []dataset.UserID, item dataset.ItemID) float64 {
+	switch sem {
+	case LM:
+		lo := math.Inf(1)
+		for _, u := range members {
+			v, ok := sc.DS.Rating(u, item)
+			if !ok {
+				v = sc.Missing
+			}
+			if v < lo {
+				lo = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			return sc.Missing
+		}
+		return lo
+	case AV:
+		s := 0.0
+		for _, u := range members {
+			v, ok := sc.DS.Rating(u, item)
+			if !ok {
+				v = sc.Missing
+			}
+			s += sc.Weight(u) * v
+		}
+		return s
+	}
+	panic(fmt.Sprintf("semantics: invalid semantics %d", int(sem)))
+}
+
+// TopK computes the group's recommended top-k item list I_g^k under
+// sem, together with the group scores of each listed item in
+// non-increasing order. Ties are broken by ascending item ID, making
+// the list deterministic. Candidate items are the union of the
+// members' rated items; if fewer than k candidates exist, the list is
+// completed with unrated items (whose group score is the imputed
+// value: Missing for LM, |g|*Missing for AV).
+func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset.ItemID, []float64, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("semantics: k must be positive, got %d", k)
+	}
+	if k > sc.DS.NumItems() {
+		return nil, nil, fmt.Errorf("semantics: k=%d exceeds item count %d", k, sc.DS.NumItems())
+	}
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("semantics: empty group")
+	}
+	// One pass over the members' ratings accumulates every candidate
+	// item's min, sum and rater count, from which both semantics
+	// follow in O(total ratings) — crucial for the merged l-th group,
+	// whose member count can approach n.
+	type acc struct {
+		min     float64
+		wsum    float64
+		count   int
+		wraters float64
+	}
+	totalW := 0.0
+	for _, u := range members {
+		totalW += sc.Weight(u)
+	}
+	cand := make(map[dataset.ItemID]*acc)
+	for _, u := range members {
+		w := sc.Weight(u)
+		for _, e := range sc.DS.UserRatings(u) {
+			a, ok := cand[e.Item]
+			if !ok {
+				cand[e.Item] = &acc{min: e.Value, wsum: w * e.Value, count: 1, wraters: w}
+				continue
+			}
+			if e.Value < a.min {
+				a.min = e.Value
+			}
+			a.wsum += w * e.Value
+			a.count++
+			a.wraters += w
+		}
+	}
+	type scored struct {
+		item  dataset.ItemID
+		score float64
+	}
+	all := make([]scored, 0, len(cand))
+	for it, a := range cand {
+		var score float64
+		switch sem {
+		case LM:
+			score = a.min
+			if a.count < len(members) && sc.Missing < score {
+				score = sc.Missing
+			}
+		case AV:
+			score = a.wsum + (totalW-a.wraters)*sc.Missing
+		}
+		all = append(all, scored{it, score})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].item < all[b].item
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	items := make([]dataset.ItemID, 0, k)
+	scores := make([]float64, 0, k)
+	for _, s := range all {
+		items = append(items, s.item)
+		scores = append(scores, s.score)
+	}
+	if len(items) < k {
+		imputed := sc.Missing
+		if sem == AV {
+			imputed = sc.Missing * totalW
+		}
+		for _, it := range sc.DS.Items() {
+			if len(items) == k {
+				break
+			}
+			if cand[it] == nil {
+				items = append(items, it)
+				scores = append(scores, imputed)
+			}
+		}
+	}
+	return items, scores, nil
+}
+
+// Satisfaction computes gs(I_g^k): the group's top-k list under sem is
+// formed and its scores aggregated with agg.
+func (sc Scorer) Satisfaction(sem Semantics, agg Aggregation, members []dataset.UserID, k int) (float64, error) {
+	_, scores, err := sc.TopK(sem, members, k)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Aggregate(scores), nil
+}
+
+// NDCG computes the Normalized Discounted Cumulative Gain of the
+// recommended item list for a single user (Section 6, "weights at the
+// user level"): graded relevance is the user's own rating (missing =
+// Missing), discounted by log2(position+1), normalized by the user's
+// ideal ordering over the same list length.
+func (sc Scorer) NDCG(u dataset.UserID, items []dataset.ItemID) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	dcg := 0.0
+	for j, it := range items {
+		v, ok := sc.DS.Rating(u, it)
+		if !ok {
+			v = sc.Missing
+		}
+		dcg += v / math.Log2(float64(j+2))
+	}
+	// Ideal: user's best len(items) ratings in descending order.
+	entries := sc.DS.UserRatings(u)
+	vals := make([]float64, len(entries))
+	for i, e := range entries {
+		vals[i] = e.Value
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	idcg := 0.0
+	for j := 0; j < len(items); j++ {
+		v := sc.Missing
+		if j < len(vals) {
+			v = vals[j]
+		}
+		idcg += v / math.Log2(float64(j+2))
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}

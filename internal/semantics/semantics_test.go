@@ -1,0 +1,365 @@
+package semantics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"groupform/internal/dataset"
+)
+
+func dense(t *testing.T, rows [][]float64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSemanticsStrings(t *testing.T) {
+	if LM.String() != "LM" || AV.String() != "AV" {
+		t.Error("semantics names wrong")
+	}
+	if Semantics(9).String() == "" || Semantics(9).Valid() {
+		t.Error("invalid semantics handling wrong")
+	}
+	names := map[Aggregation]string{
+		Max: "MAX", Min: "MIN", Sum: "SUM",
+		WeightedSumPos: "WSUM-POS", WeightedSumLog: "WSUM-LOG",
+	}
+	for a, want := range names {
+		if a.String() != want || !a.Valid() {
+			t.Errorf("aggregation %d: %q", int(a), a.String())
+		}
+	}
+	if Aggregation(99).Valid() || Aggregation(99).String() == "" {
+		t.Error("invalid aggregation handling wrong")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	scores := []float64{5, 3, 2}
+	tests := []struct {
+		agg  Aggregation
+		want float64
+	}{
+		{Max, 5},
+		{Min, 2},
+		{Sum, 10},
+		{WeightedSumPos, 5 + 3.0/2 + 2.0/3},
+		{WeightedSumLog, 5 + 3/math.Log2(3) + 2/math.Log2(4)},
+	}
+	for _, tc := range tests {
+		if got := tc.agg.Aggregate(scores); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%v.Aggregate = %v, want %v", tc.agg, got, tc.want)
+		}
+	}
+	if got := Sum.Aggregate(nil); got != 0 {
+		t.Errorf("empty aggregate = %v, want 0", got)
+	}
+}
+
+func TestAggregationsCoincideAtK1(t *testing.T) {
+	// Paper, Section 2.3: when k=1, Max, Min and Sum coincide.
+	scores := []float64{4}
+	for _, a := range []Aggregation{Max, Min, Sum, WeightedSumPos, WeightedSumLog} {
+		if got := a.Aggregate(scores); got != 4 {
+			t.Errorf("%v.Aggregate([4]) = %v, want 4", a, got)
+		}
+	}
+}
+
+func TestItemScoreLMAndAV(t *testing.T) {
+	ds := dense(t, [][]float64{
+		{1, 4},
+		{3, 2},
+	})
+	sc := Scorer{DS: ds}
+	if got := sc.ItemScore(LM, []dataset.UserID{0, 1}, 0); got != 1 {
+		t.Errorf("LM item 0 = %v, want 1", got)
+	}
+	if got := sc.ItemScore(AV, []dataset.UserID{0, 1}, 0); got != 4 {
+		t.Errorf("AV item 0 = %v, want 4", got)
+	}
+	if got := sc.ItemScore(LM, []dataset.UserID{0, 1}, 1); got != 2 {
+		t.Errorf("LM item 1 = %v, want 2", got)
+	}
+	if got := sc.ItemScore(AV, []dataset.UserID{0, 1}, 1); got != 6 {
+		t.Errorf("AV item 1 = %v, want 6", got)
+	}
+}
+
+func TestItemScoreMissing(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 1, 5)
+	b.MustAdd(2, 2, 3)
+	ds := b.Build()
+	sc := Scorer{DS: ds, Missing: 0}
+	if got := sc.ItemScore(LM, []dataset.UserID{1, 2}, 1); got != 0 {
+		t.Errorf("LM with missing = %v, want 0", got)
+	}
+	if got := sc.ItemScore(AV, []dataset.UserID{1, 2}, 1); got != 5 {
+		t.Errorf("AV with missing = %v, want 5", got)
+	}
+}
+
+func TestItemScoreInvalidSemanticsPanics(t *testing.T) {
+	ds := dense(t, [][]float64{{1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid semantics should panic")
+		}
+	}()
+	Scorer{DS: ds}.ItemScore(Semantics(7), []dataset.UserID{0}, 0)
+}
+
+// TestExample3 reproduces the paper's Example 3: u1 = (5,4,1),
+// u2 = (1,4,5). Under LM and k=2, the recommended list for {u1,u2}
+// puts i2 on top with LM score 4, and every other item has LM score 1.
+func TestExample3(t *testing.T) {
+	ds := dense(t, [][]float64{
+		{5, 4, 1},
+		{1, 4, 5},
+	})
+	sc := Scorer{DS: ds}
+	items, scores, err := sc.TopK(LM, []dataset.UserID{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0] != 1 || scores[0] != 4 {
+		t.Errorf("top item = i%d score %v, want i2 score 4", items[0]+1, scores[0])
+	}
+	if scores[1] != 1 {
+		t.Errorf("bottom score = %v, want 1", scores[1])
+	}
+	// Min-aggregation satisfaction is therefore 1, as the paper
+	// argues ("its LM score is just 1 in this example").
+	sat, err := sc.Satisfaction(LM, Min, []dataset.UserID{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat != 1 {
+		t.Errorf("satisfaction = %v, want 1", sat)
+	}
+}
+
+// TestExample4 reproduces the AV subtlety of the paper's Example 4:
+// grouping u1 with u2,u3 yields group list (i2; i1) and Min-aggregated
+// AV satisfaction 13.
+func TestExample4(t *testing.T) {
+	ds := dense(t, [][]float64{
+		{5, 4},
+		{4, 5},
+		{4, 5},
+		{3, 2},
+	})
+	sc := Scorer{DS: ds}
+	items, scores, err := sc.TopK(AV, []dataset.UserID{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0] != 1 || items[1] != 0 {
+		t.Errorf("items = %v, want [1 0] (i2;i1)", items)
+	}
+	if scores[0] != 14 || scores[1] != 13 {
+		t.Errorf("scores = %v, want [14 13]", scores)
+	}
+	sat, err := sc.Satisfaction(AV, Min, []dataset.UserID{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat != 13 {
+		t.Errorf("satisfaction = %v, want 13", sat)
+	}
+	// The singleton {u4}: top-2 = (i1:3, i2:2), Min -> 2.
+	sat4, err := sc.Satisfaction(AV, Min, []dataset.UserID{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat4 != 2 {
+		t.Errorf("singleton satisfaction = %v, want 2", sat4)
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	ds := dense(t, [][]float64{{1, 2}})
+	sc := Scorer{DS: ds}
+	if _, _, err := sc.TopK(LM, []dataset.UserID{0}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := sc.TopK(LM, []dataset.UserID{0}, 3); err == nil {
+		t.Error("k>m should error")
+	}
+	if _, _, err := sc.TopK(LM, nil, 1); err == nil {
+		t.Error("empty group should error")
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	ds := dense(t, [][]float64{{3, 3, 3}})
+	sc := Scorer{DS: ds}
+	items, _, err := sc.TopK(LM, []dataset.UserID{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0] != 0 || items[1] != 1 {
+		t.Errorf("ties must resolve by ascending item ID, got %v", items)
+	}
+}
+
+func TestTopKPadsWhenCandidatesShort(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 1, 5)
+	b.MustAdd(2, 2, 4) // user 2 contributes item 2 to the dataset
+	ds := b.Build()
+	sc := Scorer{DS: ds, Missing: 0}
+	items, scores, err := sc.TopK(AV, []dataset.UserID{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || len(scores) != 2 {
+		t.Fatalf("padded top-k length = %d", len(items))
+	}
+	if items[0] != 1 || scores[0] != 5 {
+		t.Errorf("first = i%d:%v", items[0], scores[0])
+	}
+	if items[1] != 2 || scores[1] != 0 {
+		t.Errorf("pad = i%d:%v, want i2:0", items[1], scores[1])
+	}
+}
+
+func TestWeights(t *testing.T) {
+	if WeightedSumPos.Weight(0) != 1 || WeightedSumPos.Weight(1) != 0.5 {
+		t.Error("position weights wrong")
+	}
+	if math.Abs(WeightedSumLog.Weight(0)-1) > 1e-12 {
+		t.Error("log weight at position 0 should be 1")
+	}
+	if Sum.Weight(3) != 1 {
+		t.Error("unweighted aggregations have unit weight")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	ds := dense(t, [][]float64{{5, 4, 3, 2, 1}})
+	sc := Scorer{DS: ds}
+	// Recommending the user's own ideal top-2 gives NDCG 1.
+	if got := sc.NDCG(0, []dataset.ItemID{0, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal NDCG = %v, want 1", got)
+	}
+	// A worse list scores strictly less.
+	worse := sc.NDCG(0, []dataset.ItemID{4, 3})
+	if worse >= 1 || worse <= 0 {
+		t.Errorf("worse NDCG = %v, want in (0,1)", worse)
+	}
+	if got := sc.NDCG(0, nil); got != 0 {
+		t.Errorf("empty list NDCG = %v, want 0", got)
+	}
+}
+
+func TestNDCGUnratedUser(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 1, 5)
+	ds := b.Build()
+	sc := Scorer{DS: ds, Missing: 0}
+	// User 99 has no ratings; ideal DCG is 0, NDCG defined as 0.
+	if got := sc.NDCG(99, []dataset.ItemID{1}); got != 0 {
+		t.Errorf("NDCG of unknown user = %v, want 0", got)
+	}
+}
+
+// Property: adding a member to a group never increases any item's LM
+// score and never decreases its AV score (for non-negative ratings).
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(6), 1+rng.Intn(6)
+		rows := make([][]float64, n)
+		for u := range rows {
+			rows[u] = make([]float64, m)
+			for i := range rows[u] {
+				rows[u][i] = float64(1 + rng.Intn(5))
+			}
+		}
+		ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+		if err != nil {
+			return false
+		}
+		sc := Scorer{DS: ds}
+		group := []dataset.UserID{}
+		for u := 0; u < n-1; u++ {
+			group = append(group, dataset.UserID(u))
+		}
+		bigger := append(append([]dataset.UserID{}, group...), dataset.UserID(n-1))
+		for i := 0; i < m; i++ {
+			it := dataset.ItemID(i)
+			if sc.ItemScore(LM, bigger, it) > sc.ItemScore(LM, group, it) {
+				return false
+			}
+			if sc.ItemScore(AV, bigger, it) < sc.ItemScore(AV, group, it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopK returns scores in non-increasing order, of exactly
+// length k, and the scores match ItemScore recomputation.
+func TestTopKValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(5), 2+rng.Intn(8)
+		rows := make([][]float64, n)
+		for u := range rows {
+			rows[u] = make([]float64, m)
+			for i := range rows[u] {
+				rows[u][i] = float64(1 + rng.Intn(5))
+			}
+		}
+		ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+		if err != nil {
+			return false
+		}
+		sc := Scorer{DS: ds}
+		members := []dataset.UserID{}
+		for u := 0; u < n; u++ {
+			members = append(members, dataset.UserID(u))
+		}
+		k := 1 + rng.Intn(m)
+		for _, sem := range []Semantics{LM, AV} {
+			items, scores, err := sc.TopK(sem, members, k)
+			if err != nil || len(items) != k || len(scores) != k {
+				return false
+			}
+			for j := range items {
+				if sc.ItemScore(sem, members, items[j]) != scores[j] {
+					return false
+				}
+				if j > 0 && scores[j] > scores[j-1] {
+					return false
+				}
+			}
+			// No unlisted item may beat the k-th listed score.
+			listed := map[dataset.ItemID]bool{}
+			for _, it := range items {
+				listed[it] = true
+			}
+			for i := 0; i < m; i++ {
+				it := dataset.ItemID(i)
+				if !listed[it] && sc.ItemScore(sem, members, it) > scores[k-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides small numeric helpers used throughout the
+// repository: means, variance, standard error, and quantile summaries.
+//
+// The package is deliberately dependency-free and operates on float64
+// slices. All functions treat an empty input as an error rather than
+// silently returning zero, because the experiment harnesses must not
+// confuse "no data" with "zero satisfaction".
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// MustMean is Mean but panics on empty input. Use it only where the
+// caller has already established the slice is non-empty.
+func MustMean(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs
+// (denominator n-1). It requires at least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs >= 2 observations, got %d", len(xs))
+	}
+	m := MustMean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// StdErr returns the standard error of the mean, s/sqrt(n). The paper's
+// user-study figures carry standard error bars; the study harness uses
+// this to reproduce them.
+func StdErr(xs []float64) (float64, error) {
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return sd / math.Sqrt(float64(len(xs))), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the default
+// of R and NumPy). xs need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// FivePoint is the 5-point summary (min, Q1, median, Q3, max) the paper
+// uses in Table 4 to describe group-size distributions.
+type FivePoint struct {
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes the 5-point summary of xs.
+func Summarize(xs []float64) (FivePoint, error) {
+	if len(xs) == 0 {
+		return FivePoint{}, ErrEmpty
+	}
+	var fp FivePoint
+	var err error
+	if fp.Min, err = Quantile(xs, 0); err != nil {
+		return fp, err
+	}
+	if fp.Q1, err = Quantile(xs, 0.25); err != nil {
+		return fp, err
+	}
+	if fp.Median, err = Quantile(xs, 0.5); err != nil {
+		return fp, err
+	}
+	if fp.Q3, err = Quantile(xs, 0.75); err != nil {
+		return fp, err
+	}
+	fp.Max, err = Quantile(xs, 1)
+	return fp, err
+}
+
+// String renders the summary in the "min/Q1/median/Q3/max" form used by
+// the Table 4 reproduction.
+func (fp FivePoint) String() string {
+	return fmt.Sprintf("min=%.2f Q1=%.2f med=%.2f Q3=%.2f max=%.2f",
+		fp.Min, fp.Q1, fp.Median, fp.Q3, fp.Max)
+}
+
+// Average pools several 5-point summaries component-wise; the paper
+// reports "average minimum size, average Q1, ..." over repeated runs.
+func Average(fps []FivePoint) (FivePoint, error) {
+	if len(fps) == 0 {
+		return FivePoint{}, ErrEmpty
+	}
+	var out FivePoint
+	for _, fp := range fps {
+		out.Min += fp.Min
+		out.Q1 += fp.Q1
+		out.Median += fp.Median
+		out.Q3 += fp.Q3
+		out.Max += fp.Max
+	}
+	n := float64(len(fps))
+	out.Min /= n
+	out.Q1 /= n
+	out.Median /= n
+	out.Q3 /= n
+	out.Max /= n
+	return out, nil
+}
+
+// MinMax returns the minimum and maximum of xs in one pass.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Ints converts an int slice to float64 for use with the helpers above.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1}, 0},
+		{"typical", []float64{1, 2, 3, 4, 5}, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Mean(tc.in)
+			if err != nil {
+				t.Fatalf("Mean(%v): %v", tc.in, err)
+			}
+			if !almostEq(got, tc.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) should error")
+	}
+}
+
+func TestMustMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMean(nil) should panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+	if got := Sum([]float64{1.5, 2.5, -1}); !almostEq(got, 3) {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n-1 denominator: 32/7.
+	if !almostEq(v, 32.0/7.0) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sd, math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestVarianceTooFew(t *testing.T) {
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Fatal("Variance of 1 element should error")
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	se, err := StdErr(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := StdDev(xs)
+	if !almostEq(se, sd/2) {
+		t.Errorf("StdErr = %v, want %v", se, sd/2)
+	}
+	if _, err := StdErr([]float64{1}); err == nil {
+		t.Fatal("StdErr of 1 element should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 2.5) {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 should error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1 should error")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN q should error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	fp, err := Summarize([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FivePoint{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5}
+	if fp != want {
+		t.Errorf("Summarize = %+v, want %+v", fp, want)
+	}
+	if fp.String() == "" {
+		t.Error("String should be non-empty")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := FivePoint{1, 2, 3, 4, 5}
+	b := FivePoint{3, 4, 5, 6, 7}
+	got, err := Average([]FivePoint{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FivePoint{2, 3, 4, 5, 6}
+	if got != want {
+		t.Errorf("Average = %+v, want %+v", got, want)
+	}
+	if _, err := Average(nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Ints = %v", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		clamp := func(q float64) float64 {
+			q = math.Abs(q)
+			return q - math.Floor(q)
+		}
+		a, b := clamp(q1), clamp(q2)
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return va <= vb+1e-9 && va >= lo-1e-9 && vb <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize ordering min <= Q1 <= median <= Q3 <= max.
+func TestSummarizeOrderedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		fp, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		ordered := fp.Min <= fp.Q1 && fp.Q1 <= fp.Median && fp.Median <= fp.Q3 && fp.Q3 <= fp.Max
+		s := make([]float64, len(xs))
+		copy(s, xs)
+		sort.Float64s(s)
+		return ordered && almostEq(fp.Min, s[0]) && almostEq(fp.Max, s[len(s)-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	ds, err := Generate(Config{Users: 50, Items: 20, Clusters: 4, RatingsPerUser: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 50 {
+		t.Errorf("users = %d, want 50", ds.NumUsers())
+	}
+	if ds.NumItems() > 20 {
+		t.Errorf("items = %d, want <= 20", ds.NumItems())
+	}
+	for _, u := range ds.Users() {
+		if got := len(ds.UserRatings(u)); got != 10 {
+			t.Fatalf("user %d has %d ratings, want 10", u, got)
+		}
+		for _, e := range ds.UserRatings(u) {
+			if !ds.Scale().Valid(e.Value) {
+				t.Fatalf("rating %v outside scale", e.Value)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Users: 30, Items: 15, Clusters: 3, RatingsPerUser: 8, NoiseRate: 0.2, ExploreFrac: 0.3, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRatings() != b.NumRatings() {
+		t.Fatal("two runs with one seed differ in size")
+	}
+	for _, u := range a.Users() {
+		ea, eb := a.UserRatings(u), b.UserRatings(u)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("user %d entry %d differs: %v vs %v", u, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(Config{Users: 30, Items: 15, Clusters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Users: 30, Items: 15, Clusters: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, u := range a.Users() {
+		ea, eb := a.UserRatings(u), b.UserRatings(u)
+		if len(ea) != len(eb) {
+			same = false
+			break
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateDense(t *testing.T) {
+	ds, err := Generate(Config{Users: 10, Items: 8, Clusters: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRatings() != 80 {
+		t.Errorf("dense generation: %d ratings, want 80", ds.NumRatings())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []Config{
+		{Users: 0, Items: 5},
+		{Users: 5, Items: 0},
+		{Users: 5, Items: 5, ExploreFrac: 1.5},
+		{Users: 5, Items: 5, NoiseRate: -0.1},
+		{Users: 5, Items: 5, Scale: dataset.Scale{Min: 5, Max: 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+// TestClusterStructureIsVisible checks the property the generator
+// exists for: same-cluster users share top-k sequences often enough
+// that the greedy bucketization finds far fewer buckets than users.
+func TestClusterStructureIsVisible(t *testing.T) {
+	ds, err := Generate(Config{Users: 200, Items: 50, Clusters: 8, RatingsPerUser: 20, NoiseRate: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Form(ds, core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise, users of a cluster rate the same prefix with the
+	// same decaying ratings, so buckets collapse to near the cluster
+	// count.
+	if res.Buckets > 20 {
+		t.Errorf("buckets = %d, expected clustering to collapse near 8", res.Buckets)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	y, err := YahooLike(100, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NumUsers() != 100 {
+		t.Errorf("yahoo users = %d", y.NumUsers())
+	}
+	m, err := MovieLensLike(80, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 80 {
+		t.Errorf("movielens users = %d", m.NumUsers())
+	}
+	f, err := FlickrPOIs(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumUsers() != 50 || f.NumItems() != 10 {
+		t.Errorf("flickr = %d users, %d items", f.NumUsers(), f.NumItems())
+	}
+	if f.NumRatings() != 500 {
+		t.Errorf("flickr should be dense: %d ratings", f.NumRatings())
+	}
+}
+
+func TestFromUserEntriesIntegration(t *testing.T) {
+	// Large-ish generation goes through the fast constructor; sanity
+	// check ordering and dedup there.
+	ds, err := dataset.FromUserEntries(dataset.DefaultScale, map[dataset.UserID][]dataset.Entry{
+		7: {{Item: 3, Value: 2}, {Item: 1, Value: 4}, {Item: 3, Value: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := ds.UserRatings(7)
+	if len(es) != 2 || es[0].Item != 1 || es[1].Item != 3 || es[1].Value != 5 {
+		t.Errorf("entries = %v, want sorted dedup with last-wins", es)
+	}
+	if _, err := dataset.FromUserEntries(dataset.DefaultScale, map[dataset.UserID][]dataset.Entry{
+		1: {{Item: 1, Value: 99}},
+	}); err == nil {
+		t.Error("out-of-scale entry should be rejected")
+	}
+}
