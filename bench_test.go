@@ -116,6 +116,53 @@ func BenchmarkGRDUsers(b *testing.B) {
 	}
 }
 
+// BenchmarkGRDParallel is the serial-vs-parallel comparison of the
+// sharded formation pipeline: GRD-LM-Min across the paper's
+// user-count sweep at worker counts 1, 2 and 8. Every cell forms
+// byte-identical groups (the pipeline's determinism contract), so
+// the ratio between the workers=1 and workers=8 rows of one n is a
+// pure speedup measurement. The ceiling is min(workers, GOMAXPROCS);
+// see docs/ARCHITECTURE.md for measured numbers.
+func BenchmarkGRDParallel(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		ds := benchDataset(b, n, 2000)
+		for _, w := range []int{1, 2, 8} {
+			cfg := core.Config{
+				K: 5, L: 10,
+				Semantics: semantics.LM, Aggregation: semantics.Min,
+				Workers: w,
+			}
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Form(ds, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGRDParallelAV is the AV-side companion: the merged l-th
+// group's chunked top-k accumulation dominates here.
+func BenchmarkGRDParallelAV(b *testing.B) {
+	ds := benchDataset(b, 100000, 2000)
+	for _, w := range []int{1, 2, 8} {
+		cfg := core.Config{
+			K: 5, L: 10,
+			Semantics: semantics.AV, Aggregation: semantics.Min,
+			Workers: w,
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Form(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGRDTopK mirrors Figure 5: k grows geometrically.
 func BenchmarkGRDTopK(b *testing.B) {
 	ds := benchDataset(b, 10000, 2000)

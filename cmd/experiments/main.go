@@ -32,15 +32,16 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		exp   = fs.String("exp", "", "comma-separated exhibit IDs (default: all); e.g. f1a,t4,f7")
-		paper = fs.Bool("paper", false, "use the paper's parameter scales (much slower)")
-		seed  = fs.Int64("seed", 1, "base random seed")
-		runs  = fs.Int("runs", 0, "quality-metric repetitions (default 1 small / 3 paper)")
+		exp     = fs.String("exp", "", "comma-separated exhibit IDs (default: all); e.g. f1a,t4,f7")
+		paper   = fs.Bool("paper", false, "use the paper's parameter scales (much slower)")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		runs    = fs.Int("runs", 0, "quality-metric repetitions (default 1 small / 3 paper)")
+		workers = fs.Int("workers", 0, "formation worker count for the runtime exhibits (0 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Runs: *runs}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Workers: *workers}
 	if *paper {
 		opts.Scale = experiments.ScalePaper
 	}
@@ -58,7 +59,7 @@ func run(args []string, out io.Writer) error {
 		id = strings.TrimSpace(id)
 		runner := experiments.Lookup(id)
 		if runner == nil {
-			return fmt.Errorf("unknown exhibit %q (known: t3 f1a-f1c f2a-f2b f3a-f3d t4 f4a-f4c f5a-f5d f6a-f6c f7)", id)
+			return fmt.Errorf("unknown exhibit %q (known: t3 f1a-f1c f2a-f2b f3a-f3d t4 f4a-f4c f5a-f5d f6a-f6c f7 p1 a1-a4)", id)
 		}
 		start := time.Now()
 		ex, err := runner(opts)

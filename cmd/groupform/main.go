@@ -5,7 +5,8 @@
 // Usage:
 //
 //	groupform -input ratings.csv [-format csv|movielens] \
-//	    -k 5 -l 10 -semantics lm -agg min [-algorithm grd] [-densify knn]
+//	    -k 5 -l 10 -semantics lm -agg min [-algorithm grd] \
+//	    [-densify knn] [-workers 8]
 //
 // Algorithms: grd (the paper's greedy, default), baseline
 // (Kendall-Tau k-medoids clustering), kmeans (vector k-means
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		algorithm = fs.String("algorithm", "grd", "grd, baseline, kmeans, exact or localsearch")
 		densify   = fs.String("densify", "", "optional predictor to complete sparse ratings: knn, itemknn or mf")
 		seed      = fs.Int64("seed", 1, "seed for randomized algorithms")
+		workers   = fs.Int("workers", 0, "formation worker count (0 or 1 = serial, -1 = all CPUs); forms the same groups for every value on standard rating scales")
 		verbose   = fs.Bool("v", false, "print members of every group")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +98,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "densified to %s\n", ds.Describe())
 	}
 
-	cfg := groupform.Config{K: *k, L: *l}
+	cfg := groupform.Config{K: *k, L: *l, Workers: *workers}
 	switch strings.ToLower(*sem) {
 	case "lm":
 		cfg.Semantics = groupform.LM
@@ -135,7 +137,7 @@ func run(args []string, out io.Writer) error {
 	case "exact":
 		res, err = groupform.FormExact(ds, cfg)
 	case "localsearch":
-		res, err = groupform.FormLocalSearch(ds, cfg, groupform.LSOptions{Anneal: true, Seed: *seed})
+		res, err = groupform.FormLocalSearch(ds, cfg, groupform.LSOptions{Anneal: true, Seed: *seed, Workers: *workers})
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algorithm)
 	}

@@ -161,3 +161,24 @@ func TestRunBinaryFormat(t *testing.T) {
 		t.Errorf("binary path output:\n%s", out.String())
 	}
 }
+
+// TestRunWorkersFlag: the -workers flag must not change the printed
+// groups — the parallel pipeline's determinism contract, observed
+// end to end through the CLI.
+func TestRunWorkersFlag(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	args := []string{"-input", path, "-k", "1", "-l", "3", "-semantics", "lm", "-agg", "min", "-v"}
+	var serial bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "8", "-1"} {
+		var par bytes.Buffer
+		if err := run(append([]string{"-workers", w}, args...), &par); err != nil {
+			t.Fatal(err)
+		}
+		if par.String() != serial.String() {
+			t.Fatalf("-workers %s changed the output:\nserial:\n%s\nparallel:\n%s", w, serial.String(), par.String())
+		}
+	}
+}

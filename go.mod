@@ -1,0 +1,3 @@
+module groupform
+
+go 1.24

@@ -23,6 +23,19 @@
 //		fmt.Println(g.Members, g.Items, g.Satisfaction)
 //	}
 //
+// # Parallelism
+//
+// Setting Config.Workers to N >= 2 runs the formation pipeline —
+// preference lists, bucketizing, and group finalization — on a pool
+// of N workers (-1 means all CPUs). The result is byte-identical to
+// the serial path for every worker count — unconditionally under LM,
+// and under AV for exactly-representable weighted ratings (any
+// dyadic scale, including the usual 1-5 stars; see core.Config's
+// Workers field for the one last-ulp caveat on non-dyadic AV data) —
+// so Workers moves the wall clock, not the groups. LSOptions.Workers
+// likewise fans local-search restarts out. See docs/ARCHITECTURE.md
+// for the sharding strategy and determinism argument.
+//
 // Beyond the greedy algorithms the package exposes the paper's
 // clustering baselines (FormBaseline), optimal reference solvers
 // (FormExact for small instances, FormLocalSearch as a scalable
@@ -72,7 +85,7 @@ type (
 	Scorer = semantics.Scorer
 
 	// Config parameterizes a formation run (K, L, semantics,
-	// aggregation, missing-rating policy).
+	// aggregation, missing-rating policy, worker count).
 	Config = core.Config
 	// Group is a formed group with its recommended list.
 	Group = core.Group

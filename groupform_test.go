@@ -2,6 +2,7 @@ package groupform
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -153,6 +154,34 @@ func TestWeightedAggregationThroughFacade(t *testing.T) {
 		}
 		if res.Objective <= 0 {
 			t.Errorf("%v objective = %v", agg, res.Objective)
+		}
+	}
+}
+
+// TestParallelFormThroughFacade exercises the Workers option on the
+// public API: parallel runs must reproduce the serial result exactly,
+// for both semantics, including the negative all-CPUs setting.
+func TestParallelFormThroughFacade(t *testing.T) {
+	ds, err := YahooLike(1200, 150, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []Semantics{LM, AV} {
+		cfg := Config{K: 5, L: 10, Semantics: sem, Aggregation: Min}
+		serial, err := Form(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 8, -1} {
+			c := cfg
+			c.Workers = w
+			got, err := Form(ds, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("%v workers=%d: parallel result differs from serial", sem, w)
+			}
 		}
 	}
 }

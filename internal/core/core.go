@@ -40,9 +40,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"groupform/internal/dataset"
+	"groupform/internal/par"
 	"groupform/internal/rank"
 	"groupform/internal/semantics"
 )
@@ -66,6 +68,30 @@ type Config struct {
 	// or missing entries mean weight 1. Weights must be
 	// non-negative. LM is unaffected by weights.
 	UserWeights map[dataset.UserID]float64
+	// Workers sets the parallelism of the formation pipeline: 0 or 1
+	// selects the single-threaded reference path, N >= 2 shards
+	// preference-list construction, bucketizing and group
+	// finalization over N workers, and a negative value uses
+	// runtime.GOMAXPROCS(0). The output is byte-identical to the
+	// serial path for every worker count — unconditionally under LM,
+	// and under AV whenever every weight*rating is exactly
+	// representable (any dyadic rating scale; the merged group's
+	// chunked accumulation reassociates AV sums, which is otherwise
+	// deterministic per worker count but can drift from serial in the
+	// last ulp — see semantics.Scorer.Workers and
+	// docs/ARCHITECTURE.md for the full determinism argument).
+	Workers int
+}
+
+// workerCount resolves Workers to an effective pool size (>= 1).
+func (c Config) workerCount() int {
+	if c.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Validate reports whether the configuration is usable against ds.
@@ -96,9 +122,13 @@ func (c Config) Validate(ds *dataset.Dataset) error {
 	return nil
 }
 
-// scorer builds the semantics scorer for this configuration.
+// scorer builds the semantics scorer for this configuration. The
+// scorer inherits the configured worker pool, so the merged l-th
+// group's top-k computation — the one full-membership pass the greedy
+// framework cannot avoid — parallelizes with the rest of the
+// pipeline.
 func (c Config) scorer(ds *dataset.Dataset) semantics.Scorer {
-	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights}
+	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights, Workers: c.workerCount()}
 }
 
 // weight returns u's AV weight under this configuration.
@@ -160,15 +190,25 @@ type bucket struct {
 }
 
 // Form runs the greedy group-formation algorithm selected by cfg.
+// With cfg.Workers >= 2 every phase — preference lists, bucketizing,
+// piece materialization and the merged group's top-k — runs on a
+// worker pool while producing byte-identical results to the serial
+// path (the shard merges replay the serial fold order).
 func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
-	prefs, err := rank.AllTopK(ds, cfg.K, cfg.Missing)
+	workers := cfg.workerCount()
+	prefs, err := rank.AllTopKParallel(ds, cfg.K, cfg.Missing, workers)
 	if err != nil {
 		return nil, err
 	}
-	buckets := bucketize(prefs, cfg)
+	var buckets map[string]*bucket
+	if par.Enabled(workers) {
+		buckets = bucketizeParallel(prefs, cfg, workers)
+	} else {
+		buckets = bucketize(prefs, cfg)
+	}
 	res := &Result{Buckets: len(buckets), Algorithm: cfg.AlgorithmName()}
 	scorer := cfg.scorer(ds)
 
@@ -191,13 +231,24 @@ func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		res.Groups = groups
 	} else {
 		h := newBucketHeap(buckets, cfg.Aggregation)
-		for len(res.Groups) < cfg.L-1 {
-			b := heap.Pop(h).(*bucket)
-			g, err := finalizeBucket(scorer, b, b.members, cfg)
+		popped := make([]*bucket, 0, cfg.L-1)
+		for len(popped) < cfg.L-1 {
+			popped = append(popped, heap.Pop(h).(*bucket))
+		}
+		// Finalization of the popped buckets is independent per
+		// bucket, so it fans out; each task writes only its own
+		// index (see nestedScorer for when the per-bucket top-k
+		// keeps its own parallelism).
+		res.Groups = make([]Group, len(popped))
+		errs := make([]error, len(popped))
+		bucketScorer := nestedScorer(scorer, len(popped), workers)
+		par.Do(len(popped), workers, func(i int) {
+			res.Groups[i], errs[i] = finalizeBucket(bucketScorer, popped[i], popped[i].members, cfg)
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			res.Groups = append(res.Groups, g)
 		}
 		// Merge the remaining buckets into the l-th group and
 		// compute its top-k list from scratch.
@@ -260,40 +311,73 @@ func splitBuckets(ds *dataset.Dataset, scorer semantics.Scorer, buckets map[stri
 		pieces[best]++
 		total++
 	}
-	var groups []Group
+	// Slice every bucket into its pieces up front, then materialize
+	// the pieces on the worker pool: each piece reads only its own
+	// disjoint member sub-slice and writes only its own index, and
+	// the slicing itself is deterministic (par.Ranges' contiguous,
+	// near-even chunks — the pipeline's one partitioning convention),
+	// so the output is identical for every worker count.
+	type piece struct {
+		b      *bucket
+		part   []dataset.UserID
+		refold bool
+	}
+	var tasks []piece
 	for i, b := range ordered {
 		sortUsers(b.members)
 		n := len(b.members)
-		p := pieces[i]
-		// Contiguous, near-even chunks keep the output deterministic.
-		start := 0
-		for c := 0; c < p; c++ {
-			size := n / p
-			if c < n%p {
-				size++
+		for _, r := range par.Ranges(n, pieces[i]) {
+			part := b.members[r[0]:r[1]]
+			tasks = append(tasks, piece{
+				b:    b,
+				part: part,
+				// A strict piece of a full-sequence bucket refolds
+				// the stored positions over the piece's members; all
+				// other pieces finalize like a whole bucket.
+				refold: len(b.items) == cfg.K && len(part) < n,
+			})
+		}
+	}
+	groups := make([]Group, len(tasks))
+	errs := make([]error, len(tasks))
+	pieceScorer := nestedScorer(scorer, len(tasks), cfg.workerCount())
+	par.Do(len(tasks), cfg.workerCount(), func(i int) {
+		t := tasks[i]
+		if t.refold {
+			g := Group{
+				Members:    t.part,
+				Items:      t.b.items,
+				ItemScores: pieceScores(ds, t.part, t.b, cfg),
 			}
-			part := b.members[start : start+size]
-			start += size
-			if len(b.items) == cfg.K && len(part) < n {
-				// A strict piece of a full-sequence bucket: refold
-				// the stored positions over the piece's members.
-				groups = append(groups, Group{
-					Members:    part,
-					Items:      b.items,
-					ItemScores: pieceScores(ds, part, b, cfg),
-				})
-				g := &groups[len(groups)-1]
-				g.Satisfaction = cfg.Aggregation.Aggregate(g.ItemScores)
-				continue
-			}
-			g, err := finalizeBucket(scorer, b, part, cfg)
-			if err != nil {
-				return nil, err
-			}
-			groups = append(groups, g)
+			g.Satisfaction = cfg.Aggregation.Aggregate(g.ItemScores)
+			groups[i] = g
+			return
+		}
+		groups[i], errs[i] = finalizeBucket(pieceScorer, t.b, t.part, cfg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return groups, nil
+}
+
+// nestedScorer decides whether scorer calls made from inside an
+// outer fan-out of `tasks` tasks keep their own parallelism: when the
+// outer fan-out alone fills the pool, the nested scorer goes serial
+// (nested goroutines would only add scheduling overhead); when there
+// are fewer tasks than workers — one dominant bucket, a tiny L — the
+// nested scorer keeps the pool, so a lone full top-k computation
+// still parallelizes. Determinism is unaffected either way: the only
+// scorer work reachable from bucket finalization is the LM-MAX list
+// completion, and the chunked accumulation is unconditionally
+// bit-exact under LM.
+func nestedScorer(scorer semantics.Scorer, tasks, workers int) semantics.Scorer {
+	if tasks >= workers {
+		scorer.Workers = 1
+	}
+	return scorer
 }
 
 // pieceScores recomputes the per-position group scores of a bucket
@@ -366,47 +450,67 @@ func bucketize(prefs []rank.PrefList, cfg Config) map[string]*bucket {
 		key := string(keyBuf)
 		b, ok := buckets[key]
 		if !ok {
-			// The pref list's slices are freshly allocated per user,
-			// so the bucket can adopt them without copying — at
-			// large n*k the copies would dominate memory.
-			items, scores := p.Items, p.Scores
-			if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {
-				// LM-MAX buckets agree only on the (top item, score)
-				// pair; members' list tails differ, so only position
-				// 0 is stored and the final list is completed later.
-				items, scores = items[:1], scores[:1]
-			}
-			scoresOwned := scores
-			if cfg.Semantics == semantics.AV {
-				// AV folds weighted copies; never alias the pref list.
-				w := cfg.weight(p.User)
-				scoresOwned = make([]float64, len(scores))
-				for j, s := range scores {
-					scoresOwned[j] = w * s
-				}
-			}
-			b = &bucket{key: key, items: items, scores: scoresOwned}
+			items, scores := seedBucket(p, cfg, false)
+			b = &bucket{key: key, items: items, scores: scores}
 			buckets[key] = b
 		} else {
-			// Fold the joining member's scores into the stored
-			// positions (LM-MAX buckets store a single position).
-			switch cfg.Semantics {
-			case semantics.LM:
-				for j := range b.scores {
-					if s := p.Scores[j]; s < b.scores[j] {
-						b.scores[j] = s
-					}
-				}
-			case semantics.AV:
-				w := cfg.weight(p.User)
-				for j := range b.scores {
-					b.scores[j] += w * p.Scores[j]
-				}
-			}
+			foldBucketMember(b.scores, p, cfg)
 		}
 		b.members = append(b.members, p.User)
 	}
 	return buckets
+}
+
+// seedBucket returns the item list and initial score positions of a
+// bucket created by preference list p. LM-MAX buckets agree only on
+// the (top item, score) pair — members' list tails differ, so only
+// position 0 is stored and the final list is completed later. With
+// copyScores false the bucket adopts the pref list's freshly
+// allocated slices without copying (at large n*k the copies would
+// dominate memory); the parallel shards force a copy because they
+// must not mutate scores the merge later replays. AV always folds
+// weighted copies and never aliases the pref list.
+func seedBucket(p rank.PrefList, cfg Config, copyScores bool) ([]dataset.ItemID, []float64) {
+	items, scores := p.Items, p.Scores
+	if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {
+		items, scores = items[:1], scores[:1]
+	}
+	if cfg.Semantics == semantics.AV {
+		w := cfg.weight(p.User)
+		owned := make([]float64, len(scores))
+		for j, s := range scores {
+			owned[j] = w * s
+		}
+		return items, owned
+	}
+	if copyScores {
+		owned := make([]float64, len(scores))
+		copy(owned, scores)
+		return items, owned
+	}
+	return items, scores
+}
+
+// foldBucketMember folds a joining member's scores into the bucket's
+// stored positions (LM-MAX buckets store a single position): min for
+// LM, weighted sum for AV. This single fold is executed by the serial
+// pass, by the parallel shard passes, and again by the shard merge
+// when it replays cross-shard joins — keeping every path's arithmetic
+// literally the same code.
+func foldBucketMember(scores []float64, p rank.PrefList, cfg Config) {
+	switch cfg.Semantics {
+	case semantics.LM:
+		for j := range scores {
+			if s := p.Scores[j]; s < scores[j] {
+				scores[j] = s
+			}
+		}
+	case semantics.AV:
+		w := cfg.weight(p.User)
+		for j := range scores {
+			scores[j] += w * p.Scores[j]
+		}
+	}
 }
 
 // appendKey encodes the hashing key for a preference list under cfg.

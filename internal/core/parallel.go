@@ -1,0 +1,117 @@
+// Sharded bucketizing for the parallel formation pipeline.
+//
+// The determinism contract: bucketizeParallel must return exactly the
+// map bucketize returns — same keys, same member order, same score
+// bits — for every worker count. Three properties deliver that:
+//
+//  1. Shards are contiguous ranges of the (sorted-user-order) pref
+//     list slice, and the merge visits shards in ascending order, so
+//     a bucket's members concatenate in the same order the serial
+//     pass appends them.
+//  2. A shard-local bucket's scores are the serial left fold over the
+//     shard's own members (shard passes run the same seed/fold code
+//     as the serial pass). The merge adopts the partial of the first
+//     shard that saw the key — the serial fold's prefix — and folds
+//     later shards in, in order. Under AV it replays every later
+//     member one at a time through the same foldBucketMember,
+//     reproducing the serial fold's exact operation sequence, so the
+//     non-associative float sums come out bit-identical regardless
+//     of where the shard boundaries fall. Under LM the shard partial
+//     merges directly by element-wise min, which is bit-exact
+//     because min with strict-< keep-first semantics is associative:
+//     both the flat fold and the fold of shard folds keep the
+//     earliest minimal element's bit pattern.
+//  3. Iteration order over a shard's map is irrelevant: distinct keys
+//     are independent, and within one key the merge order is fixed by
+//     1 and 2.
+//
+// The replay needs each member's original preference scores after the
+// shard pass mutated its local fold, so shard buckets track members
+// as indices into the pref slice and always own a copy of their score
+// positions (seedBucket's copyScores).
+package core
+
+import (
+	"groupform/internal/dataset"
+	"groupform/internal/par"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+)
+
+// shardBucket is a worker-local intermediate group over one
+// contiguous shard of the preference lists.
+type shardBucket struct {
+	items  []dataset.ItemID
+	scores []float64
+	// idxs are the member positions in the global pref slice,
+	// ascending (the shard pass appends in pref order).
+	idxs []int
+}
+
+// bucketizeParallel builds the same map bucketize builds, using one
+// contiguous pref-list shard per worker and an order-replaying merge.
+// See the file comment for why the output is byte-identical to the
+// serial pass for every worker count.
+func bucketizeParallel(prefs []rank.PrefList, cfg Config, workers int) map[string]*bucket {
+	ranges := par.Ranges(len(prefs), workers)
+	shards := make([]map[string]*shardBucket, len(ranges))
+	par.Do(len(ranges), workers, func(s int) {
+		m := make(map[string]*shardBucket)
+		var keyBuf []byte
+		for i := ranges[s][0]; i < ranges[s][1]; i++ {
+			p := prefs[i]
+			keyBuf = appendKey(keyBuf[:0], p, cfg)
+			key := string(keyBuf)
+			sb, ok := m[key]
+			if !ok {
+				items, scores := seedBucket(p, cfg, true)
+				sb = &shardBucket{items: items, scores: scores}
+				m[key] = sb
+			} else {
+				foldBucketMember(sb.scores, p, cfg)
+			}
+			sb.idxs = append(sb.idxs, i)
+		}
+		shards[s] = m
+	})
+
+	buckets := make(map[string]*bucket)
+	for _, m := range shards {
+		for key, sb := range m {
+			b, ok := buckets[key]
+			if !ok {
+				// First shard to see this key: adopt its partial
+				// fold, which is exactly the serial fold's prefix.
+				b = &bucket{key: key, items: sb.items, scores: sb.scores}
+				b.members = make([]dataset.UserID, 0, len(sb.idxs))
+				for _, i := range sb.idxs {
+					b.members = append(b.members, prefs[i].User)
+				}
+				buckets[key] = b
+				continue
+			}
+			// Later shard: fold its contribution in. LM's min is
+			// associative with keep-earliest tie-breaking — a fold
+			// of shard folds keeps the same earliest-minimal bit
+			// pattern the flat fold keeps — so the shard partial
+			// merges directly, element-wise; only AV's
+			// order-sensitive sums need the per-member replay of
+			// the serial fold (property 2 above).
+			if cfg.Semantics == semantics.LM {
+				for j := range b.scores {
+					if s := sb.scores[j]; s < b.scores[j] {
+						b.scores[j] = s
+					}
+				}
+			} else {
+				for _, i := range sb.idxs {
+					foldBucketMember(b.scores, prefs[i], cfg)
+				}
+			}
+			for _, i := range sb.idxs {
+				b.members = append(b.members, prefs[i].User)
+			}
+		}
+	}
+	return buckets
+}

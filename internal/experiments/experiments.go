@@ -46,6 +46,11 @@ type Options struct {
 	// datasets; 0 means 1 (small) or 3 (paper, matching "average of
 	// three runs").
 	Runs int
+	// Workers sets core.Config.Workers for the formation runs the
+	// runtime experiments time (0 = serial). The formed groups are
+	// identical for every value — only the wall clock moves — so the
+	// quality exhibits ignore it.
+	Workers int
 }
 
 func (o Options) runs() int {
@@ -161,6 +166,7 @@ func Registry() []struct {
 		{"f5a", Figure5a}, {"f5b", Figure5b}, {"f5c", Figure5c}, {"f5d", Figure5d},
 		{"f6a", Figure6a}, {"f6b", Figure6b}, {"f6c", Figure6c},
 		{"f7", Figure7},
+		{"p1", ScalingWorkers},
 		{"a1", AblationDensify}, {"a2", AblationSeeding},
 		{"a3", AblationLocalSearch}, {"a4", AblationBuckets},
 	}

@@ -10,7 +10,7 @@ func TestRegistryCoversAllExhibits(t *testing.T) {
 		"t3", "f1a", "f1b", "f1c", "f2a", "f2b",
 		"f3a", "f3b", "f3c", "f3d", "t4",
 		"f4a", "f4b", "f4c", "f5a", "f5b", "f5c", "f5d",
-		"f6a", "f6b", "f6c", "f7",
+		"f6a", "f6b", "f6c", "f7", "p1",
 		"a1", "a2", "a3", "a4",
 	}
 	reg := Registry()

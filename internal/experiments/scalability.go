@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"groupform/internal/baseline"
@@ -65,7 +66,7 @@ func runtimeSweep(o Options, id, title, xlabel string, sem semantics.Semantics,
 	mk func(x int, p scaleParams) (n, m, l, k int)) (Exhibit, error) {
 
 	p := scaleDefaults(o.Scale)
-	cfg := core.Config{Semantics: sem, Aggregation: agg}
+	cfg := core.Config{Semantics: sem, Aggregation: agg, Workers: o.Workers}
 	semAgg := cfg.AlgorithmName()[len("GRD-"):]
 	ex := Exhibit{ID: id, Title: title, XLabel: xlabel, YLabel: "Run time (ms)"}
 	grdS := Series{Name: "GRD-" + semAgg}
@@ -192,4 +193,43 @@ func Figure6c(o Options) (Exhibit, error) {
 	return runtimeSweep(o, "F6c", "Run time vs #groups (Yahoo!-like, AV-Min)", "#groups",
 		semantics.AV, semantics.Min, p.groups,
 		func(x int, p scaleParams) (int, int, int, int) { return p.n, p.m, x, p.k })
+}
+
+// ScalingWorkers (beyond the paper): GRD runtime versus the formation
+// worker count at the scalability default size, for both semantics.
+// The parallel pipeline's determinism contract makes the y-values
+// directly comparable — every worker count forms byte-identical
+// groups, so the sweep measures nothing but the pipeline itself. The
+// speedup ceiling is min(workers, GOMAXPROCS); on a single-CPU host
+// the curve is flat (modulo sharding overhead) by construction.
+func ScalingWorkers(o Options) (Exhibit, error) {
+	p := scaleDefaults(o.Scale)
+	ds, err := scaleDataset(p.n, p.m, o.Seed)
+	if err != nil {
+		return Exhibit{}, err
+	}
+	ex := Exhibit{
+		ID:     "P1",
+		Title:  "Run time vs #workers (Yahoo!-like, n=" + fmt.Sprint(p.n) + ")",
+		XLabel: "#workers",
+		YLabel: "Run time (ms)",
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		cfg := core.Config{K: p.k, L: p.l, Semantics: sem, Aggregation: semantics.Min}
+		s := Series{Name: cfg.AlgorithmName()}
+		for _, w := range []int{1, 2, 4, 8} {
+			c := cfg
+			c.Workers = w
+			t, err := timeMS(func() error {
+				_, err := core.Form(ds, c)
+				return err
+			})
+			if err != nil {
+				return Exhibit{}, err
+			}
+			s.Points = append(s.Points, Point{float64(w), t})
+		}
+		ex.Series = append(ex.Series, s)
+	}
+	return ex, nil
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/par"
 	"groupform/internal/semantics"
 )
 
@@ -26,6 +28,19 @@ type LSOptions struct {
 	Anneal bool
 	// T0 is the initial annealing temperature; 0 means rmax.
 	T0 float64
+	// Workers runs restarts concurrently when >= 2; 0 or 1 keeps the
+	// legacy serial behavior and a negative value uses
+	// runtime.GOMAXPROCS(0), mirroring core.Config.Workers. Parallel
+	// runs are reproducible — every
+	// restart owns a generator seeded from Seed and its restart
+	// index, and the best restart is chosen deterministically (ties
+	// to the lowest index) — and independent of the worker count.
+	// They sample different random streams than the serial mode,
+	// whose restarts share one sequential generator, so serial and
+	// parallel results can legitimately differ beyond the first
+	// restart; both modes keep the never-worse-than-greedy guarantee
+	// because restart 0 always starts from the greedy solution.
+	Workers int
 }
 
 // LocalSearch improves a partition by relocation and swap moves. It
@@ -71,21 +86,59 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 		}
 	}
 
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var bestAssign []int
 	bestObj := math.Inf(-1)
-	for r := 0; r < restarts; r++ {
-		assign := make([]int, n)
-		if r == 0 {
-			copy(assign, greedyAssign)
-		} else {
-			for i := range assign {
-				assign[i] = rng.Intn(cfg.L)
+	if workers >= 2 {
+		// Independent restarts fan out; each owns its generator and
+		// writes only its own slot, and the winner is picked by
+		// (objective desc, restart index asc) — matching the serial
+		// loop's keep-first tie-break — so the outcome is the same
+		// for every worker count.
+		type outcome struct {
+			obj    float64
+			assign []int
+		}
+		outs := make([]outcome, restarts)
+		par.Do(restarts, workers, func(r int) {
+			// Seeds step by the 63-bit golden-ratio increment so
+			// adjacent restarts land far apart in the seed space.
+			rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x4F1BBCDCBFA53E0B))
+			assign := make([]int, n)
+			if r == 0 {
+				copy(assign, greedyAssign)
+			} else {
+				for i := range assign {
+					assign[i] = rng.Intn(cfg.L)
+				}
+			}
+			obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			outs[r] = outcome{obj: obj, assign: assign}
+		})
+		for _, o := range outs {
+			if o.obj > bestObj {
+				bestObj = o.obj
+				bestAssign = o.assign
 			}
 		}
-		obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
-		if obj > bestObj {
-			bestObj = obj
-			bestAssign = append(bestAssign[:0], assign...)
+	} else {
+		for r := 0; r < restarts; r++ {
+			assign := make([]int, n)
+			if r == 0 {
+				copy(assign, greedyAssign)
+			} else {
+				for i := range assign {
+					assign[i] = rng.Intn(cfg.L)
+				}
+			}
+			obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			if obj > bestObj {
+				bestObj = obj
+				bestAssign = append(bestAssign[:0], assign...)
+			}
 		}
 	}
 

@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"reflect"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+// TestLocalSearchParallelDeterministic: parallel restarts are a
+// deterministic function of (Seed, Restarts) — the worker count must
+// not change the result.
+func TestLocalSearchParallelDeterministic(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Users: 60, Items: 30, Clusters: 5, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 3, L: 5, Semantics: semantics.LM, Aggregation: semantics.Min}
+	opts := LSOptions{Iterations: 400, Restarts: 4, Seed: 9, Anneal: true}
+	var want *core.Result
+	for _, workers := range []int{2, 3, 8} {
+		o := opts
+		o.Workers = workers
+		res, err := LocalSearch(ds, cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(want, res) {
+			t.Fatalf("workers=%d: result differs from workers=2", workers)
+		}
+	}
+}
+
+// TestLocalSearchParallelNeverWorseThanGreedy: restart 0 seeds from
+// the greedy solution in parallel mode too, so the guarantee holds.
+func TestLocalSearchParallelNeverWorseThanGreedy(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Users: 50, Items: 25, Clusters: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		cfg := core.Config{K: 3, L: 4, Semantics: sem, Aggregation: semantics.Min}
+		grd, err := core.Form(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := LocalSearch(ds, cfg, LSOptions{Iterations: 300, Restarts: 3, Seed: 5, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls.Objective < grd.Objective-1e-9 {
+			t.Errorf("%s: parallel local search %.6f worse than greedy %.6f", sem, ls.Objective, grd.Objective)
+		}
+	}
+}
+
+// TestLocalSearchSingleRestartParallelMatchesSerial: with one restart
+// the parallel mode consumes the same stream the serial mode does
+// (restart 0's derived seed is Seed itself), so the modes coincide.
+func TestLocalSearchSingleRestartParallelMatchesSerial(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Users: 40, Items: 20, Clusters: 4, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 2, L: 4, Semantics: semantics.LM, Aggregation: semantics.Min}
+	serial, err := LocalSearch(ds, cfg, LSOptions{Iterations: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LocalSearch(ds, cfg, LSOptions{Iterations: 500, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("single-restart parallel local search diverged from serial")
+	}
+}

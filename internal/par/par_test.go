@@ -1,0 +1,87 @@
+package par
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoSerialOrder(t *testing.T) {
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("serial Do order %v", order)
+	}
+}
+
+func TestDoZero(t *testing.T) {
+	Do(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestRanges(t *testing.T) {
+	cases := []struct {
+		n, workers int
+		want       [][2]int
+	}{
+		{0, 4, nil},
+		{5, 1, [][2]int{{0, 5}}},
+		{5, 2, [][2]int{{0, 3}, {3, 5}}},
+		{6, 4, [][2]int{{0, 2}, {2, 4}, {4, 5}, {5, 6}}},
+		{3, 8, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{4, 0, [][2]int{{0, 4}}},
+	}
+	for _, c := range cases {
+		got := Ranges(c.n, c.workers)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Ranges(%d,%d) = %v, want %v", c.n, c.workers, got, c.want)
+		}
+	}
+	// Contiguity and coverage at awkward sizes.
+	for n := 1; n <= 40; n++ {
+		for w := 1; w <= 10; w++ {
+			rs := Ranges(n, w)
+			prev := 0
+			for _, r := range rs {
+				if r[0] != prev || r[1] <= r[0] {
+					t.Fatalf("Ranges(%d,%d): bad range %v after %d", n, w, r, prev)
+				}
+				prev = r[1]
+			}
+			if prev != n {
+				t.Fatalf("Ranges(%d,%d) covers %d", n, w, prev)
+			}
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if got := Chunks(0, 8); got != nil {
+		t.Errorf("Chunks(0,8) = %v", got)
+	}
+	want := [][2]int{{0, 8}, {8, 16}, {16, 20}}
+	if got := Chunks(20, 8); !reflect.DeepEqual(got, want) {
+		t.Errorf("Chunks(20,8) = %v, want %v", got, want)
+	}
+	if got := Chunks(3, 0); !reflect.DeepEqual(got, [][2]int{{0, 1}, {1, 2}, {2, 3}}) {
+		t.Errorf("Chunks(3,0) = %v", got)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if Enabled(0) || Enabled(1) || !Enabled(2) || !Enabled(64) {
+		t.Error("Enabled thresholds wrong")
+	}
+}

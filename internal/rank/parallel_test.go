@@ -1,0 +1,41 @@
+package rank
+
+import (
+	"reflect"
+	"testing"
+
+	"groupform/internal/synth"
+)
+
+func TestAllTopKParallelMatchesSerial(t *testing.T) {
+	ds, err := synth.YahooLike(2000, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := AllTopK(ds, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 100} {
+		got, err := AllTopKParallel(ds, 5, 0, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d: parallel pref lists differ from serial", w)
+		}
+	}
+}
+
+func TestAllTopKParallelValidates(t *testing.T) {
+	ds, err := synth.YahooLike(50, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllTopKParallel(ds, 0, 0, 4); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := AllTopKParallel(ds, ds.NumItems()+1, 0, 4); err == nil {
+		t.Error("k > items should fail")
+	}
+}

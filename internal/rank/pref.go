@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"groupform/internal/dataset"
+	"groupform/internal/par"
 )
 
 // PrefList is a user's items ordered by non-increasing rating; ties
@@ -127,14 +128,42 @@ func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefL
 // dataset, in the dataset's (sorted) user order. This is the O(nk)
 // preprocessing step of the greedy algorithms.
 func AllTopK(ds *dataset.Dataset, k int, padValue float64) ([]PrefList, error) {
+	return AllTopKParallel(ds, k, padValue, 1)
+}
+
+// AllTopKParallel is AllTopK with the per-user list construction
+// fanned out over a worker pool (workers <= 1 runs serially). Each
+// user's list is computed independently and stored at the user's
+// index, so the output is identical for every worker count.
+func AllTopKParallel(ds *dataset.Dataset, k int, padValue float64, workers int) ([]PrefList, error) {
+	// TopK can today only fail on bounds that are global to the
+	// dataset, checked up front so no shard should ever observe an
+	// error; the per-shard collection below stays anyway, so a future
+	// per-user error path in TopK cannot be silently swallowed.
+	if k <= 0 {
+		return nil, fmt.Errorf("rank: k must be positive, got %d", k)
+	}
+	if k > ds.NumItems() {
+		return nil, fmt.Errorf("rank: k=%d exceeds item count %d", k, ds.NumItems())
+	}
 	users := ds.Users()
-	out := make([]PrefList, 0, len(users))
-	for _, u := range users {
-		p, err := TopK(ds, u, k, padValue)
+	out := make([]PrefList, len(users))
+	ranges := par.Ranges(len(users), workers)
+	errs := make([]error, len(ranges))
+	par.Do(len(ranges), workers, func(s int) {
+		for i := ranges[s][0]; i < ranges[s][1]; i++ {
+			p, err := TopK(ds, users[i], k, padValue)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			out[i] = p
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
 	}
 	return out, nil
 }

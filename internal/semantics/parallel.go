@@ -1,0 +1,102 @@
+// Parallel candidate accumulation for Scorer.TopK. One pass over the
+// members' ratings accumulates every candidate item's min, weighted
+// sum and rater count, from which both semantics follow in O(total
+// ratings) — crucial for the merged l-th group of the greedy
+// algorithms, whose member count can approach n. For large groups the
+// pass is fanned out over a worker pool on a fixed chunk grid and the
+// chunk partials are merged in chunk order; see Scorer.Workers for
+// the determinism contract.
+package semantics
+
+import (
+	"sync"
+
+	"groupform/internal/dataset"
+	"groupform/internal/par"
+)
+
+// topkChunk is the fixed accumulation grid: members are cut into
+// chunks of this size regardless of the worker count, so the merge
+// sequence — and therefore every merged float — depends only on the
+// member list, never on scheduling. Groups at or below one chunk stay
+// on the serial path.
+const topkChunk = 1024
+
+// acc accumulates one candidate item across the members seen so far.
+type acc struct {
+	min     float64
+	wsum    float64
+	count   int
+	wraters float64
+}
+
+// accMapPool recycles chunk-partial maps across parallel TopK calls
+// — the reusable scorer cache. Within one call every chunk draws its
+// own map (all Gets precede the Puts), so the win is across calls:
+// repeated formation runs — benchmark iterations, experiment sweeps,
+// a server forming groups per request — reuse the previous run's
+// grown maps instead of rebuilding them. Only maps whose *acc values
+// were merged away are returned (cleared, capacity retained); the
+// map adopted as the result never is.
+var accMapPool = sync.Pool{
+	New: func() any { return make(map[dataset.ItemID]*acc) },
+}
+
+// accumulateInto folds the members' ratings into cand in member
+// order: first rating of an item seeds the accumulator, later ratings
+// fold min/sum/count. This is the single reference fold both the
+// serial and the parallel paths execute.
+func (sc Scorer) accumulateInto(cand map[dataset.ItemID]*acc, members []dataset.UserID) {
+	for _, u := range members {
+		w := sc.Weight(u)
+		for _, e := range sc.DS.UserRatings(u) {
+			a, ok := cand[e.Item]
+			if !ok {
+				cand[e.Item] = &acc{min: e.Value, wsum: w * e.Value, count: 1, wraters: w}
+				continue
+			}
+			if e.Value < a.min {
+				a.min = e.Value
+			}
+			a.wsum += w * e.Value
+			a.count++
+			a.wraters += w
+		}
+	}
+}
+
+// accumulateParallel runs the reference fold per fixed-size chunk of
+// members concurrently, then left-folds the chunk partials in chunk
+// order. The min merge keeps the earlier chunk's value on ties,
+// matching the serial fold's keep-first behavior exactly; count is
+// integer-exact; the AV sums reassociate (chunk-tree instead of flat
+// left fold), which is bit-exact for exactly-representable weighted
+// ratings and deterministic for every worker count regardless.
+func (sc Scorer) accumulateParallel(members []dataset.UserID) map[dataset.ItemID]*acc {
+	chunks := par.Chunks(len(members), topkChunk)
+	partials := make([]map[dataset.ItemID]*acc, len(chunks))
+	par.Do(len(chunks), sc.Workers, func(c int) {
+		m := accMapPool.Get().(map[dataset.ItemID]*acc)
+		sc.accumulateInto(m, members[chunks[c][0]:chunks[c][1]])
+		partials[c] = m
+	})
+	out := partials[0]
+	for _, m := range partials[1:] {
+		for it, a := range m {
+			b, ok := out[it]
+			if !ok {
+				out[it] = a
+				continue
+			}
+			if a.min < b.min {
+				b.min = a.min
+			}
+			b.wsum += a.wsum
+			b.count += a.count
+			b.wraters += a.wraters
+		}
+		clear(m)
+		accMapPool.Put(m)
+	}
+	return out
+}

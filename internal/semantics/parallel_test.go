@@ -1,0 +1,113 @@
+package semantics
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// TestTopKParallelMatchesSerial drives the chunked accumulation with
+// a group large enough to span several chunks (the merged l-th
+// group's shape) and requires bitwise-equal output for every worker
+// count, for both semantics and with non-uniform AV weights.
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	ds, err := synth.YahooLike(3*topkChunk+100, 500, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := ds.Users()
+	weights := map[dataset.UserID]float64{}
+	for i, u := range members {
+		if i%2 == 0 {
+			weights[u] = 1.5
+		}
+	}
+	for _, sem := range []Semantics{LM, AV} {
+		for _, w := range []map[dataset.UserID]float64{nil, weights} {
+			serial := Scorer{DS: ds, Weights: w}
+			wantItems, wantScores, err := serial.TopK(sem, members, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 16} {
+				par := Scorer{DS: ds, Weights: w, Workers: workers}
+				items, scores, err := par.TopK(sem, members, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s/weighted=%v/workers=%d", sem, w != nil, workers)
+				if !reflect.DeepEqual(items, wantItems) {
+					t.Fatalf("%s: items %v, want %v", label, items, wantItems)
+				}
+				if !reflect.DeepEqual(scores, wantScores) {
+					t.Fatalf("%s: scores %v, want %v", label, scores, wantScores)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKParallelSmallGroupStaysSerial checks the threshold: groups
+// at or below one chunk take the serial path even with Workers set
+// (identical results either way, but the fast path matters for the
+// many small finalized buckets).
+func TestTopKParallelSmallGroupStaysSerial(t *testing.T) {
+	ds, err := synth.YahooLike(200, 100, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := ds.Users()
+	serial := Scorer{DS: ds}
+	par := Scorer{DS: ds, Workers: 8}
+	for _, sem := range []Semantics{LM, AV} {
+		wi, ws, err := serial.TopK(sem, members, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gi, gs, err := par.TopK(sem, members, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wi, gi) || !reflect.DeepEqual(ws, gs) {
+			t.Fatalf("%s: small-group parallel scorer diverged", sem)
+		}
+	}
+}
+
+// TestAccumulateParallelMergeOrder pins the keep-first tie-break of
+// the chunk merge: the min of a tied score must come from the
+// earliest member, exactly like the serial fold.
+func TestAccumulateParallelMergeOrder(t *testing.T) {
+	// Every user rates item 0 with the same value; min and count must
+	// match the serial accumulation bit for bit.
+	n := 2*topkChunk + 50
+	perUser := make(map[dataset.UserID][]dataset.Entry, n)
+	for u := 0; u < n; u++ {
+		perUser[dataset.UserID(u)] = []dataset.Entry{{Item: 0, Value: 3}, {Item: dataset.ItemID(1 + u%7), Value: 4}}
+	}
+	ds, err := dataset.FromUserEntries(dataset.DefaultScale, perUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := ds.Users()
+	serialCand := make(map[dataset.ItemID]*acc)
+	sc := Scorer{DS: ds}
+	sc.accumulateInto(serialCand, members)
+	scp := Scorer{DS: ds, Workers: 4}
+	parCand := scp.accumulateParallel(members)
+	if len(parCand) != len(serialCand) {
+		t.Fatalf("parallel accumulated %d items, serial %d", len(parCand), len(serialCand))
+	}
+	for it, want := range serialCand {
+		got, ok := parCand[it]
+		if !ok {
+			t.Fatalf("item %d missing from parallel accumulation", it)
+		}
+		if *got != *want {
+			t.Fatalf("item %d: parallel acc %+v, serial %+v", it, *got, *want)
+		}
+	}
+}
