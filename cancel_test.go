@@ -1,0 +1,160 @@
+package groupform
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPreCanceledContext: every registered solver returns promptly
+// with ErrCanceled when handed an already-canceled context, before
+// touching the instance.
+func TestPreCanceledContext(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := Config{K: 1, L: 3, Semantics: LM, Aggregation: Min}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Solvers() {
+		s, err := NewSolver(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		_, err = s.Solve(ctx, ds, cfg)
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want to also wrap context.Canceled", name, err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s: took %v on a pre-canceled context", name, d)
+		}
+	}
+}
+
+// cancelCase sizes an instance so the named solver runs for much
+// longer than the cancellation point, proving the periodic in-loop
+// checks fire mid-solve (not just the up-front one).
+type cancelCase struct {
+	name string
+	opts []SolverOption
+	ds   func(t *testing.T) *Dataset
+	cfg  Config
+}
+
+func yahooDS(users, items int) func(t *testing.T) *Dataset {
+	return func(t *testing.T) *Dataset {
+		t.Helper()
+		ds, err := YahooLike(users, items, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+}
+
+func denseDS(users, items int) func(t *testing.T) *Dataset {
+	return func(t *testing.T) *Dataset {
+		t.Helper()
+		ds, err := Generate(SynthConfig{
+			Users: users, Items: items, Clusters: 8,
+			RatingsPerUser: items, NoiseRate: 0.3, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+}
+
+// adversarialDS is a dense unclustered rating lattice: every user
+// disagrees with every other, so branch-and-bound's optimistic bound
+// barely prunes and the search degrades toward full enumeration —
+// exactly the regime a cancellation test needs.
+func adversarialDS(users, items int) func(t *testing.T) *Dataset {
+	return func(t *testing.T) *Dataset {
+		t.Helper()
+		rows := make([][]float64, users)
+		for i := range rows {
+			rows[i] = make([]float64, items)
+			for j := range rows[i] {
+				rows[i][j] = float64((i*31+j*17+i*i*j)%9)/2 + 1
+			}
+		}
+		ds, err := FromDense(DefaultScale, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+}
+
+// TestCancelMidSolve: a context canceled shortly after the solve
+// starts stops every solver with ErrCanceled well before the
+// uncanceled solve would finish. Instance sizes are chosen so each
+// serial solve runs for at least hundreds of milliseconds, leaving a
+// wide margin over the 10ms cancellation point.
+func TestCancelMidSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs deliberately slow instances")
+	}
+	lmMin := func(k, l int) Config { return Config{K: k, L: l, Semantics: LM, Aggregation: Min} }
+	cases := []cancelCase{
+		{name: "grd", ds: yahooDS(120_000, 2_000), cfg: lmMin(5, 10)},
+		{name: "baseline-kendall", ds: yahooDS(1_500, 80), cfg: lmMin(3, 10)},
+		{name: "baseline-kmeans", ds: yahooDS(60_000, 500), cfg: lmMin(3, 200)},
+		{name: "baseline-clara", ds: yahooDS(20_000, 120), cfg: lmMin(3, 40)},
+		{name: "exact", ds: denseDS(17, 8), cfg: lmMin(2, 4)},
+		// AV's admissible bound (summed per-user contributions) is far
+		// looser than LM's, so the search cannot prune its way out.
+		{name: "bb", ds: adversarialDS(26, 8), cfg: Config{K: 2, L: 6, Semantics: AV, Aggregation: Sum}},
+		{name: "ls", opts: []SolverOption{WithLSOptions(LSOptions{Iterations: 1 << 30, Seed: 1})},
+			ds: yahooDS(2_000, 100), cfg: lmMin(3, 10)},
+		{name: "ip", ds: denseDS(14, 6), cfg: lmMin(1, 5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSolver(tc.name, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := tc.ds(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			time.AfterFunc(10*time.Millisecond, cancel)
+			start := time.Now()
+			_, err = s.Solve(ctx, ds, tc.cfg)
+			elapsed := time.Since(start)
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err = %v after %v, want ErrCanceled", err, elapsed)
+			}
+			// Generous bound: the check cadence is a few thousand
+			// loop iterations, so the solver must stop within a small
+			// fraction of its full runtime.
+			if elapsed > 5*time.Second {
+				t.Errorf("took %v to observe cancellation", elapsed)
+			}
+		})
+	}
+}
+
+// TestDeadlineMidSolve covers the deadline (rather than explicit
+// cancel) path end to end on the hot greedy pipeline.
+func TestDeadlineMidSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs deliberately slow instances")
+	}
+	ds := yahooDS(120_000, 2_000)(t)
+	s, err := NewSolver("grd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = s.Solve(ctx, ds, Config{K: 5, L: 10, Semantics: LM, Aggregation: Min})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}

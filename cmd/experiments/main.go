@@ -8,6 +8,8 @@
 //	experiments -exp f1a,f4c    # run selected exhibits
 //	experiments -paper          # use the paper's parameters (slow)
 //	experiments -seed 7 -runs 3
+//	experiments -algo ls -exp f4a   # time another registry solver
+//	experiments -algo list          # print the solver registry
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"groupform/internal/cliutil"
 	"groupform/internal/experiments"
 )
 
@@ -37,11 +40,19 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "base random seed")
 		runs    = fs.Int("runs", 0, "quality-metric repetitions (default 1 small / 3 paper)")
 		workers = fs.Int("workers", 0, "formation worker count for the runtime exhibits (0 = serial)")
+		algo    = fs.String("algo", "grd", "solver the runtime exhibits time, by registry name or alias; 'list' prints all")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Runs: *runs, Workers: *workers}
+	algoName, listed, err := cliutil.HandleAlgo(*algo, out)
+	if err != nil {
+		return err
+	}
+	if listed {
+		return nil
+	}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Workers: *workers, Algo: algoName}
 	if *paper {
 		opts.Scale = experiments.ScalePaper
 	}

@@ -30,6 +30,46 @@ func TestExperimentsAblation(t *testing.T) {
 	}
 }
 
+func TestExperimentsAlgoList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "grd") || !strings.Contains(out.String(), "baseline-kmeans") {
+		t.Errorf("-algo list output incomplete:\n%s", out.String())
+	}
+}
+
+func TestExperimentsAlgoSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "f4a", "-algo", "kmeans"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BASELINE-KMEANS-LM-MIN") {
+		t.Errorf("primary series should be the selected solver:\n%s", out.String())
+	}
+}
+
+func TestExperimentsUnknownAlgo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "zz"}, &out); err == nil {
+		t.Error("unknown algo should error")
+	}
+}
+
+// The exact references cannot meet any runtime-sweep point; the sweep
+// must refuse them up front with a clear message rather than erroring
+// midway through the first point.
+func TestExperimentsAlgoUnsuitableForSweeps(t *testing.T) {
+	for _, algo := range []string{"exact", "bb", "ip"} {
+		var out bytes.Buffer
+		err := run([]string{"-exp", "f4a", "-algo", algo}, &out)
+		if err == nil || !strings.Contains(err.Error(), "cannot run the runtime sweeps") {
+			t.Errorf("%s: err = %v, want a cannot-run-the-sweeps rejection", algo, err)
+		}
+	}
+}
+
 func TestExperimentsUnknownID(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-exp", "zz"}, &out); err == nil {

@@ -4,17 +4,17 @@
 //
 // Usage:
 //
-//	groupform -input ratings.csv [-format csv|movielens] \
-//	    -k 5 -l 10 -semantics lm -agg min [-algorithm grd] \
-//	    [-densify knn] [-workers 8]
+//	groupform -input ratings.csv [-format csv|movielens|binary] \
+//	    -k 5 -l 10 -semantics lm -agg min [-algo grd] \
+//	    [-densify knn] [-workers 8] [-budget 30s]
 //
-// Algorithms: grd (the paper's greedy, default), baseline
-// (Kendall-Tau k-medoids clustering), kmeans (vector k-means
-// clustering), exact (subset DP, tiny inputs only), localsearch
-// (annealing seeded by grd).
+// Every algorithm in the solver registry is available through -algo;
+// `groupform -algo list` prints them. -budget bounds the solve's
+// wall-clock time through context cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"groupform"
+	"groupform/internal/cliutil"
 )
 
 func main() {
@@ -35,20 +36,28 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("groupform", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		input     = fs.String("input", "", "ratings file (required)")
-		format    = fs.String("format", "csv", "input format: csv, movielens or binary")
-		k         = fs.Int("k", 5, "recommended list length")
-		l         = fs.Int("l", 10, "maximum number of groups")
-		sem       = fs.String("semantics", "lm", "group semantics: lm or av")
-		agg       = fs.String("agg", "min", "aggregation: max, min, sum, wsum-pos, wsum-log")
-		algorithm = fs.String("algorithm", "grd", "grd, baseline, kmeans, exact or localsearch")
-		densify   = fs.String("densify", "", "optional predictor to complete sparse ratings: knn, itemknn or mf")
-		seed      = fs.Int64("seed", 1, "seed for randomized algorithms")
-		workers   = fs.Int("workers", 0, "formation worker count (0 or 1 = serial, -1 = all CPUs); forms the same groups for every value on standard rating scales")
-		verbose   = fs.Bool("v", false, "print members of every group")
+		input   = fs.String("input", "", "ratings file (required)")
+		format  = fs.String("format", "csv", "input format: csv, movielens or binary")
+		k       = fs.Int("k", 5, "recommended list length")
+		l       = fs.Int("l", 10, "maximum number of groups")
+		sem     = fs.String("semantics", "lm", "group semantics: lm or av")
+		agg     = fs.String("agg", "min", "aggregation: max, min, sum, wsum-pos, wsum-log")
+		algo    = fs.String("algo", "grd", "solver registry name or alias; 'list' prints all")
+		densify = fs.String("densify", "", "optional predictor to complete sparse ratings: knn, itemknn or mf")
+		seed    = fs.Int64("seed", 1, "seed for randomized algorithms")
+		budget  = fs.Duration("budget", 0, "wall-clock budget for the solve (0 = unbounded)")
+		workers = fs.Int("workers", 0, "formation worker count (0 or 1 = serial, -1 = all CPUs); forms the same groups for every value on standard rating scales")
+		verbose = fs.Bool("v", false, "print members of every group")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	name, listed, err := cliutil.HandleAlgo(*algo, out)
+	if err != nil {
+		return err
+	}
+	if listed {
+		return nil
 	}
 	if *input == "" {
 		fs.Usage()
@@ -99,48 +108,29 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := groupform.Config{K: *k, L: *l, Workers: *workers}
-	switch strings.ToLower(*sem) {
-	case "lm":
-		cfg.Semantics = groupform.LM
-	case "av":
-		cfg.Semantics = groupform.AV
-	default:
-		return fmt.Errorf("unknown semantics %q", *sem)
+	if cfg.Semantics, err = cliutil.ParseSemantics(*sem); err != nil {
+		return err
 	}
-	switch strings.ToLower(*agg) {
-	case "max":
-		cfg.Aggregation = groupform.Max
-	case "min":
-		cfg.Aggregation = groupform.Min
-	case "sum":
-		cfg.Aggregation = groupform.Sum
-	case "wsum-pos":
-		cfg.Aggregation = groupform.WeightedSumPos
-	case "wsum-log":
-		cfg.Aggregation = groupform.WeightedSumLog
-	default:
-		return fmt.Errorf("unknown aggregation %q", *agg)
+	if cfg.Aggregation, err = cliutil.ParseAggregation(*agg); err != nil {
+		return err
 	}
 
-	var res *groupform.Result
-	switch strings.ToLower(*algorithm) {
-	case "grd":
-		res, err = groupform.Form(ds, cfg)
-	case "baseline":
-		res, err = groupform.FormBaseline(ds, groupform.BaselineConfig{
-			Config: cfg, Method: groupform.KendallMedoids, Seed: *seed,
-		})
-	case "kmeans":
-		res, err = groupform.FormBaseline(ds, groupform.BaselineConfig{
-			Config: cfg, Method: groupform.VectorKMeans, Seed: *seed,
-		})
-	case "exact":
-		res, err = groupform.FormExact(ds, cfg)
-	case "localsearch":
-		res, err = groupform.FormLocalSearch(ds, cfg, groupform.LSOptions{Anneal: true, Seed: *seed, Workers: *workers})
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	opts := []groupform.SolverOption{groupform.WithSeed(*seed), groupform.WithWorkers(*workers)}
+	if *budget > 0 {
+		opts = append(opts, groupform.WithBudget(*budget))
 	}
+	if name == "ls" {
+		// Preserve the historical CLI behavior: annealing on, seeded,
+		// restarts on the shared worker pool.
+		opts = append(opts, groupform.WithLSOptions(groupform.LSOptions{
+			Anneal: true, Seed: *seed, Workers: *workers,
+		}))
+	}
+	s, err := groupform.NewSolver(name, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := s.Solve(context.Background(), ds, cfg)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,7 +61,7 @@ func TestRunGRD(t *testing.T) {
 func TestRunExactAndVerbose(t *testing.T) {
 	path := writeRatings(t, example1CSV)
 	var out bytes.Buffer
-	err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algorithm", "exact", "-v"}, &out)
+	err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algo", "exact", "-v"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +77,55 @@ func TestRunBaselineAndLocalSearch(t *testing.T) {
 	path := writeRatings(t, example1CSV)
 	for _, algo := range []string{"baseline", "kmeans", "localsearch"} {
 		var out bytes.Buffer
-		if err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algorithm", algo}, &out); err != nil {
+		if err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algo", algo}, &out); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if !strings.Contains(out.String(), "objective=") {
 			t.Errorf("%s: no objective printed", algo)
 		}
+	}
+}
+
+func TestRunAlgoList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range groupform.Solvers() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-algo list missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunRegistrySolvers drives every remaining registry algorithm
+// through the CLI on the paper's Example 1 (k=1, where all exact
+// solvers agree on 12).
+func TestRunRegistrySolvers(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	for algo, want := range map[string]string{
+		"bb":    "objective=12.000",
+		"ip":    "objective=12.000",
+		"clara": "objective=",
+	} {
+		var out bytes.Buffer
+		if err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algo", algo}, &out); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%s: missing %q:\n%s", algo, want, out.String())
+		}
+	}
+}
+
+// TestRunBudgetExpired: a microscopic -budget cancels the solve and
+// surfaces the canceled-solve error class.
+func TestRunBudgetExpired(t *testing.T) {
+	path := writeRatings(t, example1CSV)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-k", "1", "-l", "3", "-algo", "ls", "-budget", "1ns"}, &out)
+	if !errors.Is(err, groupform.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
 
@@ -122,7 +166,7 @@ func TestRunErrors(t *testing.T) {
 		{"-input", path, "-format", "xml"},
 		{"-input", path, "-semantics", "zz"},
 		{"-input", path, "-agg", "zz"},
-		{"-input", path, "-algorithm", "zz"},
+		{"-input", path, "-algo", "zz"},
 		{"-input", path, "-densify", "zz"},
 		{"-input", path, "-k", "0"},
 		{"-input", path, "-k", "99"},

@@ -1,0 +1,27 @@
+package groupform
+
+import "groupform/internal/solver"
+
+// Engine binds a Dataset once and amortizes the expensive shared
+// per-dataset work across solves: the O(nk) preference-list
+// construction is cached per (K, Missing) pair, so repeated
+// Engine.Form calls with different L, semantics or aggregation skip
+// straight to bucketizing. An Engine is safe for concurrent use and
+// its results are byte-identical to the one-shot path; this is the
+// intended serving-path entry point when one catalog answers many
+// formation requests.
+//
+//	eng, err := groupform.NewEngine(ds)
+//	res, err := eng.Form(ctx, groupform.Config{K: 5, L: 10,
+//		Semantics: groupform.LM, Aggregation: groupform.Min})
+//	res2, err := eng.Form(ctx, cfg2) // reuses the cached lists
+//
+// Engine.Solve runs any registered solver ("ls", "exact", ...) on the
+// bound dataset, serving the greedy path from the cache.
+type Engine = solver.Engine
+
+// EngineStats counts an Engine's cache activity (builds vs hits).
+type EngineStats = solver.EngineStats
+
+// NewEngine binds ds to a new Engine. The dataset must be non-empty.
+func NewEngine(ds *Dataset) (*Engine, error) { return solver.NewEngine(ds) }

@@ -1,0 +1,235 @@
+package groupform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEngineMatchesOneShot: Engine.Form over every semantics and
+// aggregation equals the one-shot registry path bit for bit, on both
+// the cold and the warm cache.
+func TestEngineMatchesOneShot(t *testing.T) {
+	ctx := context.Background()
+	ds := solverTestDataset(t)
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := NewSolver("grd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []Semantics{LM, AV} {
+		for _, agg := range []Aggregation{Max, Min, Sum, WeightedSumLog} {
+			cfg := Config{K: 3, L: 7, Semantics: sem, Aggregation: agg}
+			for pass := 0; pass < 2; pass++ { // cold, then warm
+				got, err := eng.Form(ctx, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := grd.Solve(ctx, ds, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v-%v pass %d: engine result differs from one-shot", sem, agg, pass)
+				}
+			}
+		}
+	}
+	// All 16 runs above share one (K, Missing) pair: exactly one
+	// build, everything else served from the cache.
+	if s := eng.Stats(); s.PrefBuilds != 1 || s.PrefHits != 15 {
+		t.Errorf("stats = %+v, want 1 build / 15 hits", s)
+	}
+}
+
+// TestEngineConcurrent hammers one Engine from many goroutines with a
+// mix of configurations (run under -race in CI): the cached state
+// must be shared safely and every result must equal the one-shot
+// path.
+func TestEngineConcurrent(t *testing.T) {
+	ctx := context.Background()
+	ds := solverTestDataset(t)
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := NewSolver("grd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{K: 3, L: 7, Semantics: LM, Aggregation: Min},
+		{K: 3, L: 7, Semantics: AV, Aggregation: Sum},
+		{K: 5, L: 4, Semantics: LM, Aggregation: Max, Workers: 2},
+		{K: 3, L: 12, Semantics: LM, Aggregation: Sum},
+	}
+	want := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		if want[i], err = grd.Solve(ctx, ds, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(cfgs))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range cfgs {
+				idx := (g + i) % len(cfgs)
+				got, err := eng.Form(ctx, cfgs[idx])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[idx]) {
+					errs <- fmt.Errorf("goroutine %d cfg %d: result differs from one-shot", g, idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Two distinct K values were requested; the engine must have paid
+	// for exactly two builds no matter the interleaving.
+	if s := eng.Stats(); s.PrefBuilds != 2 {
+		t.Errorf("PrefBuilds = %d, want 2", s.PrefBuilds)
+	}
+}
+
+// TestEngineSkipsPrefBuildAt10k is the acceptance check for the
+// caching contract: at n = 10k, the second Form on a bound dataset
+// performs no preference-list construction (the counter, not wall
+// clock, so the test is deterministic; BenchmarkEngineForm in
+// bench_test.go measures the resulting speedup).
+func TestEngineSkipsPrefBuildAt10k(t *testing.T) {
+	ds, err := YahooLike(10_000, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := Config{K: 5, L: 10, Semantics: LM, Aggregation: Min}
+	if _, err := eng.Form(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.PrefBuilds != 1 || s.PrefHits != 0 {
+		t.Fatalf("after first Form: stats = %+v, want 1 build / 0 hits", s)
+	}
+	cfg.L = 100 // different budget, same lists
+	if _, err := eng.Form(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.PrefBuilds != 1 || s.PrefHits != 1 {
+		t.Fatalf("after second Form: stats = %+v, want 1 build / 1 hit", s)
+	}
+	cfg.Semantics, cfg.Aggregation = AV, Sum // still the same lists
+	if _, err := eng.Form(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.PrefBuilds != 1 || s.PrefHits != 2 {
+		t.Fatalf("after third Form: stats = %+v, want 1 build / 2 hits", s)
+	}
+	cfg.K = 10 // different K does rebuild
+	if _, err := eng.Form(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.PrefBuilds != 2 || s.PrefHits != 2 {
+		t.Fatalf("after K change: stats = %+v, want 2 builds / 2 hits", s)
+	}
+}
+
+// TestEngineSolve: the Engine runs any registered solver against its
+// bound dataset, and validates like NewSolver.
+func TestEngineSolve(t *testing.T) {
+	ctx := context.Background()
+	ds := tinyDataset(t)
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 1, L: 3, Semantics: LM, Aggregation: Min}
+	grd, err := eng.Solve(ctx, "grd", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grd.Objective != 11 {
+		t.Errorf("grd objective = %v, want 11", grd.Objective)
+	}
+	if s := eng.Stats(); s.PrefBuilds != 1 {
+		t.Errorf("Engine.Solve(grd) bypassed the cache: %+v", s)
+	}
+	exact, err := eng.Solve(ctx, "exact", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Objective != 12 {
+		t.Errorf("exact objective = %v, want 12", exact.Objective)
+	}
+	if _, err := eng.Solve(ctx, "nope", cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown algo: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := eng.Solve(ctx, "greedy", cfg); err != nil {
+		t.Errorf("alias through Engine.Solve: %v", err)
+	}
+}
+
+// TestEngineWaiterHonorsOwnContext: a caller waiting on another
+// goroutine's in-flight cold build must observe its *own* context's
+// cancellation immediately, not ride out the build.
+func TestEngineWaiterHonorsOwnContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a deliberately slow cold build")
+	}
+	ds, err := YahooLike(120_000, 2_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 5, L: 10, Semantics: LM, Aggregation: Min}
+	buildDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Form(context.Background(), cfg)
+		buildDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the cold build get in flight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = eng.Form(ctx, cfg)
+	waited := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("waiter err = %v, want ErrCanceled", err)
+	}
+	if waited > 200*time.Millisecond {
+		t.Errorf("canceled waiter took %v, should return immediately", waited)
+	}
+	if err := <-buildDone; err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+}
+
+// TestNewEngineValidates rejects empty datasets up front.
+func TestNewEngineValidates(t *testing.T) {
+	if _, err := NewEngine(nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewEngine(nil): err = %v, want ErrBadConfig", err)
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,15 +58,17 @@ func main() {
 		Semantics:   groupform.AV,
 		Aggregation: groupform.Min,
 	}
-	grd, err := groupform.Form(full, cfg)
+	// One Engine serves both algorithms over the completed matrix.
+	eng, err := groupform.NewEngine(full)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := groupform.FormBaseline(full, groupform.BaselineConfig{
-		Config: cfg,
-		Method: groupform.KendallMedoids,
-		Seed:   1,
-	})
+	ctx := context.Background()
+	grd, err := eng.Form(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := eng.Solve(ctx, "baseline-kendall", cfg, groupform.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

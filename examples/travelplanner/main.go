@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,13 +41,21 @@ func main() {
 	}
 	fmt.Printf("registered %d travelers over %d POIs\n", ds.NumUsers(), ds.NumItems())
 
+	// The agency serves many itineraries from one preference table,
+	// so bind the dataset to an Engine and solve against that.
+	eng, err := groupform.NewEngine(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	cfg := groupform.Config{
 		K:           planLen,
 		L:           tours,
 		Semantics:   groupform.LM,
 		Aggregation: groupform.Min, // the worst stop on the tour matters
 	}
-	res, err := groupform.Form(ds, cfg)
+	res, err := eng.Form(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,12 +91,9 @@ func main() {
 		sum/float64(len(sat)), ds.Scale().Max)
 
 	// Compare against ad-hoc formation (the clustering baseline the
-	// paper adapts from prior work).
-	base, err := groupform.FormBaseline(ds, groupform.BaselineConfig{
-		Config: cfg,
-		Method: groupform.VectorKMeans,
-		Seed:   7,
-	})
+	// paper adapts from prior work) — the same Engine runs any
+	// registered solver.
+	base, err := eng.Solve(ctx, "baseline-kmeans", cfg, groupform.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

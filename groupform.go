@@ -14,7 +14,9 @@
 //
 //	ds, err := groupform.LoadCSV(file, groupform.DefaultScale)
 //	...
-//	res, err := groupform.Form(ds, groupform.Config{
+//	eng, err := groupform.NewEngine(ds)
+//	...
+//	res, err := eng.Form(ctx, groupform.Config{
 //		K: 5, L: 10,
 //		Semantics:   groupform.LM,
 //		Aggregation: groupform.Min,
@@ -22,6 +24,18 @@
 //	for _, g := range res.Groups {
 //		fmt.Println(g.Members, g.Items, g.Satisfaction)
 //	}
+//
+// The Engine caches the per-dataset preprocessing between calls; for
+// one-shot solves, or to run any other algorithm, go through the
+// registry instead:
+//
+//	s, err := groupform.NewSolver("ls", groupform.WithSeed(7),
+//		groupform.WithBudget(2*time.Second))
+//	res, err := s.Solve(ctx, ds, cfg)
+//
+// groupform.Solvers() lists the registered algorithms; every solver
+// honors context cancellation (errors wrap groupform.ErrCanceled) and
+// classifies failures with the ErrBadConfig / ErrTooLarge sentinels.
 //
 // # Parallelism
 //
@@ -45,6 +59,7 @@
 package groupform
 
 import (
+	"context"
 	"io"
 
 	"groupform/internal/baseline"
@@ -52,6 +67,7 @@ import (
 	"groupform/internal/core"
 	"groupform/internal/dataset"
 	"groupform/internal/eval"
+	"groupform/internal/gferr"
 	"groupform/internal/ilp"
 	"groupform/internal/opt"
 	"groupform/internal/semantics"
@@ -181,37 +197,88 @@ func WriteBinary(w io.Writer, ds *Dataset) error { return dataset.WriteBinary(w,
 // ReadBinary loads a dataset written by WriteBinary.
 func ReadBinary(r io.Reader) (*Dataset, error) { return dataset.ReadBinary(r) }
 
+// legacySolve routes a deprecated wrapper through the registry with a
+// background context, preserving the historical no-cancellation
+// behavior.
+func legacySolve(name string, ds *Dataset, cfg Config, opts ...SolverOption) (*Result, error) {
+	s, err := NewSolver(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), ds, cfg)
+}
+
 // Form runs the paper's greedy group-formation algorithm selected by
 // cfg (GRD-LM-* / GRD-AV-*). O(nk + l log n).
-func Form(ds *Dataset, cfg Config) (*Result, error) { return core.Form(ds, cfg) }
+//
+// Deprecated: Use NewSolver("grd") for one-shot solves with
+// cancellation, or an Engine to amortize preprocessing across calls.
+func Form(ds *Dataset, cfg Config) (*Result, error) {
+	return legacySolve("grd", ds, cfg)
+}
 
 // FormBaseline runs the clustering baseline (Baseline-LM/AV).
+//
+// Deprecated: Use NewSolver("baseline-kendall"), "baseline-kmeans" or
+// "baseline-clara" with WithSeed / WithMaxIter / WithPlusPlus.
 func FormBaseline(ds *Dataset, cfg BaselineConfig) (*Result, error) {
-	return baseline.Form(ds, cfg)
+	var name string
+	switch cfg.Method {
+	case KendallMedoids:
+		name = "baseline-kendall"
+	case VectorKMeans:
+		name = "baseline-kmeans"
+	case ClaraMedoids:
+		name = "baseline-clara"
+	default:
+		return nil, gferr.BadConfigf("baseline: Method %d is unknown", int(cfg.Method))
+	}
+	return legacySolve(name, ds, cfg.Config,
+		WithSeed(cfg.Seed), WithMaxIter(cfg.MaxIter), WithPlusPlus(cfg.PlusPlus))
 }
 
 // FormExact computes the optimal grouping by dynamic programming over
 // subsets; limited to small instances (<= opt.MaxExactUsers users).
-func FormExact(ds *Dataset, cfg Config) (*Result, error) { return opt.Exact(ds, cfg) }
+//
+// Deprecated: Use NewSolver("exact").
+func FormExact(ds *Dataset, cfg Config) (*Result, error) {
+	return legacySolve("exact", ds, cfg)
+}
 
 // FormLocalSearch improves the greedy solution by hill climbing or
 // annealing; the scalable stand-in for the paper's CPLEX reference.
+//
+// Deprecated: Use NewSolver("ls", WithLSOptions(opts)).
 func FormLocalSearch(ds *Dataset, cfg Config, opts LSOptions) (*Result, error) {
-	return opt.LocalSearch(ds, cfg, opts)
+	return legacySolve("ls", ds, cfg, WithLSOptions(opts))
 }
 
 // FormBranchAndBound computes an optimal grouping by pruned partition
 // enumeration; exact like FormExact but reaches larger instances on
 // structured data (and degrades gracefully via BBOptions.MaxNodes).
+//
+// Deprecated: Use NewSolver("bb", WithBBOptions(opts)).
 func FormBranchAndBound(ds *Dataset, cfg Config, opts BBOptions) (*Result, error) {
-	return opt.BranchAndBound(ds, cfg, opts)
+	return legacySolve("bb", ds, cfg, WithBBOptions(opts))
 }
 
 // SolveIP solves the paper's Appendix-A integer program (k = 1) with
 // the built-in simplex + branch-and-bound solver, returning the
 // optimal partition and objective.
+//
+// Deprecated: Use NewSolver("ip", WithIPOptions(opts)), which returns
+// the partition as a *Result like every other solver.
 func SolveIP(ds *Dataset, l int, sem Semantics, opts IPOptions) ([][]UserID, float64, error) {
-	return ilp.SolveGF(ds, l, sem, opts)
+	res, err := legacySolve("ip", ds, Config{K: 1, L: l, Semantics: sem, Aggregation: Min},
+		WithIPOptions(opts))
+	if err != nil {
+		return nil, 0, err
+	}
+	groups := make([][]UserID, len(res.Groups))
+	for i, g := range res.Groups {
+		groups[i] = g.Members
+	}
+	return groups, res.Objective, nil
 }
 
 // NewUserKNN trains a user-based kNN rating predictor.

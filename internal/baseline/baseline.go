@@ -22,12 +22,14 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/rank"
 	"groupform/internal/semantics"
 )
@@ -80,12 +82,18 @@ type Config struct {
 
 // Form clusters the users into at most L groups and computes each
 // cluster's top-k recommendation and satisfaction. The returned
-// Result is directly comparable with core.Form's.
-func Form(ds *dataset.Dataset, cfg Config) (*core.Result, error) {
+// Result is directly comparable with core.Form's. The context is
+// checked once per clustering iteration (and per distance-matrix row
+// for the medoid backends); cancellation returns an error wrapping
+// gferr.ErrCanceled.
+func Form(ctx context.Context, ds *dataset.Dataset, cfg Config) (*core.Result, error) {
 	if err := cfg.Config.Validate(ds); err != nil {
 		return nil, err
 	}
 	maxIter := cfg.MaxIter
+	if maxIter < 0 {
+		return nil, gferr.BadConfigf("baseline: MaxIter must be non-negative, got %d", maxIter)
+	}
 	if maxIter == 0 {
 		maxIter = 100
 	}
@@ -94,15 +102,18 @@ func Form(ds *dataset.Dataset, cfg Config) (*core.Result, error) {
 	var err error
 	switch cfg.Method {
 	case KendallMedoids:
-		assign, err = kendallMedoids(ds, users, cfg.L, maxIter, cfg.Seed, cfg.PlusPlus)
+		assign, err = kendallMedoids(ctx, ds, users, cfg.L, maxIter, cfg.Seed, cfg.PlusPlus)
 	case VectorKMeans:
-		assign, err = vectorKMeans(ds, users, cfg.L, maxIter, cfg.Seed, cfg.Missing)
+		assign, err = vectorKMeans(ctx, ds, users, cfg.L, maxIter, cfg.Seed, cfg.Missing)
 	case ClaraMedoids:
-		assign, err = claraMedoids(ds, users, cfg.L, maxIter, cfg.Seed, cfg.PlusPlus)
+		assign, err = claraMedoids(ctx, ds, users, cfg.L, maxIter, cfg.Seed, cfg.PlusPlus)
 	default:
-		return nil, fmt.Errorf("baseline: invalid method %d", int(cfg.Method))
+		return nil, gferr.BadConfigf("baseline: Method %d is unknown", int(cfg.Method))
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := gferr.Ctx(ctx); err != nil {
 		return nil, err
 	}
 
@@ -142,7 +153,7 @@ func Form(ds *dataset.Dataset, cfg Config) (*core.Result, error) {
 
 // kendallMedoids clusters via PAM-style alternating assignment and
 // medoid update over the full pairwise Kendall-Tau distance matrix.
-func kendallMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, plusPlus bool) ([]int, error) {
+func kendallMedoids(ctx context.Context, ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, plusPlus bool) ([]int, error) {
 	n := len(users)
 	if l > n {
 		l = n
@@ -158,6 +169,9 @@ func kendallMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int,
 		dist[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			d, err := rank.KendallTau(rankings[i], rankings[j])
 			if err != nil {
@@ -172,6 +186,9 @@ func kendallMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int,
 	medoids := initSeeds(rng, n, l, plusPlus, func(a, b int) float64 { return dist[a][b] })
 	assign := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		// Assignment step.
 		changed := false
 		for i := 0; i < n; i++ {
@@ -219,7 +236,7 @@ func kendallMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int,
 // vectorKMeans clusters rating vectors with Lloyd's algorithm.
 // Missing ratings are imputed with the missing value, but distances
 // are computed sparsely in O(ratings) per user.
-func vectorKMeans(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, missing float64) ([]int, error) {
+func vectorKMeans(ctx context.Context, ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, missing float64) ([]int, error) {
 	n := len(users)
 	if l > n {
 		l = n
@@ -277,6 +294,11 @@ func vectorKMeans(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, s
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i := 0; i < n; i++ {
+			if i&0xFFF == 0 {
+				if err := gferr.Ctx(ctx); err != nil {
+					return nil, err
+				}
+			}
 			best, bestD := 0, math.Inf(1)
 			for c := 0; c < l; c++ {
 				if d := userDist(i, c); d < bestD {

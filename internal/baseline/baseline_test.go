@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestKendallMedoidsForm(t *testing.T) {
 		Method: KendallMedoids,
 		Seed:   1,
 	}
-	res, err := Form(ds, cfg)
+	res, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestVectorKMeansForm(t *testing.T) {
 		Method: VectorKMeans,
 		Seed:   2,
 	}
-	res, err := Form(ds, cfg)
+	res, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestClaraMedoidsForm(t *testing.T) {
 		Method: ClaraMedoids,
 		Seed:   4,
 	}
-	res, err := Form(ds, cfg)
+	res, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestClaraSmallPopulation(t *testing.T) {
 		Method: ClaraMedoids,
 		Seed:   5,
 	}
-	res, err := Form(ds, cfg)
+	res, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +120,14 @@ func TestClaraSmallPopulation(t *testing.T) {
 func TestFormValidates(t *testing.T) {
 	ds := synthDS(t, 10, 5, 2)
 	bad := Config{Config: core.Config{K: 0, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min}}
-	if _, err := Form(ds, bad); err == nil {
+	if _, err := Form(context.Background(), ds, bad); err == nil {
 		t.Error("invalid embedded config should error")
 	}
 	badMethod := Config{
 		Config: core.Config{K: 1, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min},
 		Method: Method(9),
 	}
-	if _, err := Form(ds, badMethod); err == nil {
+	if _, err := Form(context.Background(), ds, badMethod); err == nil {
 		t.Error("invalid method should error")
 	}
 }
@@ -148,7 +149,7 @@ func TestLGreaterThanN(t *testing.T) {
 			Method: m,
 			Seed:   3,
 		}
-		res, err := Form(ds, cfg)
+		res, err := Form(context.Background(), ds, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -168,7 +169,7 @@ func TestClusteringFindsPlantedClusters(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []Method{KendallMedoids, VectorKMeans} {
-		res, err := Form(ds, Config{
+		res, err := Form(context.Background(), ds, Config{
 			Config: core.Config{K: 3, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min},
 			Method: m,
 			Seed:   4,
@@ -202,11 +203,11 @@ func TestGreedyBeatsBaseline(t *testing.T) {
 	}
 	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 		ccfg := core.Config{K: 5, L: 10, Semantics: sem, Aggregation: semantics.Min}
-		grd, err := core.Form(ds, ccfg)
+		grd, err := core.Form(context.Background(), ds, ccfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Form(ds, Config{Config: ccfg, Method: KendallMedoids, Seed: 6})
+		base, err := Form(context.Background(), ds, Config{Config: ccfg, Method: KendallMedoids, Seed: 6})
 		if err != nil {
 			t.Fatal(err)
 		}

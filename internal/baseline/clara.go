@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/rank"
 )
 
@@ -14,7 +16,7 @@ import (
 // Kendall-Tau distance of the faithful baseline while avoiding the
 // O(n^2) distance matrix — the middle ground between KendallMedoids
 // (quality scale) and VectorKMeans (200k-user scale).
-func claraMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, plusPlus bool) ([]int, error) {
+func claraMedoids(ctx context.Context, ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, plusPlus bool) ([]int, error) {
 	n := len(users)
 	if l > n {
 		l = n
@@ -44,6 +46,9 @@ func claraMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, s
 			dist[i] = make([]float64, sampleSize)
 		}
 		for i := 0; i < sampleSize; i++ {
+			if err := gferr.Ctx(ctx); err != nil {
+				return nil, err
+			}
 			for j := i + 1; j < sampleSize; j++ {
 				d, err := rank.KendallTau(ranking(sample[i]), ranking(sample[j]))
 				if err != nil {
@@ -99,6 +104,11 @@ func claraMedoids(ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, s
 		globalAssign := make([]int, n)
 		cost := 0.0
 		for i := 0; i < n; i++ {
+			if i&0xFF == 0 {
+				if err := gferr.Ctx(ctx); err != nil {
+					return nil, err
+				}
+			}
 			best, bd := 0, math.Inf(1)
 			for c, m := range medoids {
 				d, err := rank.KendallTau(ranking(i), ranking(sample[m]))

@@ -1,0 +1,82 @@
+// Package cliutil shares the flag-parsing vocabulary of the module's
+// commands — semantics and aggregation names, and the registry-backed
+// -algo flag with its "list" mode — so cmd/groupform and
+// cmd/experiments resolve algorithms identically instead of each
+// hand-rolling a switch.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"groupform/internal/semantics"
+	"groupform/internal/solver"
+)
+
+// AlgoListName is the reserved -algo value that prints the registry.
+const AlgoListName = "list"
+
+// ParseSemantics maps a -semantics flag value to the semantics.
+func ParseSemantics(s string) (semantics.Semantics, error) {
+	switch strings.ToLower(s) {
+	case "lm":
+		return semantics.LM, nil
+	case "av":
+		return semantics.AV, nil
+	}
+	return 0, fmt.Errorf("unknown semantics %q (want lm or av)", s)
+}
+
+// ParseAggregation maps an -agg flag value to the aggregation.
+func ParseAggregation(s string) (semantics.Aggregation, error) {
+	switch strings.ToLower(s) {
+	case "max":
+		return semantics.Max, nil
+	case "min":
+		return semantics.Min, nil
+	case "sum":
+		return semantics.Sum, nil
+	case "wsum-pos":
+		return semantics.WeightedSumPos, nil
+	case "wsum-log":
+		return semantics.WeightedSumLog, nil
+	}
+	return 0, fmt.Errorf("unknown aggregation %q (want max, min, sum, wsum-pos or wsum-log)", s)
+}
+
+// ResolveAlgo maps an -algo flag value (canonical name or alias,
+// case-insensitive) to the canonical solver name.
+func ResolveAlgo(name string) (string, error) {
+	return solver.Resolve(strings.ToLower(strings.TrimSpace(name)))
+}
+
+// HandleAlgo implements the shared -algo flag protocol: the reserved
+// value "list" (case-insensitive) prints the registry to out and
+// reports handled = true (the command should exit successfully);
+// otherwise the value resolves to its canonical solver name. Both
+// commands route their flag through here so the vocabulary cannot
+// drift.
+func HandleAlgo(value string, out io.Writer) (name string, handled bool, err error) {
+	if strings.EqualFold(strings.TrimSpace(value), AlgoListName) {
+		fmt.Fprint(out, AlgoList())
+		return "", true, nil
+	}
+	name, err = ResolveAlgo(value)
+	return name, false, err
+}
+
+// AlgoList renders the registered solvers as the aligned table both
+// commands print for `-algo list`.
+func AlgoList() string {
+	var b strings.Builder
+	b.WriteString("registered solvers (-algo NAME):\n")
+	for _, info := range solver.Infos() {
+		name := info.Name
+		if len(info.Aliases) > 0 {
+			name += " (" + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(&b, "  %-36s %s\n", name, info.Description)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"groupform/internal/semantics"
+	"groupform/internal/solver"
+)
+
+func TestParseSemantics(t *testing.T) {
+	for in, want := range map[string]semantics.Semantics{"lm": semantics.LM, "AV": semantics.AV} {
+		got, err := ParseSemantics(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSemantics(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSemantics("zz"); err == nil {
+		t.Error("ParseSemantics(zz) should error")
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	for in, want := range map[string]semantics.Aggregation{
+		"max": semantics.Max, "MIN": semantics.Min, "sum": semantics.Sum,
+		"wsum-pos": semantics.WeightedSumPos, "wsum-log": semantics.WeightedSumLog,
+	} {
+		got, err := ParseAggregation(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggregation(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAggregation("zz"); err == nil {
+		t.Error("ParseAggregation(zz) should error")
+	}
+}
+
+func TestResolveAlgo(t *testing.T) {
+	for in, want := range map[string]string{
+		" GRD ": "grd", "localsearch": "ls", "KMEANS": "baseline-kmeans",
+	} {
+		got, err := ResolveAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("ResolveAlgo(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ResolveAlgo("zz"); err == nil {
+		t.Error("ResolveAlgo(zz) should error")
+	}
+}
+
+func TestHandleAlgo(t *testing.T) {
+	var out strings.Builder
+	name, listed, err := HandleAlgo(" List ", &out)
+	if err != nil || !listed || name != "" {
+		t.Errorf("HandleAlgo(list) = %q, %v, %v", name, listed, err)
+	}
+	if !strings.Contains(out.String(), "grd") {
+		t.Errorf("list output missing registry:\n%s", out.String())
+	}
+	name, listed, err = HandleAlgo("localsearch", &out)
+	if err != nil || listed || name != "ls" {
+		t.Errorf("HandleAlgo(localsearch) = %q, %v, %v", name, listed, err)
+	}
+	if _, _, err := HandleAlgo("zz", &out); err == nil {
+		t.Error("HandleAlgo(zz) should error")
+	}
+}
+
+func TestAlgoListCoversRegistry(t *testing.T) {
+	list := AlgoList()
+	for _, name := range solver.Names() {
+		if !strings.Contains(list, name) {
+			t.Errorf("AlgoList missing %q:\n%s", name, list)
+		}
+	}
+}

@@ -37,6 +37,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -44,6 +45,7 @@ import (
 	"sort"
 
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/par"
 	"groupform/internal/rank"
 	"groupform/internal/semantics"
@@ -83,8 +85,9 @@ type Config struct {
 	Workers int
 }
 
-// workerCount resolves Workers to an effective pool size (>= 1).
-func (c Config) workerCount() int {
+// EffectiveWorkers resolves Workers to an effective pool size (>= 1):
+// 0 and 1 mean serial, negative means runtime.GOMAXPROCS(0).
+func (c Config) EffectiveWorkers() int {
 	if c.Workers < 0 {
 		return runtime.GOMAXPROCS(0)
 	}
@@ -95,28 +98,30 @@ func (c Config) workerCount() int {
 }
 
 // Validate reports whether the configuration is usable against ds.
+// Every violation wraps gferr.ErrBadConfig and names the offending
+// field.
 func (c Config) Validate(ds *dataset.Dataset) error {
 	if ds == nil || ds.NumUsers() == 0 {
-		return fmt.Errorf("core: empty dataset")
+		return gferr.BadConfigf("core: Dataset must be non-empty")
 	}
 	if c.K <= 0 {
-		return fmt.Errorf("core: K must be positive, got %d", c.K)
+		return gferr.BadConfigf("core: K must be positive, got %d", c.K)
 	}
 	if c.K > ds.NumItems() {
-		return fmt.Errorf("core: K=%d exceeds item count %d", c.K, ds.NumItems())
+		return gferr.BadConfigf("core: K=%d exceeds item count %d", c.K, ds.NumItems())
 	}
 	if c.L <= 0 {
-		return fmt.Errorf("core: L must be positive, got %d", c.L)
+		return gferr.BadConfigf("core: L must be positive, got %d", c.L)
 	}
 	if !c.Semantics.Valid() {
-		return fmt.Errorf("core: invalid semantics %d", int(c.Semantics))
+		return gferr.BadConfigf("core: Semantics %d is not LM or AV", int(c.Semantics))
 	}
 	if !c.Aggregation.Valid() {
-		return fmt.Errorf("core: invalid aggregation %d", int(c.Aggregation))
+		return gferr.BadConfigf("core: Aggregation %d is unknown", int(c.Aggregation))
 	}
 	for u, w := range c.UserWeights {
 		if w < 0 {
-			return fmt.Errorf("core: negative weight %v for user %d", w, u)
+			return gferr.BadConfigf("core: UserWeights[%d] is negative (%v)", u, w)
 		}
 	}
 	return nil
@@ -128,7 +133,7 @@ func (c Config) Validate(ds *dataset.Dataset) error {
 // framework cannot avoid — parallelizes with the rest of the
 // pipeline.
 func (c Config) scorer(ds *dataset.Dataset) semantics.Scorer {
-	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights, Workers: c.workerCount()}
+	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights, Workers: c.EffectiveWorkers()}
 }
 
 // weight returns u's AV weight under this configuration.
@@ -193,21 +198,57 @@ type bucket struct {
 // With cfg.Workers >= 2 every phase — preference lists, bucketizing,
 // piece materialization and the merged group's top-k — runs on a
 // worker pool while producing byte-identical results to the serial
-// path (the shard merges replay the serial fold order).
-func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
+// path (the shard merges replay the serial fold order). The context
+// is checked between phases and every few thousand users inside them;
+// cancellation returns an error wrapping gferr.ErrCanceled.
+func Form(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return FormWithPrefs(ctx, ds, cfg, nil)
+}
+
+// FormWithPrefs is Form with the O(nk) preference-list construction
+// already done. prefs must be rank.AllTopK's output for (cfg.K,
+// cfg.Missing) over ds, in dataset user order; nil builds the lists
+// internally. Supplied lists are treated as shared and read-only —
+// the fold paths copy score positions instead of aliasing them — so
+// an Engine can serve many concurrent Forms from one cached slice;
+// the formed groups are byte-identical either way.
+func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
-	workers := cfg.workerCount()
-	prefs, err := rank.AllTopKParallel(ds, cfg.K, cfg.Missing, workers)
-	if err != nil {
+	if err := gferr.Ctx(ctx); err != nil {
 		return nil, err
+	}
+	workers := cfg.EffectiveWorkers()
+	shared := prefs != nil
+	if prefs == nil {
+		var err error
+		prefs, err = rank.AllTopKParallel(ctx, ds, cfg.K, cfg.Missing, workers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// The lists' missing-value imputation is not recoverable from
+		// the lists themselves, so that part of the contract stays
+		// with the caller (the Engine keys its cache by it); length
+		// mismatches — the wrong dataset or lists built for another K
+		// — are cheap to catch and would otherwise form wrong groups
+		// silently.
+		if len(prefs) != ds.NumUsers() {
+			return nil, gferr.BadConfigf("core: prefs has %d lists for %d users", len(prefs), ds.NumUsers())
+		}
+		if len(prefs[0].Items) != cfg.K {
+			return nil, gferr.BadConfigf("core: prefs built for K=%d, cfg.K=%d", len(prefs[0].Items), cfg.K)
+		}
 	}
 	var buckets map[string]*bucket
 	if par.Enabled(workers) {
 		buckets = bucketizeParallel(prefs, cfg, workers)
 	} else {
-		buckets = bucketize(prefs, cfg)
+		buckets = bucketize(prefs, cfg, !shared)
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
 	}
 	res := &Result{Buckets: len(buckets), Algorithm: cfg.AlgorithmName()}
 	scorer := cfg.scorer(ds)
@@ -224,7 +265,7 @@ func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		// first is optimal given the bucketing — and is required for
 		// the rmax absolute-error guarantee of Theorem 2 when l
 		// exceeds the bucket count.
-		groups, err := splitBuckets(ds, scorer, buckets, cfg)
+		groups, err := splitBuckets(ctx, ds, scorer, buckets, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -243,6 +284,10 @@ func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		errs := make([]error, len(popped))
 		bucketScorer := nestedScorer(scorer, len(popped), workers)
 		par.Do(len(popped), workers, func(i int) {
+			if err := gferr.Ctx(ctx); err != nil {
+				errs[i] = err
+				return
+			}
 			res.Groups[i], errs[i] = finalizeBucket(bucketScorer, popped[i], popped[i].members, cfg)
 		})
 		for _, err := range errs {
@@ -258,6 +303,9 @@ func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 			rest = append(rest, b.members...)
 		}
 		sortUsers(rest)
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		items, scores, err := scorer.TopK(cfg.Semantics, rest, cfg.K)
 		if err != nil {
 			return nil, err
@@ -283,7 +331,7 @@ func Form(ds *dataset.Dataset, cfg Config) (*Result, error) {
 // full bucket satisfaction, so this maximizes the objective over all
 // ways to spend the budget; under AV the per-piece satisfactions
 // always sum to the bucket's, so splitting is harmless either way.
-func splitBuckets(ds *dataset.Dataset, scorer semantics.Scorer, buckets map[string]*bucket, cfg Config) ([]Group, error) {
+func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets map[string]*bucket, cfg Config) ([]Group, error) {
 	h := newBucketHeap(buckets, cfg.Aggregation)
 	ordered := make([]*bucket, 0, len(buckets))
 	for h.Len() > 0 {
@@ -340,8 +388,12 @@ func splitBuckets(ds *dataset.Dataset, scorer semantics.Scorer, buckets map[stri
 	}
 	groups := make([]Group, len(tasks))
 	errs := make([]error, len(tasks))
-	pieceScorer := nestedScorer(scorer, len(tasks), cfg.workerCount())
-	par.Do(len(tasks), cfg.workerCount(), func(i int) {
+	pieceScorer := nestedScorer(scorer, len(tasks), cfg.EffectiveWorkers())
+	par.Do(len(tasks), cfg.EffectiveWorkers(), func(i int) {
+		if err := gferr.Ctx(ctx); err != nil {
+			errs[i] = err
+			return
+		}
 		t := tasks[i]
 		if t.refold {
 			g := Group{
@@ -442,7 +494,10 @@ func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID
 // bucketize hashes every user's preference list into intermediate
 // groups under the configured key (step 1 of the framework). Group
 // item scores are folded in as members join: min for LM, sum for AV.
-func bucketize(prefs []rank.PrefList, cfg Config) map[string]*bucket {
+// With ownedPrefs false the prefs are shared (an Engine cache) and
+// every bucket copies its score positions instead of adopting the
+// pref list's slices, so the fold never mutates the caller's lists.
+func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) map[string]*bucket {
 	buckets := make(map[string]*bucket)
 	var keyBuf []byte
 	for _, p := range prefs {
@@ -450,7 +505,7 @@ func bucketize(prefs []rank.PrefList, cfg Config) map[string]*bucket {
 		key := string(keyBuf)
 		b, ok := buckets[key]
 		if !ok {
-			items, scores := seedBucket(p, cfg, false)
+			items, scores := seedBucket(p, cfg, !ownedPrefs)
 			b = &bucket{key: key, items: items, scores: scores}
 			buckets[key] = b
 		} else {

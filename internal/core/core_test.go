@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -73,7 +74,7 @@ func members(g Group) []int {
 // TestGRDLMMinExample1K1 reproduces Section 4.1's walk-through for
 // k=1, l=3: groups {u3,u4}(5), {u2,u6}(5), {u1,u5}(1); Obj = 11.
 func TestGRDLMMinExample1K1(t *testing.T) {
-	res, err := Form(example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestGRDLMMinExample1K1(t *testing.T) {
 // {u1}(3), {u2}(3), {u3,u4,u5,u6}(1); Obj = 7; five intermediate
 // groups.
 func TestGRDLMMinExample1K2(t *testing.T) {
-	res, err := Form(example1(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example1(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestGRDLMMinExample1K2(t *testing.T) {
 // TestGRDLMSumExample1K2 reproduces Section 4.2: groups {u2}(8),
 // {u3,u4}(7), {u1,u5,u6}(2); Obj = 17.
 func TestGRDLMSumExample1K2(t *testing.T) {
-	res, err := Form(example1(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
+	res, err := Form(context.Background(), example1(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestGRDLMSumExample1K2(t *testing.T) {
 // together under either LM algorithm.
 func TestGRDLMSumHashesOnAllScores(t *testing.T) {
 	for _, agg := range []semantics.Aggregation{semantics.Min, semantics.Sum} {
-		res, err := Form(example1(t), Config{K: 2, L: 6, Semantics: semantics.LM, Aggregation: agg})
+		res, err := Form(context.Background(), example1(t), Config{K: 2, L: 6, Semantics: semantics.LM, Aggregation: agg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func TestGRDLMSumHashesOnAllScores(t *testing.T) {
 // TestGRDAVMinExample2 reproduces Section 5's walk-through: k=2, l=2,
 // groups {u3,u4}(4) and {u1,u2,u5,u6}(9, list (i3;i2)); Obj = 13.
 func TestGRDAVMinExample2(t *testing.T) {
-	res, err := Form(example2(t), Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example2(t), Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestGRDAVMinExample2(t *testing.T) {
 // TestGRDAVSumExample2 reproduces the Sum variant: same groups, Obj =
 // 14 + 20 = 34.
 func TestGRDAVSumExample2(t *testing.T) {
-	res, err := Form(example2(t), Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	res, err := Form(context.Background(), example2(t), Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestGRDAVSumExample2(t *testing.T) {
 // TestGRDLMSumExample5 reproduces Appendix B: GRD-LM-SUM forms
 // {u2}(8), {u3,u4}(7), {u1,u5,u6}(5) for Obj = 20 (optimum is 21).
 func TestGRDLMSumExample5(t *testing.T) {
-	res, err := Form(example5(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
+	res, err := Form(context.Background(), example5(t), Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestConfigValidate(t *testing.T) {
 	if err := good.Validate(nil); err == nil {
 		t.Error("nil dataset accepted")
 	}
-	if _, err := Form(nil, good); err == nil {
+	if _, err := Form(context.Background(), nil, good); err == nil {
 		t.Error("Form(nil) should error")
 	}
 }
@@ -302,7 +303,7 @@ func TestAlgorithmNames(t *testing.T) {
 
 func TestSingleGroup(t *testing.T) {
 	// l=1 merges everyone immediately.
-	res, err := Form(example1(t), Config{K: 1, L: 1, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example1(t), Config{K: 1, L: 1, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestMoreGroupsThanBuckets(t *testing.T) {
 	// 4+5+5+5+3+5 = 27. The surplus group budget must be spent
 	// splitting buckets (see splitBuckets); stopping at the 4 whole
 	// buckets would score only 17 and break the rmax error bound.
-	res, err := Form(example1(t), Config{K: 1, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example1(t), Config{K: 1, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestSplitBucketsPartialBudget(t *testing.T) {
 	// Example 1, k=1 has 4 buckets: {u3,u4}:5, {u2,u6}:5, {u1}:4,
 	// {u5}:3. With l=5 the single surplus slot must split the best
 	// splittable bucket ({u3,u4}), yielding 5+5+5+4+3 = 22.
-	res, err := Form(example1(t), Config{K: 1, L: 5, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Form(context.Background(), example1(t), Config{K: 1, L: 5, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,11 +360,11 @@ func TestSplitBucketsNeutralForAV(t *testing.T) {
 	// unchanged: the objective with l=n must equal the objective
 	// with l=#buckets when no merge happens either way.
 	ds := example2(t)
-	atBuckets, err := Form(ds, Config{K: 2, L: 5, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	atBuckets, err := Form(context.Background(), ds, Config{K: 2, L: 5, Semantics: semantics.AV, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
-	allSplit, err := Form(ds, Config{K: 2, L: 6, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	allSplit, err := Form(context.Background(), ds, Config{K: 2, L: 6, Semantics: semantics.AV, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,11 +376,11 @@ func TestSplitBucketsNeutralForAV(t *testing.T) {
 func TestGRDLMMaxGrouping(t *testing.T) {
 	// GRD-LM-MAX on Example 1 with k=1 coincides with GRD-LM-MIN
 	// (Max=Min=Sum at k=1).
-	resMax, err := Form(example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Max})
+	resMax, err := Form(context.Background(), example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Max})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resMin, err := Form(example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	resMin, err := Form(context.Background(), example1(t), Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,11 +394,11 @@ func TestAVBucketsAtMostLMBuckets(t *testing.T) {
 	// generates at most as many buckets as LM.
 	for _, ds := range []*dataset.Dataset{example1(t), example2(t), example5(t)} {
 		for k := 1; k <= 3; k++ {
-			av, err := Form(ds, Config{K: k, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
+			av, err := Form(context.Background(), ds, Config{K: k, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
 			if err != nil {
 				t.Fatal(err)
 			}
-			lm, err := Form(ds, Config{K: k, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min})
+			lm, err := Form(context.Background(), ds, Config{K: k, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -436,7 +437,7 @@ func TestFormPartitionProperty(t *testing.T) {
 		l := 1 + rng.Intn(n)
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
-				res, err := Form(ds, Config{K: k, L: l, Semantics: sem, Aggregation: agg})
+				res, err := Form(context.Background(), ds, Config{K: k, L: l, Semantics: sem, Aggregation: agg})
 				if err != nil {
 					return false
 				}
@@ -486,7 +487,7 @@ func TestBucketSatisfactionMatchesScorer(t *testing.T) {
 		sc := semantics.Scorer{DS: ds}
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
-				res, err := Form(ds, Config{K: k, L: l, Semantics: sem, Aggregation: agg})
+				res, err := Form(context.Background(), ds, Config{K: k, L: l, Semantics: sem, Aggregation: agg})
 				if err != nil {
 					return false
 				}
@@ -520,7 +521,7 @@ func TestK1AggregationsCoincide(t *testing.T) {
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			var objs []float64
 			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
-				res, err := Form(ds, Config{K: 1, L: l, Semantics: sem, Aggregation: agg})
+				res, err := Form(context.Background(), ds, Config{K: 1, L: l, Semantics: sem, Aggregation: agg})
 				if err != nil {
 					return false
 				}
@@ -548,7 +549,7 @@ func TestObjectiveMonotoneInL(t *testing.T) {
 		k := 1 + rng.Intn(m)
 		prev := math.Inf(-1)
 		for l := 1; l <= n; l++ {
-			res, err := Form(ds, Config{K: k, L: l, Semantics: semantics.LM, Aggregation: semantics.Min})
+			res, err := Form(context.Background(), ds, Config{K: k, L: l, Semantics: semantics.LM, Aggregation: semantics.Min})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -70,14 +71,14 @@ func TestFormParallelMatchesSerial(t *testing.T) {
 				semantics.Max, semantics.Min, semantics.Sum, semantics.WeightedSumLog,
 			} {
 				cfg := Config{K: 5, L: 10, Semantics: sem, Aggregation: agg}
-				serial, err := Form(ds, cfg)
+				serial, err := Form(context.Background(), ds, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for _, w := range []int{1, 2, 8} {
 					c := cfg
 					c.Workers = w
-					got, err := Form(ds, c)
+					got, err := Form(context.Background(), ds, c)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -98,7 +99,7 @@ func TestFormParallelSplitBranch(t *testing.T) {
 	}
 	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 		cfg := Config{K: 3, L: 150, Semantics: sem, Aggregation: semantics.Min}
-		serial, err := Form(ds, cfg)
+		serial, err := Form(context.Background(), ds, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func TestFormParallelSplitBranch(t *testing.T) {
 		for _, w := range []int{2, 8} {
 			c := cfg
 			c.Workers = w
-			got, err := Form(ds, c)
+			got, err := Form(context.Background(), ds, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,14 +135,14 @@ func TestFormParallelWeighted(t *testing.T) {
 		}
 	}
 	cfg := Config{K: 4, L: 8, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights}
-	serial, err := Form(ds, cfg)
+	serial, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 8} {
 		c := cfg
 		c.Workers = w
-		got, err := Form(ds, c)
+		got, err := Form(context.Background(), ds, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestBucketizeParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			serial := bucketize(prefs, cfg)
+			serial := bucketize(prefs, cfg, true)
 			// Re-rank: the serial pass may mutate adopted pref
 			// slices, so the parallel pass gets a fresh copy.
 			prefs2, err := rank.AllTopK(ds, cfg.K, cfg.Missing)
@@ -198,13 +199,13 @@ func TestFormParallelPaperExamples(t *testing.T) {
 	for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			cfg := Config{K: 1, L: 3, Semantics: sem, Aggregation: agg}
-			serial, err := Form(ds, cfg)
+			serial, err := Form(context.Background(), ds, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			c := cfg
 			c.Workers = 4
-			got, err := Form(ds, c)
+			got, err := Form(context.Background(), ds, c)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,11 +24,11 @@ func TestUnitWeightsMatchUnweighted(t *testing.T) {
 		}
 		k, l := 1+rng.Intn(m), 1+rng.Intn(n)
 		for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
-			plain, err := Form(ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg})
+			plain, err := Form(context.Background(), ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg})
 			if err != nil {
 				return false
 			}
-			weighted, err := Form(ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg, UserWeights: weights})
+			weighted, err := Form(context.Background(), ds, Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg, UserWeights: weights})
 			if err != nil {
 				return false
 			}
@@ -47,7 +48,7 @@ func TestUnitWeightsMatchUnweighted(t *testing.T) {
 func TestWeightsScaleAVObjective(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	ds := randomDense(rng, 8, 4)
-	base, err := Form(ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	base, err := Form(context.Background(), ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestWeightsScaleAVObjective(t *testing.T) {
 	for _, u := range ds.Users() {
 		weights[u] = 2.5
 	}
-	scaled, err := Form(ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights})
+	scaled, err := Form(context.Background(), ds, Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestHeavyUserDominatesAVList(t *testing.T) {
 	}
 	cfg := Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min,
 		UserWeights: map[dataset.UserID]float64{0: 100}}
-	res, err := Form(ds, cfg)
+	res, err := Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestHeavyUserDominatesAVList(t *testing.T) {
 		t.Errorf("heavy user's favorite should lead the list, got item %d", res.Groups[0].Items[0])
 	}
 	// Without weights, item 1 (two fans) wins.
-	plain, err := Form(ds, Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min})
+	plain, err := Form(context.Background(), ds, Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestWeightedBucketSatisfactionMatchesScorer(t *testing.T) {
 		}
 		k, l := 1+rng.Intn(m), 1+rng.Intn(n)
 		cfg := Config{K: k, L: l, Semantics: semantics.AV, Aggregation: semantics.Sum, UserWeights: weights}
-		res, err := Form(ds, cfg)
+		res, err := Form(context.Background(), ds, cfg)
 		if err != nil {
 			return false
 		}
@@ -135,7 +136,7 @@ func TestNegativeWeightRejected(t *testing.T) {
 	ds := randomDense(rng, 3, 2)
 	cfg := Config{K: 1, L: 1, Semantics: semantics.AV, Aggregation: semantics.Min,
 		UserWeights: map[dataset.UserID]float64{0: -1}}
-	if _, err := Form(ds, cfg); err == nil {
+	if _, err := Form(context.Background(), ds, cfg); err == nil {
 		t.Error("negative weight should be rejected")
 	}
 }

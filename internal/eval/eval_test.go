@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func example1(t *testing.T) *dataset.Dataset {
 
 func form(t *testing.T, ds *dataset.Dataset, cfg core.Config) *core.Result {
 	t.Helper()
-	res, err := core.Form(ds, cfg)
+	res, err := core.Form(context.Background(), ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -66,11 +67,11 @@ func AblationDensify(o Options) (Exhibit, error) {
 	var notes strings.Builder
 	for _, k := range []int{1, 3, 5} {
 		cfg := core.Config{K: k, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
-		r, err := core.Form(raw, cfg)
+		r, err := core.Form(context.Background(), raw, cfg)
 		if err != nil {
 			return Exhibit{}, err
 		}
-		q, err := core.Form(quant, cfg)
+		q, err := core.Form(context.Background(), quant, cfg)
 		if err != nil {
 			return Exhibit{}, err
 		}
@@ -127,11 +128,11 @@ func AblationSeeding(o Options) (Exhibit, error) {
 	cfg := core.Config{K: p.k, L: p.l, Semantics: semantics.LM, Aggregation: semantics.Min}
 	for trial := 0; trial < 5; trial++ {
 		seed := o.Seed + int64(trial)
-		r, err := baseline.Form(ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed})
+		r, err := baseline.Form(context.Background(), ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed})
 		if err != nil {
 			return Exhibit{}, err
 		}
-		pp, err := baseline.Form(ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed, PlusPlus: true})
+		pp, err := baseline.Form(context.Background(), ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed, PlusPlus: true})
 		if err != nil {
 			return Exhibit{}, err
 		}
@@ -152,7 +153,7 @@ func AblationLocalSearch(o Options) (Exhibit, error) {
 		return Exhibit{}, err
 	}
 	cfg := core.Config{K: p.k, L: p.l, Semantics: semantics.LM, Aggregation: semantics.Sum}
-	grd, err := core.Form(ds, cfg)
+	grd, err := core.Form(context.Background(), ds, cfg)
 	if err != nil {
 		return Exhibit{}, err
 	}
@@ -165,7 +166,7 @@ func AblationLocalSearch(o Options) (Exhibit, error) {
 	ls := Series{Name: "OPT-LS"}
 	ls.Points = append(ls.Points, Point{0, grd.Objective})
 	for _, iters := range []int{100, 1000, 10000} {
-		r, err := opt.LocalSearch(ds, cfg, opt.LSOptions{Iterations: iters, Anneal: true, Seed: o.Seed})
+		r, err := opt.LocalSearch(context.Background(), ds, cfg, opt.LSOptions{Iterations: iters, Anneal: true, Seed: o.Seed})
 		if err != nil {
 			return Exhibit{}, err
 		}
@@ -204,7 +205,7 @@ func AblationBuckets(o Options) (Exhibit, error) {
 	for _, v := range variants {
 		s := Series{Name: v.name}
 		for _, k := range p.ks {
-			r, err := core.Form(ds, core.Config{K: k, L: p.l, Semantics: v.sem, Aggregation: v.agg})
+			r, err := core.Form(context.Background(), ds, core.Config{K: k, L: p.l, Semantics: v.sem, Aggregation: v.agg})
 			if err != nil {
 				return Exhibit{}, err
 			}

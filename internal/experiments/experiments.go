@@ -51,6 +51,18 @@ type Options struct {
 	// identical for every value — only the wall clock moves — so the
 	// quality exhibits ignore it.
 	Workers int
+	// Algo selects the primary algorithm the runtime sweeps time, by
+	// registry name or alias (internal/solver); empty means "grd",
+	// reproducing the paper's exhibits. Quality exhibits, which
+	// compare fixed algorithm sets, ignore it.
+	Algo string
+}
+
+func (o Options) algo() string {
+	if o.Algo == "" {
+		return "grd"
+	}
+	return o.Algo
 }
 
 func (o Options) runs() int {

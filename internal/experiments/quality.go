@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -76,15 +77,15 @@ func qualityDataset(kind string, n, m int, seed int64) (*dataset.Dataset, error)
 // returns the metric selected by avgSat (objective value, or average
 // group satisfaction over the top-k list).
 func measure(ds *dataset.Dataset, cfg core.Config, seed int64, avgSat bool) (grd, base, optV float64, err error) {
-	g, err := core.Form(ds, cfg)
+	g, err := core.Form(context.Background(), ds, cfg)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	b, err := baseline.Form(ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed})
+	b, err := baseline.Form(context.Background(), ds, baseline.Config{Config: cfg, Method: baseline.KendallMedoids, Seed: seed})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	o, err := opt.LocalSearch(ds, cfg, opt.LSOptions{
+	o, err := opt.LocalSearch(context.Background(), ds, cfg, opt.LSOptions{
 		Iterations: 20 * ds.NumUsers(), Anneal: true, Seed: seed,
 	})
 	if err != nil {
@@ -251,7 +252,7 @@ func Table4(o Options) (Exhibit, error) {
 				if err != nil {
 					return Exhibit{}, err
 				}
-				res, err := core.Form(ds, core.Config{K: p.k, L: p.l, Semantics: sem, Aggregation: agg})
+				res, err := core.Form(context.Background(), ds, core.Config{K: p.k, L: p.l, Semantics: sem, Aggregation: agg})
 				if err != nil {
 					return Exhibit{}, err
 				}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
-	"groupform/internal/baseline"
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/semantics"
+	"groupform/internal/solver"
 	"groupform/internal/synth"
 )
 
@@ -59,18 +62,58 @@ func timeMS(f func() error) (float64, error) {
 	return float64(time.Since(start).Microseconds()) / 1000.0, nil
 }
 
-// runtimeSweep measures GRD and Baseline formation time across one
-// parameter sweep.
+// runtimeSweep measures the configured primary algorithm (Options.
+// Algo, "grd" by default) and the k-means baseline across one
+// parameter sweep. Both run through the solver registry, so any
+// registered algorithm can be timed: `experiments -algo ls -exp f4a`
+// sweeps local search where the paper sweeps GRD.
 func runtimeSweep(o Options, id, title, xlabel string, sem semantics.Semantics,
 	agg semantics.Aggregation, xs []int,
 	mk func(x int, p scaleParams) (n, m, l, k int)) (Exhibit, error) {
 
+	algo, err := solver.Resolve(o.algo())
+	if err != nil {
+		return Exhibit{}, err
+	}
+	// The exact references cannot meet any sweep point (exact stops
+	// at 18 users, ip at K=1, bb at adversarial-free toy sizes), so
+	// refuse them with a clear message instead of erroring midway
+	// through the first point.
+	switch algo {
+	case "exact", "bb", "ip":
+		return Exhibit{}, gferr.BadConfigf(
+			"experiments: -algo %s cannot run the runtime sweeps (the sweep sizes are beyond its reach); pick grd, a baseline-*, or ls", algo)
+	}
+	primaryIsBaseline := strings.HasPrefix(algo, "baseline-")
+	// primaryFeasible bounds the -algo-selected primary's work the
+	// same way the built-in kmeans series is bounded, but per cost
+	// model: full Kendall medoids materializes an O(n^2) distance
+	// matrix (the paper stops it at quality scale), CLARA is linear
+	// in n*l with a heavy per-distance constant, and Lloyd's k-means
+	// is O(n*l*d) per iteration. Infeasible points render as "-",
+	// matching how the paper omits OPT beyond 200 users.
+	primaryFeasible := func(n, l int) bool {
+		switch algo {
+		case "baseline-kendall":
+			return n <= 2_000
+		case "baseline-clara":
+			return n*l <= 1_000_000
+		case "baseline-kmeans":
+			return n*l <= 100_000_000
+		}
+		return true
+	}
 	p := scaleDefaults(o.Scale)
 	cfg := core.Config{Semantics: sem, Aggregation: agg, Workers: o.Workers}
 	semAgg := cfg.AlgorithmName()[len("GRD-"):]
+	primaryName := "GRD-" + semAgg
+	if algo != "grd" {
+		primaryName = strings.ToUpper(algo) + "-" + semAgg
+	}
 	ex := Exhibit{ID: id, Title: title, XLabel: xlabel, YLabel: "Run time (ms)"}
-	grdS := Series{Name: "GRD-" + semAgg}
+	grdS := Series{Name: primaryName}
 	baseS := Series{Name: "Baseline-" + semAgg}
+	ctx := context.Background()
 	for _, x := range xs {
 		n, m, l, k := mk(x, p)
 		ds, err := scaleDataset(n, m, o.Seed+int64(x))
@@ -79,31 +122,47 @@ func runtimeSweep(o Options, id, title, xlabel string, sem semantics.Semantics,
 		}
 		c := cfg
 		c.K, c.L = k, l
-		gt, err := timeMS(func() error {
-			_, err := core.Form(ds, c)
-			return err
-		})
-		if err != nil {
-			return Exhibit{}, err
-		}
-		grdS.Points = append(grdS.Points, Point{float64(x), gt})
-		// Lloyd assignment is O(n*l*d) per iteration; at the paper's
-		// most extreme point (100k users, 10k groups) even a single
-		// iteration takes hours on one core, so the baseline point
-		// is omitted beyond a work bound (rendered as "-", the same
-		// way the paper omits OPT beyond 200 users) and the
-		// iteration cap adapts downward before that.
-		if n*l > 100_000_000 {
-			continue
-		}
+		// The clustering iteration cap adapts downward before the
+		// feasibility bounds cut in, and applies to whichever series
+		// is a clustering baseline — including a baseline-* primary
+		// picked with -algo, which would otherwise run the uncapped
+		// default of 100 iterations and contradict the secondary
+		// curve for the same algorithm.
 		maxIter := p.maxIter
 		if n*l > 10_000_000 {
 			maxIter = 3
 		}
-		bt, err := timeMS(func() error {
-			_, err := baseline.Form(ds, baseline.Config{
-				Config: c, Method: baseline.VectorKMeans, MaxIter: maxIter, Seed: o.Seed,
+		if primaryFeasible(n, l) {
+			primaryOpts := []solver.Option{solver.WithSeed(o.Seed), solver.WithWorkers(o.Workers)}
+			if primaryIsBaseline {
+				primaryOpts = append(primaryOpts, solver.WithMaxIter(maxIter))
+			}
+			primary, err := solver.New(algo, primaryOpts...)
+			if err != nil {
+				return Exhibit{}, err
+			}
+			gt, err := timeMS(func() error {
+				_, err := primary.Solve(ctx, ds, c)
+				return err
 			})
+			if err != nil {
+				return Exhibit{}, err
+			}
+			grdS.Points = append(grdS.Points, Point{float64(x), gt})
+		}
+		// Lloyd assignment is O(n*l*d) per iteration; at the paper's
+		// most extreme point (100k users, 10k groups) even a single
+		// iteration takes hours on one core, so the secondary series
+		// is omitted beyond its work bound.
+		if n*l > 100_000_000 {
+			continue
+		}
+		kmeans, err := solver.New("baseline-kmeans", solver.WithSeed(o.Seed), solver.WithMaxIter(maxIter))
+		if err != nil {
+			return Exhibit{}, err
+		}
+		bt, err := timeMS(func() error {
+			_, err := kmeans.Solve(ctx, ds, c)
 			return err
 		})
 		if err != nil {
@@ -221,7 +280,7 @@ func ScalingWorkers(o Options) (Exhibit, error) {
 			c := cfg
 			c.Workers = w
 			t, err := timeMS(func() error {
-				_, err := core.Form(ds, c)
+				_, err := core.Form(context.Background(), ds, c)
 				return err
 			})
 			if err != nil {

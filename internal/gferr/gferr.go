@@ -1,0 +1,56 @@
+// Package gferr defines the error taxonomy shared by every solver in
+// the module. The three sentinels are the stable, `errors.Is`-able
+// classification a caller programs against; the helpers wrap them with
+// context so messages stay descriptive (and consistently name the
+// offending configuration field) without callers having to parse
+// strings.
+//
+// The facade re-exports the sentinels as groupform.ErrCanceled,
+// groupform.ErrBadConfig and groupform.ErrTooLarge.
+package gferr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled classifies solves stopped by context cancellation
+	// or deadline expiry. Errors wrapping it also wrap the context's
+	// cause, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("groupform: solve canceled")
+	// ErrBadConfig classifies invalid configuration: non-positive K
+	// or L, K exceeding the item count, unknown semantics, negative
+	// weights, empty datasets, and the like. The message names the
+	// offending field.
+	ErrBadConfig = errors.New("groupform: invalid configuration")
+	// ErrTooLarge classifies instances beyond a solver's reach: the
+	// exact DP's user limit and exhausted branch-and-bound node
+	// budgets.
+	ErrTooLarge = errors.New("groupform: instance too large")
+)
+
+// Ctx returns nil while ctx is live; once ctx is done it returns an
+// error wrapping both ErrCanceled and the context's cause. Hot loops
+// call this every few thousand iterations — it is a single atomic
+// load on the live path.
+func Ctx(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// BadConfigf builds an ErrBadConfig-wrapping error. The format should
+// lead with "pkg: Field ..." so every validation message names its
+// package and offending field the same way.
+func BadConfigf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+}
+
+// TooLargef builds an ErrTooLarge-wrapping error.
+func TooLargef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTooLarge, fmt.Sprintf(format, args...))
+}

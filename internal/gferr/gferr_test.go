@@ -1,0 +1,53 @@
+package gferr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCtxLive(t *testing.T) {
+	if err := Ctx(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+}
+
+func TestCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Ctx(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to wrap context.Canceled", err)
+	}
+}
+
+func TestCtxCause(t *testing.T) {
+	cause := errors.New("upstream gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	err := Ctx(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, cause) {
+		t.Errorf("err = %v, want ErrCanceled wrapping the cause", err)
+	}
+}
+
+func TestHelpersWrapAndFormat(t *testing.T) {
+	err := BadConfigf("core: K must be positive, got %d", -1)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("BadConfigf: %v does not wrap ErrBadConfig", err)
+	}
+	if !strings.Contains(err.Error(), "K must be positive, got -1") {
+		t.Errorf("BadConfigf message: %q", err)
+	}
+	err = TooLargef("opt: limited to %d users", 18)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("TooLargef: %v does not wrap ErrTooLarge", err)
+	}
+	if errors.Is(err, ErrBadConfig) || errors.Is(err, ErrCanceled) {
+		t.Errorf("sentinels must be disjoint: %v", err)
+	}
+}

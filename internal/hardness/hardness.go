@@ -8,6 +8,7 @@
 package hardness
 
 import (
+	"context"
 	"fmt"
 
 	"groupform/internal/core"
@@ -192,7 +193,7 @@ func PECSToGF(p PECS) (*dataset.Dataset, int, error) {
 // does some partition into at most K groups reach aggregated LM
 // satisfaction >= K for k = 1?
 func DecideGF(ds *dataset.Dataset, k int) (bool, error) {
-	res, err := opt.Exact(ds, core.Config{
+	res, err := opt.Exact(context.Background(), ds, core.Config{
 		K: 1, L: k, Semantics: semantics.LM, Aggregation: semantics.Min,
 	})
 	if err != nil {

@@ -1,10 +1,13 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/lp"
 	"groupform/internal/semantics"
 )
@@ -148,10 +151,10 @@ func BuildAV(ds *dataset.Dataset, l int, symmetryBreak bool) (*Formulation, erro
 
 func newFormulation(ds *dataset.Dataset, l int, sem semantics.Semantics) (*Formulation, error) {
 	if ds == nil || ds.NumUsers() == 0 {
-		return nil, fmt.Errorf("ilp: empty dataset")
+		return nil, gferr.BadConfigf("ilp: Dataset must be non-empty")
 	}
 	if l <= 0 {
-		return nil, fmt.Errorf("ilp: l must be positive, got %d", l)
+		return nil, gferr.BadConfigf("ilp: L must be positive, got %d", l)
 	}
 	return &Formulation{sem: sem, users: ds.Users(), items: ds.Items(), l: l}, nil
 }
@@ -223,7 +226,7 @@ func (f *Formulation) Decode(x []float64) [][]dataset.UserID {
 // under sem, returning the optimal partition and objective. This is
 // the OPT-LM / OPT-AV reference of the paper's quality experiments,
 // restricted (like the paper's own hardness construction) to k = 1.
-func SolveGF(ds *dataset.Dataset, l int, sem semantics.Semantics, opts Options) ([][]dataset.UserID, float64, error) {
+func SolveGF(ctx context.Context, ds *dataset.Dataset, l int, sem semantics.Semantics, opts Options) ([][]dataset.UserID, float64, error) {
 	var f *Formulation
 	var err error
 	switch sem {
@@ -232,12 +235,12 @@ func SolveGF(ds *dataset.Dataset, l int, sem semantics.Semantics, opts Options) 
 	case semantics.AV:
 		f, err = BuildAV(ds, l, true)
 	default:
-		return nil, 0, fmt.Errorf("ilp: invalid semantics %d", int(sem))
+		return nil, 0, gferr.BadConfigf("ilp: Semantics %d is not LM or AV", int(sem))
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	sol, err := Solve(f.Problem, f.Binaries, opts)
+	sol, err := Solve(ctx, f.Problem, f.Binaries, opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -245,4 +248,47 @@ func SolveGF(ds *dataset.Dataset, l int, sem semantics.Semantics, opts Options) 
 		return nil, 0, fmt.Errorf("ilp: GF solve status %v", sol.Status)
 	}
 	return f.Decode(sol.X), math.Round(sol.Objective*1e6) / 1e6, nil
+}
+
+// Form solves the k=1 integer program like SolveGF but materializes
+// the partition as a core.Result, making the IP reference directly
+// interchangeable with every other solver behind the registry. The
+// configuration must have K = 1 (the paper's formulation is for the
+// k=1 restriction, where Max, Min and Sum aggregation coincide) and
+// no UserWeights (the formulation scores raw ratings); violations
+// wrap gferr.ErrBadConfig. The Result's Objective is the IP optimum;
+// each group's list and satisfaction are recomputed under cfg's
+// semantics so the groups read identically to the other solvers'.
+func Form(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts Options) (*core.Result, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	if cfg.K != 1 {
+		return nil, gferr.BadConfigf("ilp: K must be 1 for the Appendix-A integer program, got %d", cfg.K)
+	}
+	if len(cfg.UserWeights) != 0 {
+		return nil, gferr.BadConfigf("ilp: UserWeights are not supported by the integer program")
+	}
+	groups, obj, err := SolveGF(ctx, ds, cfg.L, cfg.Semantics, opts)
+	if err != nil {
+		return nil, err
+	}
+	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
+	res := &core.Result{
+		Objective: obj,
+		Algorithm: fmt.Sprintf("OPT-IP-%s-%s", cfg.Semantics, cfg.Aggregation),
+	}
+	for _, members := range groups {
+		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, core.Group{
+			Members:      members,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+		})
+	}
+	return res, nil
 }

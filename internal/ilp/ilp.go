@@ -10,9 +10,11 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"groupform/internal/gferr"
 	"groupform/internal/lp"
 )
 
@@ -26,8 +28,9 @@ type Options struct {
 }
 
 // ErrNodeLimit is returned when the search exceeds Options.MaxNodes
-// without proving optimality.
-var ErrNodeLimit = fmt.Errorf("ilp: node limit exceeded")
+// without proving optimality. It wraps gferr.ErrTooLarge: the program
+// is too large to solve within the configured budget.
+var ErrNodeLimit = fmt.Errorf("%w: ilp: node limit exceeded", gferr.ErrTooLarge)
 
 // Solution is an integral solution to a mixed 0/1 program.
 type Solution struct {
@@ -39,17 +42,22 @@ type Solution struct {
 
 // Solve optimizes the given LP with the variables listed in binaries
 // restricted to {0,1}. Binary variables additionally get an implicit
-// x <= 1 bound. Maximization and minimization follow p.Maximize.
-func Solve(p *lp.Problem, binaries []int, opts Options) (Solution, error) {
+// x <= 1 bound. Maximization and minimization follow p.Maximize. The
+// context is checked at every branch-and-bound node; cancellation
+// returns an error wrapping gferr.ErrCanceled.
+func Solve(ctx context.Context, p *lp.Problem, binaries []int, opts Options) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
 	for _, b := range binaries {
 		if b < 0 || b >= p.NumVars {
-			return Solution{}, fmt.Errorf("ilp: binary index %d out of range [0,%d)", b, p.NumVars)
+			return Solution{}, gferr.BadConfigf("ilp: binary index %d out of range [0,%d)", b, p.NumVars)
 		}
 	}
 	maxNodes := opts.MaxNodes
+	if maxNodes < 0 {
+		return Solution{}, gferr.BadConfigf("ilp: MaxNodes must be non-negative, got %d", maxNodes)
+	}
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
@@ -77,6 +85,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (Solution, error) {
 	}
 
 	s := &search{
+		ctx:      ctx,
 		base:     base,
 		isBin:    isBin,
 		binaries: binaries,
@@ -107,6 +116,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (Solution, error) {
 var errPruneAll = fmt.Errorf("ilp: internal prune sentinel")
 
 type search struct {
+	ctx      context.Context
 	base     *lp.Problem
 	isBin    map[int]bool
 	binaries []int
@@ -124,6 +134,9 @@ func (s *search) branch(fixed map[int]float64) error {
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		return ErrNodeLimit
+	}
+	if err := gferr.Ctx(s.ctx); err != nil {
+		return err
 	}
 	prob := s.withFixings(fixed)
 	sol, err := lp.Solve(prob)

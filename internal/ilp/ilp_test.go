@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func TestKnapsack(t *testing.T) {
 			{Coeffs: []float64{1, 1, 1}, Sense: lp.LE, RHS: 2},
 		},
 	}
-	sol, err := Solve(p, []int{0, 1, 2}, Options{})
+	sol, err := Solve(context.Background(), p, []int{0, 1, 2}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestIntegralityMatters(t *testing.T) {
 			{Coeffs: []float64{2, 2}, Sense: lp.LE, RHS: 3},
 		},
 	}
-	sol, err := Solve(p, []int{0, 1}, Options{})
+	sol, err := Solve(context.Background(), p, []int{0, 1}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMinimization(t *testing.T) {
 			{Coeffs: []float64{1, 1}, Sense: lp.GE, RHS: 1.5},
 		},
 	}
-	sol, err := Solve(p, []int{0, 1}, Options{})
+	sol, err := Solve(context.Background(), p, []int{0, 1}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestInfeasibleIP(t *testing.T) {
 			{Coeffs: []float64{1}, Sense: lp.LE, RHS: 0.8},
 		},
 	}
-	sol, err := Solve(p, []int{0}, Options{})
+	sol, err := Solve(context.Background(), p, []int{0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,17 +106,17 @@ func TestNodeLimit(t *testing.T) {
 		bins[i] = i
 	}
 	p.Constraints = []lp.Constraint{{Coeffs: co, Sense: lp.LE, RHS: 60}}
-	if _, err := Solve(p, bins, Options{MaxNodes: 2}); err != ErrNodeLimit {
+	if _, err := Solve(context.Background(), p, bins, Options{MaxNodes: 2}); err != ErrNodeLimit {
 		t.Errorf("err = %v, want ErrNodeLimit", err)
 	}
 }
 
 func TestSolveRejectsBadInput(t *testing.T) {
 	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
-	if _, err := Solve(p, []int{5}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, []int{5}, Options{}); err == nil {
 		t.Error("out-of-range binary index should error")
 	}
-	if _, err := Solve(&lp.Problem{}, nil, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &lp.Problem{}, nil, Options{}); err == nil {
 		t.Error("invalid problem should error")
 	}
 }
@@ -135,7 +136,7 @@ func example1(t *testing.T) *dataset.Dataset {
 // Example 1 with k=1, l=3 and must reproduce the paper's optimum 12
 // ({u1,u3,u4}, {u2,u6}, {u5}).
 func TestSolveGFLMExample1(t *testing.T) {
-	groups, obj, err := SolveGF(example1(t), 3, semantics.LM, Options{})
+	groups, obj, err := SolveGF(context.Background(), example1(t), 3, semantics.LM, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,13 +161,13 @@ func TestSolveGFLMExample1(t *testing.T) {
 }
 
 func TestSolveGFRejectsBadInput(t *testing.T) {
-	if _, _, err := SolveGF(nil, 3, semantics.LM, Options{}); err == nil {
+	if _, _, err := SolveGF(context.Background(), nil, 3, semantics.LM, Options{}); err == nil {
 		t.Error("nil dataset should error")
 	}
-	if _, _, err := SolveGF(example1(t), 0, semantics.LM, Options{}); err == nil {
+	if _, _, err := SolveGF(context.Background(), example1(t), 0, semantics.LM, Options{}); err == nil {
 		t.Error("l=0 should error")
 	}
-	if _, _, err := SolveGF(example1(t), 2, semantics.Semantics(9), Options{}); err == nil {
+	if _, _, err := SolveGF(context.Background(), example1(t), 2, semantics.Semantics(9), Options{}); err == nil {
 		t.Error("invalid semantics should error")
 	}
 }
@@ -191,11 +192,11 @@ func TestIPMatchesExactDP(t *testing.T) {
 			return false
 		}
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
-			_, ipObj, err := SolveGF(ds, l, sem, Options{MaxNodes: 100000})
+			_, ipObj, err := SolveGF(context.Background(), ds, l, sem, Options{MaxNodes: 100000})
 			if err != nil {
 				return false
 			}
-			ex, err := opt.Exact(ds, core.Config{K: 1, L: l, Semantics: sem, Aggregation: semantics.Min})
+			ex, err := opt.Exact(context.Background(), ds, core.Config{K: 1, L: l, Semantics: sem, Aggregation: semantics.Min})
 			if err != nil {
 				return false
 			}

@@ -1,11 +1,13 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/semantics"
 )
 
@@ -17,8 +19,10 @@ type BBOptions struct {
 }
 
 // ErrBBNodeLimit is returned when BranchAndBound exhausts its node
-// budget without proving optimality.
-var ErrBBNodeLimit = fmt.Errorf("opt: branch-and-bound node limit exceeded")
+// budget without proving optimality. It wraps gferr.ErrTooLarge: the
+// instance is too large to solve exactly within the configured
+// budget.
+var ErrBBNodeLimit = fmt.Errorf("%w: opt: branch-and-bound node limit exceeded", gferr.ErrTooLarge)
 
 // BranchAndBound computes an optimal grouping by assigning users one
 // at a time to an existing group or a fresh one (restricted-growth
@@ -35,13 +39,19 @@ var ErrBBNodeLimit = fmt.Errorf("opt: branch-and-bound node limit exceeded")
 // (subset DP, O(3^n)), the search reaches noticeably larger n on
 // structured instances while remaining exact; on adversarial inputs
 // it degrades to full enumeration, which is what MaxNodes guards.
-func BranchAndBound(ds *dataset.Dataset, cfg core.Config, opts BBOptions) (*core.Result, error) {
+func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts BBOptions) (*core.Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
 	maxNodes := opts.MaxNodes
+	if maxNodes < 0 {
+		return nil, gferr.BadConfigf("opt: MaxNodes must be non-negative, got %d", maxNodes)
+	}
 	if maxNodes == 0 {
 		maxNodes = 5_000_000
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
 	}
 	users := ds.Users()
 	n := len(users)
@@ -136,6 +146,11 @@ func BranchAndBound(ds *dataset.Dataset, cfg core.Config, opts BBOptions) (*core
 		nodes++
 		if nodes > maxNodes {
 			return ErrBBNodeLimit
+		}
+		if nodes&0x3FF == 0 {
+			if err := gferr.Ctx(ctx); err != nil {
+				return err
+			}
 		}
 		if i == n {
 			if obj > bestObj {

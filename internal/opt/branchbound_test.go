@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ import (
 // TestBBExample1 reproduces the paper's optimum for Example 1
 // (k=1, l=3): 12.
 func TestBBExample1(t *testing.T) {
-	res, err := BranchAndBound(example1(t), core.Config{
+	res, err := BranchAndBound(context.Background(), example1(t), core.Config{
 		K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min,
 	}, BBOptions{})
 	if err != nil {
@@ -31,7 +32,7 @@ func TestBBExample1(t *testing.T) {
 // TestBBExample2AV finds the corrected optimum 16 for Example 2
 // under AV, k=2, l=2 (the paper claims 14; see EXPERIMENTS.md).
 func TestBBExample2AV(t *testing.T) {
-	res, err := BranchAndBound(example2(t), core.Config{
+	res, err := BranchAndBound(context.Background(), example2(t), core.Config{
 		K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min,
 	}, BBOptions{})
 	if err != nil {
@@ -56,11 +57,11 @@ func TestBBMatchesExactDP(t *testing.T) {
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum, semantics.WeightedSumLog} {
 				cfg := core.Config{K: k, L: l, Semantics: sem, Aggregation: agg}
-				bb, err := BranchAndBound(ds, cfg, BBOptions{})
+				bb, err := BranchAndBound(context.Background(), ds, cfg, BBOptions{})
 				if err != nil {
 					return false
 				}
-				ex, err := Exact(ds, cfg)
+				ex, err := Exact(context.Background(), ds, cfg)
 				if err != nil {
 					return false
 				}
@@ -88,7 +89,7 @@ func TestBBWithWeights(t *testing.T) {
 	}
 	weights := map[dataset.UserID]float64{0: 10}
 	cfg := core.Config{K: 1, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min, UserWeights: weights}
-	bb, err := BranchAndBound(ds, cfg, BBOptions{})
+	bb, err := BranchAndBound(context.Background(), ds, cfg, BBOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestBBWithWeights(t *testing.T) {
 func TestBBNodeLimit(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	ds := randomDense(rng, 10, 4)
-	_, err := BranchAndBound(ds, core.Config{
+	_, err := BranchAndBound(context.Background(), ds, core.Config{
 		K: 2, L: 5, Semantics: semantics.AV, Aggregation: semantics.Sum,
 	}, BBOptions{MaxNodes: 5})
 	if err != ErrBBNodeLimit {
@@ -137,7 +138,7 @@ func TestBBNodeLimit(t *testing.T) {
 }
 
 func TestBBValidatesConfig(t *testing.T) {
-	if _, err := BranchAndBound(example1(t), core.Config{}, BBOptions{}); err == nil {
+	if _, err := BranchAndBound(context.Background(), example1(t), core.Config{}, BBOptions{}); err == nil {
 		t.Error("invalid config should error")
 	}
 }
@@ -162,10 +163,10 @@ func TestBBReachesBeyondDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min}
-	if _, err := Exact(ds, cfg); err == nil {
+	if _, err := Exact(context.Background(), ds, cfg); err == nil {
 		t.Fatal("expected DP to reject n=22")
 	}
-	res, err := BranchAndBound(ds, cfg, BBOptions{})
+	res, err := BranchAndBound(context.Background(), ds, cfg, BBOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,12 +16,14 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/semantics"
 )
 
@@ -31,14 +33,20 @@ const MaxExactUsers = 18
 
 // Exact computes an optimal grouping by dynamic programming over
 // subsets. It returns the optimal partition as a core.Result whose
-// Objective is the true optimum OPT(I).
-func Exact(ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
+// Objective is the true optimum OPT(I). Instances beyond
+// MaxExactUsers are rejected with an error wrapping gferr.ErrTooLarge;
+// cancellation is honored between DP slices (wrapping
+// gferr.ErrCanceled).
+func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
 	n := ds.NumUsers()
 	if n > MaxExactUsers {
-		return nil, fmt.Errorf("opt: exact solver limited to %d users, got %d", MaxExactUsers, n)
+		return nil, gferr.TooLargef("opt: exact solver limited to %d users, got %d", MaxExactUsers, n)
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
 	}
 	users := ds.Users()
 	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
@@ -48,6 +56,11 @@ func Exact(ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
 	sat := make([]float64, size)
 	membuf := make([]dataset.UserID, 0, n)
 	for mask := 1; mask < size; mask++ {
+		if mask&0xFFF == 0 {
+			if err := gferr.Ctx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		membuf = membuf[:0]
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
@@ -84,6 +97,11 @@ func Exact(ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
 	}
 	for j := 2; j <= l; j++ {
 		for mask := 1; mask < size; mask++ {
+			if mask&0xFFF == 0 {
+				if err := gferr.Ctx(ctx); err != nil {
+					return nil, err
+				}
+			}
 			low := mask & (-mask)
 			bestV := best[j-1][mask] // using fewer groups is allowed
 			bestC := choice[j-1][mask]

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/par"
 	"groupform/internal/semantics"
 )
@@ -48,8 +50,10 @@ type LSOptions struct {
 // integer program are intractable; because the first restart starts
 // from the greedy solution and only accepts improvements (hill
 // climbing) or converges back (annealing keeps the incumbent), its
-// result is never worse than GRD's.
-func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Result, error) {
+// result is never worse than GRD's. The context is checked every few
+// hundred candidate moves; cancellation abandons the search and
+// returns an error wrapping gferr.ErrCanceled.
+func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
@@ -71,7 +75,7 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
 
 	// Seed assignment from the greedy algorithm.
-	grd, err := core.Form(ds, cfg)
+	grd, err := core.Form(ctx, ds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -101,9 +105,14 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 		type outcome struct {
 			obj    float64
 			assign []int
+			err    error
 		}
 		outs := make([]outcome, restarts)
 		par.Do(restarts, workers, func(r int) {
+			if err := gferr.Ctx(ctx); err != nil {
+				outs[r] = outcome{err: err}
+				return
+			}
 			// Seeds step by the 63-bit golden-ratio increment so
 			// adjacent restarts land far apart in the seed space.
 			rng := rand.New(rand.NewSource(opts.Seed + int64(r)*0x4F1BBCDCBFA53E0B))
@@ -115,10 +124,13 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 					assign[i] = rng.Intn(cfg.L)
 				}
 			}
-			obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
-			outs[r] = outcome{obj: obj, assign: assign}
+			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			outs[r] = outcome{obj: obj, assign: assign, err: err}
 		})
 		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
 			if o.obj > bestObj {
 				bestObj = o.obj
 				bestAssign = o.assign
@@ -134,7 +146,10 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 					assign[i] = rng.Intn(cfg.L)
 				}
 			}
-			obj := runSearch(scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			if err != nil {
+				return nil, err
+			}
 			if obj > bestObj {
 				bestObj = obj
 				bestAssign = append(bestAssign[:0], assign...)
@@ -170,9 +185,11 @@ func LocalSearch(ds *dataset.Dataset, cfg core.Config, opts LSOptions) (*core.Re
 }
 
 // runSearch mutates assign in place and returns the objective of the
-// best state visited (assign holds that state on return).
-func runSearch(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
-	assign []int, iters int, rng *rand.Rand, anneal bool, t0 float64) float64 {
+// best state visited (assign holds that state on return). A canceled
+// context abandons the search mid-stream with an error wrapping
+// gferr.ErrCanceled.
+func runSearch(ctx context.Context, scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
+	assign []int, iters int, rng *rand.Rand, anneal bool, t0 float64) (float64, error) {
 
 	n := len(users)
 	members := make([][]dataset.UserID, cfg.L)
@@ -210,6 +227,11 @@ func runSearch(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
 	bestObj := obj
 	bestAssign := append([]int(nil), assign...)
 	for it := 0; it < iters; it++ {
+		if it&0xFF == 0 {
+			if err := gferr.Ctx(ctx); err != nil {
+				return 0, err
+			}
+		}
 		// Neighborhood: mostly single-user relocations, with an
 		// occasional two-user swap across groups, which escapes
 		// plateaus that relocations alone cannot (a swap keeps both
@@ -273,5 +295,5 @@ func runSearch(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
 		}
 	}
 	copy(assign, bestAssign)
-	return bestObj
+	return bestObj, nil
 }

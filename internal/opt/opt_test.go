@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -42,7 +43,7 @@ func example5(t *testing.T) *dataset.Dataset {
 // Example 1, k=1, l=3: groups {u1,u3,u4}, {u2,u6}, {u5} with
 // Obj = 4 + 5 + 3 = 12.
 func TestExactExample1(t *testing.T) {
-	res, err := Exact(example1(t), core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := Exact(context.Background(), example1(t), core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestExactExample1(t *testing.T) {
 // i3=6; {u1,u3,u4,u6} has i1=10, i2=13, i3=7). We assert the true
 // optimum of 16 and record the paper discrepancy in EXPERIMENTS.md.
 func TestExactExample2AV(t *testing.T) {
-	res, err := Exact(example2(t), core.Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
+	res, err := Exact(context.Background(), example2(t), core.Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestExactExample2AV(t *testing.T) {
 // TestExactExample5 reproduces Appendix B's optimum for Example 5,
 // LM-Sum, k=2, l=3: {u2,u6}, {u3,u4}, {u1,u5} with objective 21.
 func TestExactExample5(t *testing.T) {
-	res, err := Exact(example5(t), core.Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
+	res, err := Exact(context.Background(), example5(t), core.Config{K: 2, L: 3, Semantics: semantics.LM, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,19 +94,19 @@ func TestExactRejectsLargeN(t *testing.T) {
 		rows[i] = []float64{float64(1 + rng.Intn(5))}
 	}
 	ds := dense(t, rows)
-	if _, err := Exact(ds, core.Config{K: 1, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min}); err == nil {
+	if _, err := Exact(context.Background(), ds, core.Config{K: 1, L: 2, Semantics: semantics.LM, Aggregation: semantics.Min}); err == nil {
 		t.Error("Exact should reject n > MaxExactUsers")
 	}
 }
 
 func TestExactValidatesConfig(t *testing.T) {
-	if _, err := Exact(example1(t), core.Config{K: 0, L: 1, Semantics: semantics.LM, Aggregation: semantics.Min}); err == nil {
+	if _, err := Exact(context.Background(), example1(t), core.Config{K: 0, L: 1, Semantics: semantics.LM, Aggregation: semantics.Min}); err == nil {
 		t.Error("invalid config should error")
 	}
 }
 
 func TestExactPartitionIsValid(t *testing.T) {
-	res, err := Exact(example1(t), core.Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum})
+	res, err := Exact(context.Background(), example1(t), core.Config{K: 2, L: 3, Semantics: semantics.AV, Aggregation: semantics.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestTheorem2Property(t *testing.T) {
 		}
 		for agg, bound := range bounds {
 			cfg := core.Config{K: k, L: l, Semantics: semantics.LM, Aggregation: agg}
-			grd, err := core.Form(ds, cfg)
+			grd, err := core.Form(context.Background(), ds, cfg)
 			if err != nil {
 				return false
 			}
-			ex, err := Exact(ds, cfg)
+			ex, err := Exact(context.Background(), ds, cfg)
 			if err != nil {
 				return false
 			}
@@ -193,11 +194,11 @@ func TestExactDominatesGreedyAV(t *testing.T) {
 		l := 1 + rng.Intn(n)
 		for _, agg := range []semantics.Aggregation{semantics.Min, semantics.Max, semantics.Sum} {
 			cfg := core.Config{K: k, L: l, Semantics: semantics.AV, Aggregation: agg}
-			grd, err := core.Form(ds, cfg)
+			grd, err := core.Form(context.Background(), ds, cfg)
 			if err != nil {
 				return false
 			}
-			ex, err := Exact(ds, cfg)
+			ex, err := Exact(context.Background(), ds, cfg)
 			if err != nil {
 				return false
 			}
@@ -221,11 +222,11 @@ func TestLocalSearchNeverWorseThanGreedy(t *testing.T) {
 		l := 1 + rng.Intn(n)
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			cfg := core.Config{K: k, L: l, Semantics: sem, Aggregation: semantics.Min}
-			grd, err := core.Form(ds, cfg)
+			grd, err := core.Form(context.Background(), ds, cfg)
 			if err != nil {
 				return false
 			}
-			ls, err := LocalSearch(ds, cfg, LSOptions{Iterations: 300, Seed: seed})
+			ls, err := LocalSearch(context.Background(), ds, cfg, LSOptions{Iterations: 300, Seed: seed})
 			if err != nil {
 				return false
 			}
@@ -246,11 +247,11 @@ func TestLocalSearchNeverExceedsExact(t *testing.T) {
 		n, m := 3+rng.Intn(6), 2+rng.Intn(4)
 		ds := randomDense(rng, n, m)
 		cfg := core.Config{K: 1 + rng.Intn(m), L: 1 + rng.Intn(n), Semantics: semantics.LM, Aggregation: semantics.Sum}
-		ls, err := LocalSearch(ds, cfg, LSOptions{Iterations: 500, Restarts: 2, Seed: int64(trial), Anneal: true})
+		ls, err := LocalSearch(context.Background(), ds, cfg, LSOptions{Iterations: 500, Restarts: 2, Seed: int64(trial), Anneal: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex, err := Exact(ds, cfg)
+		ex, err := Exact(context.Background(), ds, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,7 +264,7 @@ func TestLocalSearchNeverExceedsExact(t *testing.T) {
 func TestLocalSearchFindsExampleOptimum(t *testing.T) {
 	// On Example 1 (k=1, l=3) a modest search should reach the true
 	// optimum of 12 that greedy (11) misses.
-	res, err := LocalSearch(example1(t), core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min},
+	res, err := LocalSearch(context.Background(), example1(t), core.Config{K: 1, L: 3, Semantics: semantics.LM, Aggregation: semantics.Min},
 		LSOptions{Iterations: 2000, Restarts: 3, Seed: 7, Anneal: true})
 	if err != nil {
 		t.Fatal(err)
@@ -275,7 +276,7 @@ func TestLocalSearchFindsExampleOptimum(t *testing.T) {
 
 func TestLocalSearchValidPartition(t *testing.T) {
 	ds := example2(t)
-	res, err := LocalSearch(ds, core.Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min},
+	res, err := LocalSearch(context.Background(), ds, core.Config{K: 2, L: 2, Semantics: semantics.AV, Aggregation: semantics.Min},
 		LSOptions{Iterations: 500, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -303,7 +304,7 @@ func TestLocalSearchValidPartition(t *testing.T) {
 }
 
 func TestLocalSearchValidatesConfig(t *testing.T) {
-	if _, err := LocalSearch(example1(t), core.Config{}, LSOptions{}); err == nil {
+	if _, err := LocalSearch(context.Background(), example1(t), core.Config{}, LSOptions{}); err == nil {
 		t.Error("invalid config should error")
 	}
 }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestLocalSearchParallelDeterministic(t *testing.T) {
 	for _, workers := range []int{2, 3, 8} {
 		o := opts
 		o.Workers = workers
-		res, err := LocalSearch(ds, cfg, o)
+		res, err := LocalSearch(context.Background(), ds, cfg, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,11 +47,11 @@ func TestLocalSearchParallelNeverWorseThanGreedy(t *testing.T) {
 	}
 	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 		cfg := core.Config{K: 3, L: 4, Semantics: sem, Aggregation: semantics.Min}
-		grd, err := core.Form(ds, cfg)
+		grd, err := core.Form(context.Background(), ds, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ls, err := LocalSearch(ds, cfg, LSOptions{Iterations: 300, Restarts: 3, Seed: 5, Workers: 4})
+		ls, err := LocalSearch(context.Background(), ds, cfg, LSOptions{Iterations: 300, Restarts: 3, Seed: 5, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,11 +70,11 @@ func TestLocalSearchSingleRestartParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.Config{K: 2, L: 4, Semantics: semantics.LM, Aggregation: semantics.Min}
-	serial, err := LocalSearch(ds, cfg, LSOptions{Iterations: 500, Seed: 3})
+	serial, err := LocalSearch(context.Background(), ds, cfg, LSOptions{Iterations: 500, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := LocalSearch(ds, cfg, LSOptions{Iterations: 500, Seed: 3, Workers: 4})
+	par, err := LocalSearch(context.Background(), ds, cfg, LSOptions{Iterations: 500, Seed: 3, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

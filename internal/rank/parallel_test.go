@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestAllTopKParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 3, 8, 100} {
-		got, err := AllTopKParallel(ds, 5, 0, w)
+		got, err := AllTopKParallel(context.Background(), ds, 5, 0, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,10 +33,10 @@ func TestAllTopKParallelValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AllTopKParallel(ds, 0, 0, 4); err == nil {
+	if _, err := AllTopKParallel(context.Background(), ds, 0, 0, 4); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := AllTopKParallel(ds, ds.NumItems()+1, 0, 4); err == nil {
+	if _, err := AllTopKParallel(context.Background(), ds, ds.NumItems()+1, 0, 4); err == nil {
 		t.Error("k > items should fail")
 	}
 }

@@ -5,10 +5,12 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 	"groupform/internal/par"
 )
 
@@ -62,10 +64,10 @@ func prefLess(a, b dataset.Entry) bool {
 // algorithms well defined on sparse data too.
 func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefList, error) {
 	if k <= 0 {
-		return PrefList{}, fmt.Errorf("rank: k must be positive, got %d", k)
+		return PrefList{}, gferr.BadConfigf("rank: K must be positive, got %d", k)
 	}
 	if k > ds.NumItems() {
-		return PrefList{}, fmt.Errorf("rank: k=%d exceeds item count %d", k, ds.NumItems())
+		return PrefList{}, gferr.BadConfigf("rank: K=%d exceeds item count %d", k, ds.NumItems())
 	}
 	entries := ds.UserRatings(u)
 	var ranked []dataset.Entry
@@ -128,23 +130,28 @@ func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefL
 // dataset, in the dataset's (sorted) user order. This is the O(nk)
 // preprocessing step of the greedy algorithms.
 func AllTopK(ds *dataset.Dataset, k int, padValue float64) ([]PrefList, error) {
-	return AllTopKParallel(ds, k, padValue, 1)
+	return AllTopKParallel(context.Background(), ds, k, padValue, 1)
 }
 
 // AllTopKParallel is AllTopK with the per-user list construction
 // fanned out over a worker pool (workers <= 1 runs serially). Each
 // user's list is computed independently and stored at the user's
-// index, so the output is identical for every worker count.
-func AllTopKParallel(ds *dataset.Dataset, k int, padValue float64, workers int) ([]PrefList, error) {
+// index, so the output is identical for every worker count. The
+// context is checked every few thousand users per shard; a canceled
+// context returns an error wrapping gferr.ErrCanceled.
+func AllTopKParallel(ctx context.Context, ds *dataset.Dataset, k int, padValue float64, workers int) ([]PrefList, error) {
 	// TopK can today only fail on bounds that are global to the
 	// dataset, checked up front so no shard should ever observe an
 	// error; the per-shard collection below stays anyway, so a future
 	// per-user error path in TopK cannot be silently swallowed.
 	if k <= 0 {
-		return nil, fmt.Errorf("rank: k must be positive, got %d", k)
+		return nil, gferr.BadConfigf("rank: K must be positive, got %d", k)
 	}
 	if k > ds.NumItems() {
-		return nil, fmt.Errorf("rank: k=%d exceeds item count %d", k, ds.NumItems())
+		return nil, gferr.BadConfigf("rank: K=%d exceeds item count %d", k, ds.NumItems())
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
 	}
 	users := ds.Users()
 	out := make([]PrefList, len(users))
@@ -152,6 +159,12 @@ func AllTopKParallel(ds *dataset.Dataset, k int, padValue float64, workers int) 
 	errs := make([]error, len(ranges))
 	par.Do(len(ranges), workers, func(s int) {
 		for i := ranges[s][0]; i < ranges[s][1]; i++ {
+			if i&0x3FF == 0 {
+				if err := gferr.Ctx(ctx); err != nil {
+					errs[s] = err
+					return
+				}
+			}
 			p, err := TopK(ds, users[i], k, padValue)
 			if err != nil {
 				errs[s] = err

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"groupform/internal/dataset"
+	"groupform/internal/gferr"
 )
 
 // Semantics selects how a group's score for a single item is derived
@@ -203,13 +204,13 @@ func (sc Scorer) ItemScore(sem Semantics, members []dataset.UserID, item dataset
 // value: Missing for LM, |g|*Missing for AV).
 func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset.ItemID, []float64, error) {
 	if k <= 0 {
-		return nil, nil, fmt.Errorf("semantics: k must be positive, got %d", k)
+		return nil, nil, gferr.BadConfigf("semantics: K must be positive, got %d", k)
 	}
 	if k > sc.DS.NumItems() {
-		return nil, nil, fmt.Errorf("semantics: k=%d exceeds item count %d", k, sc.DS.NumItems())
+		return nil, nil, gferr.BadConfigf("semantics: K=%d exceeds item count %d", k, sc.DS.NumItems())
 	}
 	if len(members) == 0 {
-		return nil, nil, fmt.Errorf("semantics: empty group")
+		return nil, nil, gferr.BadConfigf("semantics: group members must be non-empty")
 	}
 	totalW := 0.0
 	for _, u := range members {

@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/rank"
+)
+
+// Engine binds a Dataset once and amortizes the expensive shared
+// per-dataset state across solves: the O(nk) preference-list
+// construction of internal/rank, keyed by (K, Missing), survives
+// between calls, so repeated Engine.Form runs with different L,
+// semantics or aggregation skip straight to bucketizing — the
+// serving-path win when one catalog answers many formation requests.
+//
+// An Engine is safe for concurrent use. Cached preference lists are
+// shared read-only between concurrent solves (core.FormWithPrefs
+// copies score positions instead of aliasing them), and results are
+// byte-identical to the one-shot core.Form path. Group.Items slices
+// in returned Results may share backing arrays with the cache; treat
+// Results as read-only, as with every solver here.
+type Engine struct {
+	ds *dataset.Dataset
+
+	mu    sync.Mutex // guards the prefs map only, never held during builds
+	prefs map[prefKey]*prefEntry
+
+	prefBuilds atomic.Uint64
+	prefHits   atomic.Uint64
+}
+
+// prefKey identifies one cached preference-list slice: the lists
+// depend only on the list length and the missing-rating imputation.
+type prefKey struct {
+	k       int
+	missing float64
+}
+
+// prefEntry is one cache slot. At most one goroutine builds it at a
+// time; others wait on done with their own context, so a cold build
+// for one key stalls neither traffic on other keys nor a same-key
+// waiter whose context expires mid-wait.
+type prefEntry struct {
+	building bool
+	done     chan struct{}   // closed when the in-flight build attempt ends
+	lists    []rank.PrefList // nil until a build succeeds
+}
+
+// EngineStats counts cache activity; see Engine.Stats.
+type EngineStats struct {
+	// PrefBuilds is the number of preference-list constructions the
+	// engine has paid for (distinct (K, Missing) pairs requested).
+	PrefBuilds uint64
+	// PrefHits is the number of solves served from the cache.
+	PrefHits uint64
+}
+
+// NewEngine binds ds. The dataset must be non-empty; like every
+// Dataset it is immutable, which is what makes the cache sound.
+func NewEngine(ds *dataset.Dataset) (*Engine, error) {
+	if ds == nil || ds.NumUsers() == 0 {
+		return nil, gferr.BadConfigf("engine: Dataset must be non-empty")
+	}
+	return &Engine{ds: ds, prefs: make(map[prefKey]*prefEntry)}, nil
+}
+
+// Dataset returns the bound dataset.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{PrefBuilds: e.prefBuilds.Load(), PrefHits: e.prefHits.Load()}
+}
+
+// prefLists returns the cached preference lists for (k, missing),
+// building them on first request. The map lock is held only for slot
+// bookkeeping, never during a build, so a cold build for one key does
+// not stall traffic on other keys; concurrent first requests for one
+// key pay a single build, with waiters parked on a select against
+// their own context (a waiter whose context expires returns
+// ErrCanceled immediately instead of riding out someone else's
+// build). A build aborted by cancellation leaves the slot empty and
+// wakes the waiters, one of which becomes the next builder.
+func (e *Engine) prefLists(ctx context.Context, k int, missing float64, workers int) ([]rank.PrefList, error) {
+	key := prefKey{k: k, missing: missing}
+	for {
+		e.mu.Lock()
+		ent, ok := e.prefs[key]
+		if !ok {
+			ent = &prefEntry{}
+			e.prefs[key] = ent
+		}
+		if ent.lists != nil {
+			e.mu.Unlock()
+			e.prefHits.Add(1)
+			return ent.lists, nil
+		}
+		if !ent.building {
+			ent.building = true
+			ent.done = make(chan struct{})
+			e.mu.Unlock()
+
+			lists, err := rank.AllTopKParallel(ctx, e.ds, k, missing, workers)
+
+			e.mu.Lock()
+			ent.building = false
+			close(ent.done)
+			if err == nil {
+				ent.lists = lists
+			}
+			e.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			e.prefBuilds.Add(1)
+			return lists, nil
+		}
+		done := ent.done
+		e.mu.Unlock()
+		select {
+		case <-done:
+			// The build attempt ended (either way); re-check the slot.
+		case <-ctx.Done():
+			return nil, gferr.Ctx(ctx)
+		}
+	}
+}
+
+// Form runs the greedy algorithm (registry name "grd") on the bound
+// dataset, reusing cached preference lists. The formed groups are
+// byte-identical to core.Form's for every cache state and worker
+// count.
+func (e *Engine) Form(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	if err := cfg.Validate(e.ds); err != nil {
+		return nil, err
+	}
+	prefs, err := e.prefLists(ctx, cfg.K, cfg.Missing, cfg.EffectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	return core.FormWithPrefs(ctx, e.ds, cfg, prefs)
+}
+
+// Solve runs any registered solver on the bound dataset. The greedy
+// path ("grd" or an alias) is served from the preference-list cache;
+// every other algorithm delegates to the registry unchanged, so one
+// Engine value can drive a whole algorithm sweep.
+func (e *Engine) Solve(ctx context.Context, algo string, cfg core.Config, opts ...Option) (*core.Result, error) {
+	s, err := New(algo, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := s.(*regSolver)
+	if !ok || rs.e.name != "grd" {
+		return s.Solve(ctx, e.ds, cfg)
+	}
+	return rs.solveVia(ctx, e.ds, cfg,
+		func(ctx context.Context, _ *dataset.Dataset, cfg core.Config, _ *settings) (*core.Result, error) {
+			return e.Form(ctx, cfg)
+		})
+}

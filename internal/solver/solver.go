@@ -1,0 +1,320 @@
+// Package solver is the uniform algorithm surface of the module: a
+// string-keyed registry mapping every formation algorithm — the
+// paper's greedy (GRD), the three clustering baselines, the exact
+// subset DP, branch-and-bound, local search and the Appendix-A
+// integer program — to one Solver interface, plus the Engine that
+// binds a dataset once and caches the shared per-dataset state across
+// solves (engine.go).
+//
+// The facade re-exports the registry as groupform.NewSolver /
+// groupform.Solvers and the options as groupform.WithWorkers etc.;
+// commands resolve their -algo flag here via internal/cliutil.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"groupform/internal/baseline"
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/ilp"
+	"groupform/internal/opt"
+)
+
+// Solver solves one group-formation instance. Every algorithm in the
+// registry implements it with the same contract: cfg selects K, L,
+// semantics and aggregation; the context bounds the solve (canceled
+// or expired contexts return an error wrapping gferr.ErrCanceled);
+// invalid configurations wrap gferr.ErrBadConfig; and instances
+// beyond the algorithm's reach wrap gferr.ErrTooLarge.
+type Solver interface {
+	// Name returns the registry's canonical name for the algorithm.
+	Name() string
+	// Solve runs the algorithm on ds under cfg.
+	Solve(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Result, error)
+}
+
+// settings is the resolved state of a solver's functional options.
+type settings struct {
+	workers  *int
+	seed     int64
+	budget   time.Duration
+	ls       *opt.LSOptions
+	bb       opt.BBOptions
+	ip       ilp.Options
+	maxIter  int
+	plusPlus bool
+	applied  []string
+}
+
+// applyBudget wraps ctx with the configured deadline (a no-op cancel
+// when no budget is set).
+func (s *settings) applyBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.budget)
+}
+
+// Option configures a solver at construction time. Options are
+// validated against the solver they are applied to: WithWorkers,
+// WithSeed and WithBudget apply to every solver, the rest only to the
+// algorithms that consume them (NewSolver rejects the others with
+// gferr.ErrBadConfig).
+type Option struct {
+	name  string
+	apply func(*settings)
+}
+
+func option(name string, apply func(*settings)) Option {
+	return Option{name: name, apply: func(s *settings) {
+		apply(s)
+		s.applied = append(s.applied, name)
+	}}
+}
+
+// WithWorkers overrides Config.Workers for the solve: 0 or 1 serial,
+// N >= 2 a pool of N, negative all CPUs. Applies to every solver
+// (those without a parallel path ignore it).
+func WithWorkers(n int) Option {
+	return option("WithWorkers", func(s *settings) { s.workers = &n })
+}
+
+// WithSeed seeds the randomized solvers (local search and the
+// clustering baselines); deterministic solvers ignore it.
+func WithSeed(seed int64) Option {
+	return option("WithSeed", func(s *settings) { s.seed = seed })
+}
+
+// WithBudget bounds the wall-clock time of every Solve call by
+// wrapping its context with a deadline. An exhausted budget returns
+// an error wrapping gferr.ErrCanceled (and context.DeadlineExceeded).
+func WithBudget(d time.Duration) Option {
+	return option("WithBudget", func(s *settings) { s.budget = d })
+}
+
+// WithLSOptions supplies the full local-search configuration ("ls"
+// only). It takes precedence over WithSeed and WithWorkers for the
+// search itself.
+func WithLSOptions(o opt.LSOptions) Option {
+	return option("WithLSOptions", func(s *settings) { s.ls = &o })
+}
+
+// WithBBOptions bounds the branch-and-bound solver ("bb" only).
+func WithBBOptions(o opt.BBOptions) Option {
+	return option("WithBBOptions", func(s *settings) { s.bb = o })
+}
+
+// WithIPOptions bounds the integer-programming solver ("ip" only).
+func WithIPOptions(o ilp.Options) Option {
+	return option("WithIPOptions", func(s *settings) { s.ip = o })
+}
+
+// WithMaxIter caps clustering iterations (baselines only); 0 keeps
+// the paper's default of 100.
+func WithMaxIter(n int) Option {
+	return option("WithMaxIter", func(s *settings) { s.maxIter = n })
+}
+
+// WithPlusPlus enables k-means++-style distance-weighted seeding
+// (medoid baselines only).
+func WithPlusPlus(on bool) Option {
+	return option("WithPlusPlus", func(s *settings) { s.plusPlus = on })
+}
+
+// universalOptions apply to every registered solver.
+var universalOptions = map[string]bool{
+	"WithWorkers": true,
+	"WithSeed":    true,
+	"WithBudget":  true,
+}
+
+// entry is one registered algorithm.
+type entry struct {
+	name    string
+	desc    string
+	aliases []string
+	options map[string]bool // accepted beyond the universal set
+	solve   func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error)
+}
+
+func baselineSolve(m baseline.Method) func(context.Context, *dataset.Dataset, core.Config, *settings) (*core.Result, error) {
+	return func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error) {
+		return baseline.Form(ctx, ds, baseline.Config{
+			Config:   cfg,
+			Method:   m,
+			MaxIter:  s.maxIter,
+			Seed:     s.seed,
+			PlusPlus: s.plusPlus,
+		})
+	}
+}
+
+// lsOptions resolves the local-search options for a solve: an
+// explicit WithLSOptions wins; otherwise the universal seed and the
+// (possibly overridden) Config.Workers carry over.
+func lsOptions(cfg core.Config, s *settings) opt.LSOptions {
+	if s.ls != nil {
+		return *s.ls
+	}
+	return opt.LSOptions{Seed: s.seed, Workers: cfg.Workers}
+}
+
+var baselineOptions = map[string]bool{"WithMaxIter": true, "WithPlusPlus": true}
+
+// registry lists every algorithm in presentation order. Aliases keep
+// the historical cmd/groupform -algorithm vocabulary working.
+var registry = []*entry{
+	{
+		name: "grd", aliases: []string{"greedy"},
+		desc: "the paper's greedy bucketization (GRD-{LM,AV}-*), O(nk + l log n)",
+		solve: func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, _ *settings) (*core.Result, error) {
+			return core.Form(ctx, ds, cfg)
+		},
+	},
+	{
+		name: "baseline-kendall", aliases: []string{"baseline", "kendall"},
+		desc:    "k-medoids clustering over Kendall-Tau ranking distance (the paper's literal baseline)",
+		options: baselineOptions,
+		solve:   baselineSolve(baseline.KendallMedoids),
+	},
+	{
+		name: "baseline-kmeans", aliases: []string{"kmeans"},
+		desc:    "Lloyd's k-means over rating vectors (the scalable baseline reading)",
+		options: baselineOptions,
+		solve:   baselineSolve(baseline.VectorKMeans),
+	},
+	{
+		name: "baseline-clara", aliases: []string{"clara"},
+		desc:    "CLARA-style sampled Kendall-Tau k-medoids (Kendall fidelity without the O(n^2) matrix)",
+		options: baselineOptions,
+		solve:   baselineSolve(baseline.ClaraMedoids),
+	},
+	{
+		name: "exact", aliases: []string{"dp"},
+		desc: fmt.Sprintf("optimal subset dynamic program, up to %d users", opt.MaxExactUsers),
+		solve: func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, _ *settings) (*core.Result, error) {
+			return opt.Exact(ctx, ds, cfg)
+		},
+	},
+	{
+		name: "bb", aliases: []string{"branchbound", "branch-and-bound"},
+		desc:    "optimal branch-and-bound over partitions with admissible pruning",
+		options: map[string]bool{"WithBBOptions": true},
+		solve: func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error) {
+			return opt.BranchAndBound(ctx, ds, cfg, s.bb)
+		},
+	},
+	{
+		name: "ls", aliases: []string{"localsearch", "local-search"},
+		desc:    "hill-climbing / annealing local search seeded by the greedy (scalable OPT proxy)",
+		options: map[string]bool{"WithLSOptions": true},
+		solve: func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error) {
+			return opt.LocalSearch(ctx, ds, cfg, lsOptions(cfg, s))
+		},
+	},
+	{
+		name:    "ip",
+		desc:    "the paper's Appendix-A integer program via the built-in simplex + branch-and-bound (k = 1)",
+		options: map[string]bool{"WithIPOptions": true},
+		solve: func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error) {
+			return ilp.Form(ctx, ds, cfg, s.ip)
+		},
+	},
+}
+
+var byName = func() map[string]*entry {
+	m := make(map[string]*entry)
+	for _, e := range registry {
+		m[e.name] = e
+		for _, a := range e.aliases {
+			m[a] = e
+		}
+	}
+	return m
+}()
+
+// Names returns the canonical solver names in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Info describes a registered solver for listings.
+type Info struct {
+	Name        string
+	Aliases     []string
+	Description string
+}
+
+// Infos returns one Info per registered solver, in presentation
+// order.
+func Infos() []Info {
+	out := make([]Info, len(registry))
+	for i, e := range registry {
+		out[i] = Info{Name: e.name, Aliases: append([]string(nil), e.aliases...), Description: e.desc}
+	}
+	return out
+}
+
+// Resolve maps a name or alias to the canonical solver name.
+func Resolve(name string) (string, error) {
+	e, ok := byName[name]
+	if !ok {
+		return "", gferr.BadConfigf("solver: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return e.name, nil
+}
+
+// New constructs the named solver with the given options. Unknown
+// names and options the solver does not accept wrap
+// gferr.ErrBadConfig.
+func New(name string, opts ...Option) (Solver, error) {
+	e, ok := byName[name]
+	if !ok {
+		return nil, gferr.BadConfigf("solver: unknown algorithm %q (known: %v)", name, Names())
+	}
+	var s settings
+	for _, o := range opts {
+		o.apply(&s)
+	}
+	for _, n := range s.applied {
+		if !universalOptions[n] && !e.options[n] {
+			return nil, gferr.BadConfigf("solver: %s does not apply to %q", n, e.name)
+		}
+	}
+	return &regSolver{e: e, s: s}, nil
+}
+
+// regSolver binds a registry entry to its resolved settings.
+type regSolver struct {
+	e *entry
+	s settings
+}
+
+func (r *regSolver) Name() string { return r.e.name }
+
+func (r *regSolver) Solve(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Result, error) {
+	return r.solveVia(ctx, ds, cfg, r.e.solve)
+}
+
+// solveVia applies the universal settings (budget, workers) and then
+// runs the supplied solve function. It is the single place settings
+// take effect, shared by the registry path and the Engine's cached
+// greedy path, so a new universal option cannot apply to one and not
+// the other.
+func (r *regSolver) solveVia(ctx context.Context, ds *dataset.Dataset, cfg core.Config,
+	solve func(ctx context.Context, ds *dataset.Dataset, cfg core.Config, s *settings) (*core.Result, error)) (*core.Result, error) {
+	ctx, cancel := r.s.applyBudget(ctx)
+	defer cancel()
+	if r.s.workers != nil {
+		cfg.Workers = *r.s.workers
+	}
+	return solve(ctx, ds, cfg, &r.s)
+}

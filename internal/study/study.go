@@ -16,6 +16,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -244,11 +245,11 @@ func Run(cfg Config) (*Result, error) {
 		sub := ds.SubsetUsers(sample)
 		for _, agg := range []semantics.Aggregation{semantics.Min, semantics.Sum} {
 			ccfg := core.Config{K: k, L: cfg.Groups, Semantics: semantics.LM, Aggregation: agg}
-			grd, err := core.Form(sub, ccfg)
+			grd, err := core.Form(context.Background(), sub, ccfg)
 			if err != nil {
 				return nil, err
 			}
-			base, err := baseline.Form(sub, baseline.Config{
+			base, err := baseline.Form(context.Background(), sub, baseline.Config{
 				Config: ccfg, Method: baseline.KendallMedoids, Seed: cfg.Seed,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"groupform/internal/core"
@@ -115,7 +116,7 @@ func TestClusterStructureIsVisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Form(ds, core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min})
+	res, err := core.Form(context.Background(), ds, core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min})
 	if err != nil {
 		t.Fatal(err)
 	}

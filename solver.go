@@ -1,0 +1,86 @@
+package groupform
+
+import (
+	"time"
+
+	"groupform/internal/gferr"
+	"groupform/internal/solver"
+)
+
+// Sentinel errors classifying every failure a solver can return; test
+// with errors.Is. Wrapped errors carry the detail (which field, which
+// limit) in their message.
+var (
+	// ErrCanceled reports a solve stopped by context cancellation or
+	// deadline expiry (including WithBudget). Errors wrapping it also
+	// wrap the context's cause, so errors.Is against context.Canceled
+	// or context.DeadlineExceeded works too.
+	ErrCanceled = gferr.ErrCanceled
+	// ErrBadConfig reports invalid configuration — non-positive K or
+	// L, K beyond the item count, unknown semantics or aggregation,
+	// negative user weights, empty datasets, unknown solver names, or
+	// options a solver does not accept. The message names the
+	// offending field.
+	ErrBadConfig = gferr.ErrBadConfig
+	// ErrTooLarge reports an instance beyond a solver's reach: the
+	// exact DP's user limit or an exhausted branch-and-bound node
+	// budget.
+	ErrTooLarge = gferr.ErrTooLarge
+)
+
+// Solver is the uniform interface every formation algorithm
+// implements: the paper's greedy ("grd"), the clustering baselines
+// ("baseline-kendall", "baseline-kmeans", "baseline-clara"), the
+// optimal references ("exact", "bb", "ip") and the scalable OPT proxy
+// ("ls"). Obtain one with NewSolver; all honor context cancellation
+// and the sentinel error scheme.
+type Solver = solver.Solver
+
+// SolverOption configures a solver at construction; see WithWorkers,
+// WithSeed, WithBudget and the per-algorithm options.
+type SolverOption = solver.Option
+
+// SolverInfo describes one registered solver for listings.
+type SolverInfo = solver.Info
+
+// Solvers returns the canonical names of every registered solver.
+func Solvers() []string { return solver.Names() }
+
+// SolverInfos returns name, aliases and a one-line description for
+// every registered solver (what `groupform -algo list` prints).
+func SolverInfos() []SolverInfo { return solver.Infos() }
+
+// NewSolver constructs the named solver. Names accept the canonical
+// registry spelling or a historical alias ("localsearch" for "ls",
+// "kmeans" for "baseline-kmeans", ...). Unknown names and options the
+// solver does not accept return errors wrapping ErrBadConfig.
+func NewSolver(name string, opts ...SolverOption) (Solver, error) { return solver.New(name, opts...) }
+
+// WithWorkers overrides Config.Workers for the solve: 0 or 1 serial,
+// N >= 2 a pool of N, negative all CPUs. Applies to every solver.
+func WithWorkers(n int) SolverOption { return solver.WithWorkers(n) }
+
+// WithSeed seeds the randomized solvers (local search, clustering
+// baselines); deterministic solvers ignore it.
+func WithSeed(seed int64) SolverOption { return solver.WithSeed(seed) }
+
+// WithBudget bounds each Solve call's wall-clock time; an exhausted
+// budget returns an error wrapping ErrCanceled.
+func WithBudget(d time.Duration) SolverOption { return solver.WithBudget(d) }
+
+// WithLSOptions supplies the full local-search configuration ("ls"
+// only); it takes precedence over WithSeed and WithWorkers.
+func WithLSOptions(o LSOptions) SolverOption { return solver.WithLSOptions(o) }
+
+// WithBBOptions bounds the branch-and-bound solver ("bb" only).
+func WithBBOptions(o BBOptions) SolverOption { return solver.WithBBOptions(o) }
+
+// WithIPOptions bounds the integer-programming solver ("ip" only).
+func WithIPOptions(o IPOptions) SolverOption { return solver.WithIPOptions(o) }
+
+// WithMaxIter caps clustering iterations (baseline solvers only).
+func WithMaxIter(n int) SolverOption { return solver.WithMaxIter(n) }
+
+// WithPlusPlus enables k-means++-style seeding (medoid baselines
+// only).
+func WithPlusPlus(on bool) SolverOption { return solver.WithPlusPlus(on) }
