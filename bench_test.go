@@ -135,6 +135,7 @@ func BenchmarkGRDParallel(b *testing.B) {
 				Workers: w,
 			}
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Form(context.Background(), ds, cfg); err != nil {
 						b.Fatal(err)
@@ -156,6 +157,7 @@ func BenchmarkGRDParallelAV(b *testing.B) {
 			Workers: w,
 		}
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Form(context.Background(), ds, cfg); err != nil {
 					b.Fatal(err)
@@ -222,16 +224,42 @@ func BenchmarkKendallTau(b *testing.B) {
 }
 
 // BenchmarkScorerTopK measures the group top-k computation (the
-// merged l-th group's cost) for growing group sizes.
+// merged l-th group's cost) for growing group sizes, comparing the
+// dense index-space accumulation against the legacy map backend
+// (B/op and allocs/op are the interesting columns: the dense path
+// runs on pooled flat arrays).
 func BenchmarkScorerTopK(b *testing.B) {
 	ds := benchDataset(b, 20000, 2000)
-	sc := semantics.Scorer{DS: ds}
 	users := ds.Users()
-	for _, size := range []int{100, 1000, 10000} {
-		members := users[:size]
-		b.Run(fmt.Sprintf("members=%d", size), func(b *testing.B) {
+	for _, backend := range []struct {
+		name  string
+		accum semantics.Accum
+	}{{"dense", semantics.AccumDense}, {"map", semantics.AccumMap}} {
+		sc := semantics.Scorer{DS: ds, Accum: backend.accum}
+		for _, size := range []int{100, 1000, 10000} {
+			members := users[:size]
+			b.Run(fmt.Sprintf("%s/members=%d", backend.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sc.TopK(semantics.LM, members, 5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAllTopK measures the O(nk) preference-list construction —
+// the other half of the greedy preprocessing — straight off the CSR
+// rows. The arena backing means allocs/op stays O(1) in n.
+func BenchmarkAllTopK(b *testing.B) {
+	ds := benchDataset(b, 10000, 2000)
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sc.TopK(semantics.LM, members, 5); err != nil {
+				if _, err := rank.AllTopKParallel(context.Background(), ds, 5, 0, w); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,64 @@
+// Command benchjson converts `go test -bench` text output into the
+// structured JSON the CI perf-trajectory job uploads (BENCH_<n>.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'GRD|Engine|TopK' -benchmem -benchtime 1x . \
+//	    | benchjson -out BENCH_3.json
+//	benchjson -in bench.txt -out BENCH_3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"groupform/internal/benchparse"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		in  = fs.String("in", "", "benchmark text input (default stdin)")
+		out = fs.String("out", "", "JSON output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := benchparse.Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}

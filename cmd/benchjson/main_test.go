@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"groupform/internal/benchparse"
+)
+
+const sample = `pkg: groupform
+BenchmarkGRD/LM-MIN-8  5  1200 ns/op  64 B/op  2 allocs/op
+PASS
+`
+
+func TestRunStdinStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchparse.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkGRD/LM-MIN" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	outPath := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", outPath}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchparse.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks[0].AllocsPerOp != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}

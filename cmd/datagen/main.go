@@ -37,7 +37,7 @@ func run(args []string, out, logw io.Writer) error {
 		explore  = fs.Float64("explore", 0.2, "fraction of ratings on random items")
 		seed     = fs.Int64("seed", 1, "generation seed")
 		preset   = fs.String("preset", "", "optional preset: yahoo, movielens or flickr")
-		binaryF  = fs.Bool("binary", false, "emit the compact binary format instead of CSV")
+		binaryF  = fs.Bool("binary", false, "emit the compact binary (CSR) format instead of CSV; loads with bulk reads")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	groupform -input ratings.csv [-format csv|movielens|binary] \
+//	groupform -input ratings.csv [-format auto|csv|movielens|binary] \
 //	    -k 5 -l 10 -semantics lm -agg min [-algo grd] \
 //	    [-densify knn] [-workers 8] [-budget 30s]
 //
@@ -37,7 +37,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(io.Discard)
 	var (
 		input   = fs.String("input", "", "ratings file (required)")
-		format  = fs.String("format", "csv", "input format: csv, movielens or binary")
+		format  = fs.String("format", "auto", "input format: auto (sniffs binary vs csv), csv, movielens or binary")
 		k       = fs.Int("k", 5, "recommended list length")
 		l       = fs.Int("l", 10, "maximum number of groups")
 		sem     = fs.String("semantics", "lm", "group semantics: lm or av")
@@ -72,6 +72,8 @@ func run(args []string, out io.Writer) error {
 
 	var ds *groupform.Dataset
 	switch strings.ToLower(*format) {
+	case "auto":
+		ds, err = groupform.Load(f, groupform.DefaultScale)
 	case "csv":
 		ds, err = groupform.LoadCSV(f, groupform.DefaultScale)
 	case "movielens":

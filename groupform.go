@@ -187,14 +187,22 @@ func LoadCSV(r io.Reader, scale Scale) (*Dataset, error) {
 	return dataset.LoadCSV(r, scale)
 }
 
+// Load reads a dataset from r, auto-detecting the container: streams
+// starting with the binary magic load through ReadBinary, anything
+// else parses as CSV against the scale.
+func Load(r io.Reader, scale Scale) (*Dataset, error) { return dataset.Load(r, scale) }
+
 // WriteCSV writes the dataset as CSV, the inverse of LoadCSV.
 func WriteCSV(w io.Writer, ds *Dataset) error { return dataset.WriteCSV(w, ds) }
 
-// WriteBinary writes the dataset in the compact binary format, which
-// loads an order of magnitude faster than CSV at scalability sizes.
+// WriteBinary writes the dataset in the compact binary format: the
+// CSR storage arrays serialized directly, so loading is a handful of
+// bulk reads — an order of magnitude faster than CSV at scalability
+// sizes.
 func WriteBinary(w io.Writer, ds *Dataset) error { return dataset.WriteBinary(w, ds) }
 
-// ReadBinary loads a dataset written by WriteBinary.
+// ReadBinary loads a dataset written by WriteBinary (current or
+// legacy version; malformed input errors wrap ErrBadConfig).
 func ReadBinary(r io.Reader) (*Dataset, error) { return dataset.ReadBinary(r) }
 
 // legacySolve routes a deprecated wrapper through the registry with a

@@ -235,18 +235,16 @@ func kendallMedoids(ctx context.Context, ds *dataset.Dataset, users []dataset.Us
 
 // vectorKMeans clusters rating vectors with Lloyd's algorithm.
 // Missing ratings are imputed with the missing value, but distances
-// are computed sparsely in O(ratings) per user.
+// are computed sparsely in O(ratings) per user. Centroid coordinates
+// are indexed by dataset.ItemIdx, so every sparse pass reads a CSR
+// row and scatters by column index — no per-rating map lookups.
+// users is always ds.Users(), so user i's row index is i.
 func vectorKMeans(ctx context.Context, ds *dataset.Dataset, users []dataset.UserID, l, maxIter int, seed int64, missing float64) ([]int, error) {
 	n := len(users)
 	if l > n {
 		l = n
 	}
-	items := ds.Items()
-	m := len(items)
-	itemIdx := make(map[dataset.ItemID]int, m)
-	for i, it := range items {
-		itemIdx[it] = i
-	}
+	m := ds.NumItems()
 
 	rng := rand.New(rand.NewSource(seed))
 	// Sparse distance between user i and centroid c:
@@ -258,24 +256,28 @@ func vectorKMeans(ctx context.Context, ds *dataset.Dataset, users []dataset.User
 	userDist := func(i, c int) float64 {
 		d := base[c]
 		cen := centroids[c]
-		for _, e := range ds.UserRatings(users[i]) {
-			j := itemIdx[e.Item]
-			dv := e.Value - cen[j]
+		cols, vals := ds.RowIdx(dataset.UserIdx(i))
+		for p, j := range cols {
+			dv := vals[p] - cen[j]
 			dm := missing - cen[j]
 			d += dv*dv - dm*dm
 		}
 		return d
 	}
 	// Initialize centroids from distinct random users' vectors.
-	seedUsers := rng.Perm(n)[:l]
-	for c, si := range seedUsers {
-		cen := make([]float64, m)
+	seedCentroid := func(cen []float64, si int) {
 		for j := range cen {
 			cen[j] = missing
 		}
-		for _, e := range ds.UserRatings(users[si]) {
-			cen[itemIdx[e.Item]] = e.Value
+		cols, vals := ds.RowIdx(dataset.UserIdx(si))
+		for p, j := range cols {
+			cen[j] = vals[p]
 		}
+	}
+	seedUsers := rng.Perm(n)[:l]
+	for c, si := range seedUsers {
+		cen := make([]float64, m)
+		seedCentroid(cen, si)
 		centroids[c] = cen
 	}
 	recomputeBases := func() {
@@ -324,20 +326,15 @@ func vectorKMeans(ctx context.Context, ds *dataset.Dataset, users []dataset.User
 		for i := 0; i < n; i++ {
 			c := assign[i]
 			counts[c]++
-			for _, e := range ds.UserRatings(users[i]) {
-				centroids[c][itemIdx[e.Item]] += e.Value - missing
+			cols, vals := ds.RowIdx(dataset.UserIdx(i))
+			for p, j := range cols {
+				centroids[c][j] += vals[p] - missing
 			}
 		}
 		for c := 0; c < l; c++ {
 			if counts[c] == 0 {
 				// Reseed an empty cluster from a random user.
-				si := rng.Intn(n)
-				for j := range centroids[c] {
-					centroids[c][j] = missing
-				}
-				for _, e := range ds.UserRatings(users[si]) {
-					centroids[c][itemIdx[e.Item]] = e.Value
-				}
+				seedCentroid(centroids[c], rng.Intn(n))
 				continue
 			}
 			inv := 1 / float64(counts[c])

@@ -1,0 +1,68 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: groupform
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGRDParallel/n=10000/workers=1-8         	       3	  18694763 ns/op	 4069554 B/op	   52671 allocs/op
+BenchmarkScorerTopK/members=1000         	     100	    123456 ns/op
+BenchmarkThroughput-4	      10	   1000 ns/op	  250.5 MB/s
+PASS
+ok  	groupform	3.792s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta["goos"] != "linux" || rep.Meta["cpu"] == "" || rep.Meta["pkg"] != "groupform" {
+		t.Errorf("meta = %v", rep.Meta)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkGRDParallel/n=10000/workers=1" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 18694763 || b.BytesPerOp != 4069554 || b.AllocsPerOp != 52671 {
+		t.Errorf("measurements = %+v", b)
+	}
+	// No -procs suffix on the second line's name (sub-benchmark
+	// without parallelism suffix is unusual but legal).
+	if rep.Benchmarks[1].Name != "BenchmarkScorerTopK/members=1000" || rep.Benchmarks[1].Procs != 1 {
+		t.Errorf("second = %+v", rep.Benchmarks[1])
+	}
+	if rep.Benchmarks[2].Metrics["MB/s"] != 250.5 {
+		t.Errorf("custom metric lost: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\n",
+		"BenchmarkX notanumber 5 ns/op\n",
+		"BenchmarkX 3 17 ns/op 99\n",
+		"BenchmarkX 3 seventeen ns/op\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("random log line\n\nok  groupform 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

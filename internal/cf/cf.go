@@ -26,52 +26,73 @@ type Predictor interface {
 	Predict(u dataset.UserID, i dataset.ItemID) float64
 }
 
-// means caches global, per-user and per-item rating means, the shared
-// fallback chain of all predictors.
+// means caches global, per-user and per-item rating means in dense
+// index-space arrays — the shared fallback chain of all predictors,
+// computed in one pass over the CSR rows with no map accesses.
 type means struct {
+	ds     *dataset.Dataset
 	global float64
-	user   map[dataset.UserID]float64
-	item   map[dataset.ItemID]float64
+	user   []float64 // by dataset.UserIdx; 0 for rating-less users
+	item   []float64 // by dataset.ItemIdx
 }
 
 func computeMeans(ds *dataset.Dataset) means {
-	m := means{
-		user: make(map[dataset.UserID]float64, ds.NumUsers()),
-		item: make(map[dataset.ItemID]float64, ds.NumItems()),
-	}
+	m := means{ds: ds, user: make([]float64, ds.NumUsers()), item: make([]float64, ds.NumItems())}
+	itemSum := make([]float64, ds.NumItems())
 	var total float64
 	var count int
-	itemSum := make(map[dataset.ItemID]float64)
-	itemCnt := make(map[dataset.ItemID]int)
-	for _, u := range ds.Users() {
-		es := ds.UserRatings(u)
-		if len(es) == 0 {
+	for r := 0; r < ds.NumUsers(); r++ {
+		cols, vals := ds.RowIdx(dataset.UserIdx(r))
+		if len(vals) == 0 {
 			continue
 		}
 		s := 0.0
-		for _, e := range es {
-			s += e.Value
-			itemSum[e.Item] += e.Value
-			itemCnt[e.Item]++
+		for p, j := range cols {
+			s += vals[p]
+			itemSum[j] += vals[p]
 		}
-		m.user[u] = s / float64(len(es))
+		m.user[r] = s / float64(len(vals))
 		total += s
-		count += len(es)
+		count += len(vals)
 	}
 	if count > 0 {
 		m.global = total / float64(count)
 	}
-	for it, s := range itemSum {
-		m.item[it] = s / float64(itemCnt[it])
+	for j := range m.item {
+		if c := ds.ItemCountIdx(dataset.ItemIdx(j)); c > 0 {
+			m.item[j] = itemSum[j] / float64(c)
+		}
 	}
 	return m
 }
 
+// userMean returns u's mean rating; ok is false for users unknown to
+// the dataset or without ratings (mirroring the historical map-miss).
+func (m means) userMean(u dataset.UserID) (float64, bool) {
+	r, ok := m.ds.UserIdxOf(u)
+	if !ok {
+		return 0, false
+	}
+	if cols, _ := m.ds.RowIdx(r); len(cols) == 0 {
+		return 0, false
+	}
+	return m.user[r], true
+}
+
+// itemMean returns i's mean rating; ok is false for unknown items.
+func (m means) itemMean(i dataset.ItemID) (float64, bool) {
+	j, ok := m.ds.ItemIdxOf(i)
+	if !ok || m.ds.ItemCountIdx(j) == 0 {
+		return 0, false
+	}
+	return m.item[j], true
+}
+
 func (m means) fallback(u dataset.UserID, i dataset.ItemID) float64 {
-	if v, ok := m.user[u]; ok {
+	if v, ok := m.userMean(u); ok {
 		return v
 	}
-	if v, ok := m.item[i]; ok {
+	if v, ok := m.itemMean(i); ok {
 		return v
 	}
 	return m.global
@@ -140,7 +161,8 @@ func NewUserKNN(ds *dataset.Dataset, k int) (*UserKNN, error) {
 // over their co-rated items (zero when fewer than two co-ratings).
 func (m *UserKNN) cosine(a, b dataset.UserID) float64 {
 	ea, eb := m.ds.UserRatings(a), m.ds.UserRatings(b)
-	ma, mb := m.m.user[a], m.m.user[b]
+	ma, _ := m.m.userMean(a)
+	mb, _ := m.m.userMean(b)
 	var dot, na, nb float64
 	common := 0
 	i, j := 0, 0
@@ -181,14 +203,16 @@ func (m *UserKNN) Predict(u dataset.UserID, i dataset.ItemID) float64 {
 		if !ok {
 			continue
 		}
-		num += nb.sim * (v - m.m.user[nb.id])
+		nm, _ := m.m.userMean(nb.id)
+		num += nb.sim * (v - nm)
 		den += math.Abs(nb.sim)
 		used++
 	}
 	if den == 0 {
 		return m.m.fallback(u, i)
 	}
-	return m.m.user[u] + num/den
+	um, _ := m.m.userMean(u)
+	return um + num/den
 }
 
 // ---------------------------------------------------------------
@@ -220,7 +244,7 @@ func NewItemKNN(ds *dataset.Dataset, k int) (*ItemKNN, error) {
 	// Build per-item centered vectors keyed by user.
 	vectors := make(map[dataset.ItemID]map[dataset.UserID]float64, ds.NumItems())
 	for _, u := range ds.Users() {
-		mu := model.m.user[u]
+		mu, _ := model.m.userMean(u)
 		for _, e := range ds.UserRatings(u) {
 			v := vectors[e.Item]
 			if v == nil {

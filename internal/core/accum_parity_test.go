@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+// TestFormAccumGoldenParity is the tentpole's golden parity gate: the
+// index-space (dense) scoring path and the legacy ID-space (map)
+// scoring path must produce byte-identical Results for every
+// semantics, aggregation and worker count, on both Form branches.
+// Config.accum is the package-private backend switch; production
+// configs always carry the dense zero value.
+func TestFormAccumGoldenParity(t *testing.T) {
+	sparse, err := synth.YahooLike(2500, 300, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := synth.Generate(synth.Config{Users: 180, Items: 40, Clusters: 4, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpora := map[string]*dataset.Dataset{"sparse": sparse, "clustered": clustered}
+	for name, ds := range corpora {
+		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+				for _, workers := range []int{1, 8} {
+					cfg := Config{K: 4, L: 10, Semantics: sem, Aggregation: agg, Workers: workers}
+					dense, err := Form(context.Background(), ds, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					legacyCfg := cfg
+					legacyCfg.accum = semantics.AccumMap
+					legacy, err := Form(context.Background(), ds, legacyCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResult(t, fmt.Sprintf("%s/%s-%s/workers=%d", name, sem, agg, workers), legacy, dense)
+				}
+			}
+		}
+	}
+}

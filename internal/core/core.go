@@ -83,6 +83,12 @@ type Config struct {
 	// last ulp — see semantics.Scorer.Workers and
 	// docs/ARCHITECTURE.md for the full determinism argument).
 	Workers int
+
+	// accum selects the semantics accumulation backend. The zero
+	// value is the dense index-space path production always runs;
+	// the golden parity test sets AccumMap on its own Config copies
+	// to pin the two backends against each other.
+	accum semantics.Accum
 }
 
 // EffectiveWorkers resolves Workers to an effective pool size (>= 1):
@@ -133,7 +139,7 @@ func (c Config) Validate(ds *dataset.Dataset) error {
 // framework cannot avoid — parallelizes with the rest of the
 // pipeline.
 func (c Config) scorer(ds *dataset.Dataset) semantics.Scorer {
-	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights, Workers: c.EffectiveWorkers()}
+	return semantics.Scorer{DS: ds, Missing: c.Missing, Weights: c.UserWeights, Workers: c.EffectiveWorkers(), Accum: c.accum}
 }
 
 // weight returns u's AV weight under this configuration.
@@ -241,7 +247,7 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 			return nil, gferr.BadConfigf("core: prefs built for K=%d, cfg.K=%d", len(prefs[0].Items), cfg.K)
 		}
 	}
-	var buckets map[string]*bucket
+	var buckets []*bucket
 	if par.Enabled(workers) {
 		buckets = bucketizeParallel(prefs, cfg, workers)
 	} else {
@@ -331,7 +337,7 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 // full bucket satisfaction, so this maximizes the objective over all
 // ways to spend the budget; under AV the per-piece satisfactions
 // always sum to the bucket's, so splitting is harmless either way.
-func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets map[string]*bucket, cfg Config) ([]Group, error) {
+func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, error) {
 	h := newBucketHeap(buckets, cfg.Aggregation)
 	ordered := make([]*bucket, 0, len(buckets))
 	for h.Len() > 0 {
@@ -399,7 +405,7 @@ func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Sco
 			g := Group{
 				Members:    t.part,
 				Items:      t.b.items,
-				ItemScores: pieceScores(ds, t.part, t.b, cfg),
+				ItemScores: pieceScores(ds, scorer, t.part, t.b, cfg),
 			}
 			g.Satisfaction = cfg.Aggregation.Aggregate(g.ItemScores)
 			groups[i] = g
@@ -433,36 +439,25 @@ func nestedScorer(scorer semantics.Scorer, tasks, workers int) semantics.Scorer 
 }
 
 // pieceScores recomputes the per-position group scores of a bucket
-// piece directly from the ratings. For an unsplit bucket this equals
-// the maintained scores; for a strict subset, LM minima can only rise
-// and AV sums shrink to the piece's members.
-func pieceScores(ds *dataset.Dataset, part []dataset.UserID, b *bucket, cfg Config) []float64 {
+// piece directly from the ratings, in index space: members and items
+// resolve to dense indices once, and every probe after that is a
+// binary search over a CSR row (semantics.Scorer.ItemScoreIdx). For
+// an unsplit bucket this equals the maintained scores; for a strict
+// subset, LM minima can only rise and AV sums shrink to the piece's
+// members. Piece members always come from preference lists, so they
+// resolve by construction.
+func pieceScores(ds *dataset.Dataset, scorer semantics.Scorer, part []dataset.UserID, b *bucket, cfg Config) []float64 {
 	if len(part) == len(b.members) {
 		return b.scores
 	}
+	midx := make([]dataset.UserIdx, len(part))
+	for i, u := range part {
+		midx[i], _ = ds.UserIdxOf(u)
+	}
 	scores := make([]float64, len(b.items))
 	for j, it := range b.items {
-		var acc float64
-		for i, u := range part {
-			v, ok := ds.Rating(u, it)
-			if !ok {
-				v = cfg.Missing
-			}
-			switch {
-			case i == 0:
-				acc = v
-				if cfg.Semantics == semantics.AV {
-					acc = cfg.weight(u) * v
-				}
-			case cfg.Semantics == semantics.LM:
-				if v < acc {
-					acc = v
-				}
-			default: // AV
-				acc += cfg.weight(u) * v
-			}
-		}
-		scores[j] = acc
+		ij, _ := ds.ItemIdxOf(it)
+		scores[j] = scorer.ItemScoreIdx(cfg.Semantics, midx, ij)
 	}
 	return scores
 }
@@ -492,28 +487,72 @@ func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID
 }
 
 // bucketize hashes every user's preference list into intermediate
-// groups under the configured key (step 1 of the framework). Group
-// item scores are folded in as members join: min for LM, sum for AV.
-// With ownedPrefs false the prefs are shared (an Engine cache) and
-// every bucket copies its score positions instead of adopting the
-// pref list's slices, so the fold never mutates the caller's lists.
-func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) map[string]*bucket {
-	buckets := make(map[string]*bucket)
+// groups under the configured key (step 1 of the framework), in
+// first-seen order. Group item scores are folded in as members join:
+// min for LM, sum for AV. With ownedPrefs false the prefs are shared
+// (an Engine cache) and every bucket copies its score positions
+// instead of adopting the pref list's slices, so the fold never
+// mutates the caller's lists.
+//
+// Allocation discipline: the key string is materialized only when a
+// new bucket is born (map lookups go through the no-alloc
+// string([]byte) conversion), each user's bucket assignment is
+// recorded in a flat array, and all member slices are carved from one
+// shared arena sized by a counting pass — so the whole step costs
+// O(distinct buckets) allocations instead of O(n).
+func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
+	byKey := make(map[string]int32)
+	var bs []bucket
+	var counts []int32
+	assign := make([]int32, len(prefs))
 	var keyBuf []byte
-	for _, p := range prefs {
+	for i, p := range prefs {
 		keyBuf = appendKey(keyBuf[:0], p, cfg)
-		key := string(keyBuf)
-		b, ok := buckets[key]
+		idx, ok := byKey[string(keyBuf)]
 		if !ok {
 			items, scores := seedBucket(p, cfg, !ownedPrefs)
-			b = &bucket{key: key, items: items, scores: scores}
-			buckets[key] = b
+			key := string(keyBuf)
+			idx = int32(len(bs))
+			byKey[key] = idx
+			bs = append(bs, bucket{key: key, items: items, scores: scores})
+			counts = append(counts, 0)
 		} else {
-			foldBucketMember(b.scores, p, cfg)
+			foldBucketMember(bs[idx].scores, p, cfg)
 		}
-		b.members = append(b.members, p.User)
+		assign[i] = idx
+		counts[idx]++
 	}
-	return buckets
+	return fillMembers(prefs, bs, counts, func(yield func(i int, bucketIdx int32)) {
+		for i, idx := range assign {
+			yield(i, idx)
+		}
+	})
+}
+
+// fillMembers carves every bucket's member slice out of one shared
+// arena: offsets come from the per-bucket counts, and walk emits the
+// (pref index, bucket) assignments in global pref order, so each
+// bucket's members land in exactly the order the serial fold met
+// them. Returns stable pointers into the bucket backing array.
+func fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32, walk func(yield func(i int, bucketIdx int32))) []*bucket {
+	arena := make([]dataset.UserID, len(prefs))
+	offs := make([]int32, len(bs)+1)
+	for i, c := range counts {
+		offs[i+1] = offs[i] + c
+	}
+	cur := make([]int32, len(bs))
+	copy(cur, offs[:len(bs)])
+	walk(func(i int, idx int32) {
+		arena[cur[idx]] = prefs[i].User
+		cur[idx]++
+	})
+	out := make([]*bucket, len(bs))
+	for i := range bs {
+		lo, hi := offs[i], offs[i+1]
+		bs[i].members = arena[lo:hi:hi]
+		out[i] = &bs[i]
+	}
+	return out
 }
 
 // seedBucket returns the item list and initial score positions of a
@@ -616,8 +655,8 @@ type bucketHeap struct {
 	agg semantics.Aggregation
 }
 
-func newBucketHeap(buckets map[string]*bucket, agg semantics.Aggregation) *bucketHeap {
-	h := &bucketHeap{agg: agg}
+func newBucketHeap(buckets []*bucket, agg semantics.Aggregation) *bucketHeap {
+	h := &bucketHeap{agg: agg, bs: make([]*bucket, 0, len(buckets)), sat: make([]float64, 0, len(buckets))}
 	for _, b := range buckets {
 		h.bs = append(h.bs, b)
 		h.sat = append(h.sat, agg.Aggregate(b.scores))

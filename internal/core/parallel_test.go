@@ -150,8 +150,8 @@ func TestFormParallelWeighted(t *testing.T) {
 	}
 }
 
-// TestBucketizeParallelMatchesSerial compares the intermediate-group
-// maps directly: same keys, same member order, same score bits.
+// TestBucketizeParallelMatchesSerial compares the intermediate
+// groups directly: same keys, same member order, same score bits.
 func TestBucketizeParallelMatchesSerial(t *testing.T) {
 	ds, err := synth.YahooLike(2500, 300, 23)
 	if err != nil {
@@ -176,15 +176,19 @@ func TestBucketizeParallelMatchesSerial(t *testing.T) {
 				if len(got) != len(serial) {
 					t.Fatalf("%s-%s/workers=%d: %d buckets, want %d", sem, agg, w, len(got), len(serial))
 				}
-				for key, sb := range serial {
-					gb, ok := got[key]
+				byKey := make(map[string]*bucket, len(got))
+				for _, gb := range got {
+					byKey[gb.key] = gb
+				}
+				for _, sb := range serial {
+					gb, ok := byKey[sb.key]
 					if !ok {
-						t.Fatalf("%s-%s/workers=%d: missing bucket %q", sem, agg, w, key)
+						t.Fatalf("%s-%s/workers=%d: missing bucket %q", sem, agg, w, sb.key)
 					}
 					if !reflect.DeepEqual(sb.members, gb.members) ||
 						!reflect.DeepEqual(sb.items, gb.items) ||
 						!reflect.DeepEqual(sb.scores, gb.scores) {
-						t.Fatalf("%s-%s/workers=%d: bucket %q differs", sem, agg, w, key)
+						t.Fatalf("%s-%s/workers=%d: bucket %q differs", sem, agg, w, sb.key)
 					}
 				}
 			}

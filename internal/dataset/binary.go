@@ -6,65 +6,382 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+
+	"groupform/internal/gferr"
 )
 
 // Binary serialization: a compact little-endian format for large
 // synthetic workloads (CSV of a 200k-user scalability dataset is
 // ~150 MB and slow to parse; this format is a third the size and an
-// order of magnitude faster to load). Layout:
+// order of magnitude faster to load).
 //
-//	magic "GFDS" | version u16 | scale min, max f64
-//	user count u32
-//	per user: id u32 | entry count u32 | entries (item u32, value f64)
+// Version 2 serializes the CSR storage (see the package comment)
+// directly, so loading is a handful of bulk array reads with zero
+// per-entry allocation — the arrays on disk are the arrays in memory:
 //
-// Users and entries are written in sorted order, so loading needs no
-// re-sorting.
+//	magic "GFDS" | version u16 = 2 | scale min, max f64
+//	user count n u32 | item count m u32 | rating count r u64
+//	users  [n]u32   (ascending)
+//	items  [m]u32   (ascending)
+//	rowPtr [n+1]u32 (non-decreasing, rowPtr[0] = 0, rowPtr[n] = r)
+//	colIdx [r]u32   (item indices, ascending within each row)
+//	vals   [r]f64
+//
+// Version 1 (per-user records of ID-space entries) is still read
+// through a fallback path; WriteBinary always emits version 2.
+//
+// Malformed input — a truncated or corrupt header, out-of-order
+// tables, inconsistent counts, out-of-scale values — is classified
+// under gferr.ErrBadConfig: the file handed to the loader is not a
+// usable configuration of a dataset.
 
 var binaryMagic = [4]byte{'G', 'F', 'D', 'S'}
 
-const binaryVersion uint16 = 1
+const (
+	binaryVersionLegacy uint16 = 1
+	binaryVersion       uint16 = 2
+)
 
-// WriteBinary serializes the dataset.
+// badFilef classifies a malformed binary input under ErrBadConfig.
+func badFilef(format string, args ...any) error {
+	return gferr.BadConfigf("dataset: binary input: %s", fmt.Sprintf(format, args...))
+}
+
+// bulkCoder carries the reusable chunk buffer for the bulk array
+// encode/decode helpers: arrays stream through a fixed 32 KiB scratch
+// rather than materializing a second full-size byte image.
+type bulkCoder struct {
+	buf [32 * 1024]byte
+}
+
+func (c *bulkCoder) writeU32s(w io.Writer, get func(i int) uint32, n int) error {
+	for off := 0; off < n; {
+		chunk := (len(c.buf) / 4)
+		if rem := n - off; rem < chunk {
+			chunk = rem
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(c.buf[i*4:], get(off+i))
+		}
+		if _, err := w.Write(c.buf[:chunk*4]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+func (c *bulkCoder) writeF64s(w io.Writer, vs []float64) error {
+	for off := 0; off < len(vs); {
+		chunk := (len(c.buf) / 8)
+		if rem := len(vs) - off; rem < chunk {
+			chunk = rem
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(c.buf[i*8:], math.Float64bits(vs[off+i]))
+		}
+		if _, err := w.Write(c.buf[:chunk*8]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// maxPrealloc caps how many elements any array reserves before its
+// data has actually arrived. Header counts are attacker-controlled
+// until the tables back them up: a 50-byte file claiming 2^32 users
+// must fail with ErrBadConfig on the truncated read, not request
+// gigabytes up front. Honest files larger than the cap grow by
+// append (O(log) allocations total), so the bulk-load behavior is
+// unchanged for real workloads.
+const maxPrealloc = 1 << 20
+
+// preallocCap bounds an initial slice capacity by maxPrealloc.
+func preallocCap(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// readU32s streams n little-endian u32s through the chunk buffer,
+// handing each to app (which appends into a capacity-capped slice).
+func (c *bulkCoder) readU32s(r io.Reader, n int, what string, app func(v uint32)) error {
+	for off := 0; off < n; {
+		chunk := (len(c.buf) / 4)
+		if rem := n - off; rem < chunk {
+			chunk = rem
+		}
+		if _, err := io.ReadFull(r, c.buf[:chunk*4]); err != nil {
+			return badFilef("%s truncated at element %d: %v", what, off, err)
+		}
+		for i := 0; i < chunk; i++ {
+			app(binary.LittleEndian.Uint32(c.buf[i*4:]))
+		}
+		off += chunk
+	}
+	return nil
+}
+
+func (c *bulkCoder) readF64s(r io.Reader, n int, what string, app func(v float64)) error {
+	for off := 0; off < n; {
+		chunk := (len(c.buf) / 8)
+		if rem := n - off; rem < chunk {
+			chunk = rem
+		}
+		if _, err := io.ReadFull(r, c.buf[:chunk*8]); err != nil {
+			return badFilef("%s truncated at element %d: %v", what, off, err)
+		}
+		for i := 0; i < chunk; i++ {
+			app(math.Float64frombits(binary.LittleEndian.Uint64(c.buf[i*8:])))
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// WriteBinary serializes the dataset in the current (version 2) CSR
+// format.
 func WriteBinary(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	var c bulkCoder
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [2 + 8 + 8 + 4 + 4 + 8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[2:], math.Float64bits(ds.scale.Min))
+	binary.LittleEndian.PutUint64(hdr[10:], math.Float64bits(ds.scale.Max))
+	binary.LittleEndian.PutUint32(hdr[18:], uint32(len(ds.users)))
+	binary.LittleEndian.PutUint32(hdr[22:], uint32(len(ds.items)))
+	binary.LittleEndian.PutUint64(hdr[26:], uint64(len(ds.vals)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := c.writeU32s(bw, func(i int) uint32 { return uint32(ds.users[i]) }, len(ds.users)); err != nil {
+		return err
+	}
+	if err := c.writeU32s(bw, func(i int) uint32 { return uint32(ds.items[i]) }, len(ds.items)); err != nil {
+		return err
+	}
+	if err := c.writeU32s(bw, func(i int) uint32 { return uint32(ds.rowPtr[i]) }, len(ds.rowPtr)); err != nil {
+		return err
+	}
+	if err := c.writeU32s(bw, func(i int) uint32 { return uint32(ds.colIdx[i]) }, len(ds.colIdx)); err != nil {
+		return err
+	}
+	if err := c.writeF64s(bw, ds.vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a dataset written by WriteBinary. Version-2
+// files load with bulk array reads straight into the CSR storage;
+// version-1 files go through the legacy per-entry fallback. Either
+// way every structural invariant and rating value is revalidated, and
+// malformed input fails with an error wrapping gferr.ErrBadConfig.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, badFilef("header: %v", err)
+	}
+	if magic != binaryMagic {
+		return nil, badFilef("bad magic %q", magic[:])
+	}
+	var vbuf [2]byte
+	if _, err := io.ReadFull(br, vbuf[:]); err != nil {
+		return nil, badFilef("version: %v", err)
+	}
+	version := binary.LittleEndian.Uint16(vbuf[:])
+	switch version {
+	case binaryVersion:
+		return readBinaryV2(br)
+	case binaryVersionLegacy:
+		return readBinaryV1(br)
+	}
+	return nil, badFilef("unsupported version %d", version)
+}
+
+func readScale(br *bufio.Reader) (Scale, error) {
+	var buf [16]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return Scale{}, badFilef("scale: %v", err)
+	}
+	scale := Scale{
+		Min: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		Max: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	if !(scale.Min < scale.Max) || math.IsNaN(scale.Min) || math.IsNaN(scale.Max) {
+		return Scale{}, badFilef("invalid scale [%v,%v]", scale.Min, scale.Max)
+	}
+	return scale, nil
+}
+
+// readBinaryV2 loads the CSR arrays in bulk and validates the
+// structural invariants newCSR assumes.
+func readBinaryV2(br *bufio.Reader) (*Dataset, error) {
+	scale, err := readScale(br)
+	if err != nil {
+		return nil, err
+	}
+	var cnt [16]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, badFilef("counts: %v", err)
+	}
+	n64 := uint64(binary.LittleEndian.Uint32(cnt[0:]))
+	m64 := uint64(binary.LittleEndian.Uint32(cnt[4:]))
+	nr64 := binary.LittleEndian.Uint64(cnt[8:])
+	if n64 > math.MaxInt32 || m64 > math.MaxInt32 {
+		return nil, badFilef("user/item counts %d/%d exceed the int32 index space", n64, m64)
+	}
+	if nr64 > math.MaxInt32 {
+		return nil, badFilef("rating count %d exceeds the int32 row-pointer space", nr64)
+	}
+	n, m, nr := int(n64), int(m64), int(nr64)
+	if m == 0 && nr > 0 {
+		return nil, badFilef("%d ratings over zero items", nr)
+	}
+	var c bulkCoder
+	users := make([]UserID, 0, preallocCap(n))
+	if err := c.readU32s(br, n, "user table", func(v uint32) { users = append(users, UserID(v)) }); err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if users[i] <= users[i-1] {
+			return nil, badFilef("user table out of order at index %d", i)
+		}
+	}
+	items := make([]ItemID, 0, preallocCap(m))
+	if err := c.readU32s(br, m, "item table", func(v uint32) { items = append(items, ItemID(v)) }); err != nil {
+		return nil, err
+	}
+	for i := 1; i < m; i++ {
+		if items[i] <= items[i-1] {
+			return nil, badFilef("item table out of order at index %d", i)
+		}
+	}
+	rowPtr := make([]int32, 0, preallocCap(n+1))
+	if err := c.readU32s(br, n+1, "row pointers", func(v uint32) { rowPtr = append(rowPtr, int32(v)) }); err != nil {
+		return nil, err
+	}
+	if rowPtr[0] != 0 || int(rowPtr[n]) != nr {
+		return nil, badFilef("row pointers span [%d,%d], want [0,%d]", rowPtr[0], rowPtr[n], nr)
+	}
+	for i := 1; i <= n; i++ {
+		if rowPtr[i] < rowPtr[i-1] {
+			return nil, badFilef("row pointers decrease at index %d", i)
+		}
+	}
+	colIdx := make([]ItemIdx, 0, preallocCap(nr))
+	if err := c.readU32s(br, nr, "column indices", func(v uint32) { colIdx = append(colIdx, ItemIdx(v)) }); err != nil {
+		return nil, err
+	}
+	for r := 0; r < n; r++ {
+		prev := ItemIdx(-1)
+		for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
+			j := colIdx[p]
+			if j <= prev || int(j) >= m {
+				return nil, badFilef("user %d column indices invalid at offset %d", users[r], p)
+			}
+			prev = j
+		}
+	}
+	vals := make([]float64, 0, preallocCap(nr))
+	if err := c.readF64s(br, nr, "values", func(v float64) { vals = append(vals, v) }); err != nil {
+		return nil, err
+	}
+	for p, v := range vals {
+		if !scale.Valid(v) {
+			return nil, badFilef("rating %v at offset %d outside scale [%v,%v]", v, p, scale.Min, scale.Max)
+		}
+	}
+	return newCSR(scale, users, items, rowPtr, colIdx, vals, 0), nil
+}
+
+// readBinaryV1 is the legacy-format fallback: per-user records of
+// ID-space (item, value) entries. It parses into per-user rows and
+// rebuilds through the same index-space constructor as every other
+// loader.
+func readBinaryV1(br *bufio.Reader) (*Dataset, error) {
+	scale, err := readScale(br)
+	if err != nil {
+		return nil, err
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, badFilef("user count: %v", err)
+	}
+	userCount := binary.LittleEndian.Uint32(cnt[:])
+	users := make([]UserID, 0, preallocCap(int(userCount)))
+	rows := make([][]Entry, 0, preallocCap(int(userCount)))
+	scratch := make([]byte, 12)
+	var prevUser int64 = -1
+	for u := uint32(0); u < userCount; u++ {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return nil, badFilef("user %d header: %v", u, err)
+		}
+		uid := binary.LittleEndian.Uint32(scratch[:4])
+		entryCount := binary.LittleEndian.Uint32(scratch[4:8])
+		if int64(uid) <= prevUser {
+			return nil, badFilef("users out of order at %d", uid)
+		}
+		prevUser = int64(uid)
+		entries := make([]Entry, 0, preallocCap(int(entryCount)))
+		var prevItem int64 = -1
+		for e := uint32(0); e < entryCount; e++ {
+			if _, err := io.ReadFull(br, scratch[:12]); err != nil {
+				return nil, badFilef("user %d entry %d: %v", uid, e, err)
+			}
+			item := ItemID(binary.LittleEndian.Uint32(scratch[:4]))
+			value := math.Float64frombits(binary.LittleEndian.Uint64(scratch[4:12]))
+			if int64(item) <= prevItem {
+				return nil, badFilef("user %d items out of order", uid)
+			}
+			prevItem = int64(item)
+			if !scale.Valid(value) {
+				return nil, badFilef("rating %v outside scale for user %d item %d", value, uid, item)
+			}
+			entries = append(entries, Entry{Item: item, Value: value})
+		}
+		users = append(users, UserID(uid))
+		rows = append(rows, entries)
+	}
+	return buildFromRows(scale, users, rows, 0), nil
+}
+
+// writeBinaryV1 emits the legacy version-1 layout. It exists so the
+// fallback reader stays covered by round-trip tests; production
+// writes always use the current version.
+func writeBinaryV1(w io.Writer, ds *Dataset) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
 	scratch := make([]byte, 12)
-	writeU16 := func(v uint16) error {
-		binary.LittleEndian.PutUint16(scratch[:2], v)
-		_, err := bw.Write(scratch[:2])
+	binary.LittleEndian.PutUint16(scratch[:2], binaryVersionLegacy)
+	if _, err := bw.Write(scratch[:2]); err != nil {
 		return err
 	}
-	writeU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := bw.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(ds.scale.Min))
+	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
-	writeF64 := func(v float64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v))
-		_, err := bw.Write(scratch[:8])
+	binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(ds.scale.Max))
+	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
-	if err := writeU16(binaryVersion); err != nil {
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(ds.users)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
 		return err
 	}
-	if err := writeF64(ds.scale.Min); err != nil {
-		return err
-	}
-	if err := writeF64(ds.scale.Max); err != nil {
-		return err
-	}
-	if err := writeU32(uint32(len(ds.users))); err != nil {
-		return err
-	}
-	for _, u := range ds.users {
-		if err := writeU32(uint32(u)); err != nil {
-			return err
-		}
-		entries := ds.byUser[u]
-		if err := writeU32(uint32(len(entries))); err != nil {
+	for r, u := range ds.users {
+		entries := ds.RowEntries(UserIdx(r))
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(u))
+		binary.LittleEndian.PutUint32(scratch[4:8], uint32(len(entries)))
+		if _, err := bw.Write(scratch[:8]); err != nil {
 			return err
 		}
 		for _, e := range entries {
@@ -76,105 +393,4 @@ func WriteBinary(w io.Writer, ds *Dataset) error {
 		}
 	}
 	return bw.Flush()
-}
-
-// ReadBinary deserializes a dataset written by WriteBinary,
-// revalidating every rating against the stored scale.
-func ReadBinary(r io.Reader) (*Dataset, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("dataset: binary header: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("dataset: bad magic %q", magic[:])
-	}
-	scratch := make([]byte, 12)
-	readU16 := func() (uint16, error) {
-		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint16(scratch[:2]), nil
-	}
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(scratch[:4]), nil
-	}
-	readF64 := func() (float64, error) {
-		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(scratch[:8])), nil
-	}
-	version, err := readU16()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: binary version: %w", err)
-	}
-	if version != binaryVersion {
-		return nil, fmt.Errorf("dataset: unsupported binary version %d", version)
-	}
-	var scale Scale
-	if scale.Min, err = readF64(); err != nil {
-		return nil, err
-	}
-	if scale.Max, err = readF64(); err != nil {
-		return nil, err
-	}
-	if !(scale.Min < scale.Max) || math.IsNaN(scale.Min) || math.IsNaN(scale.Max) {
-		return nil, fmt.Errorf("dataset: invalid scale [%v,%v]", scale.Min, scale.Max)
-	}
-	userCount, err := readU32()
-	if err != nil {
-		return nil, err
-	}
-	ds := &Dataset{
-		scale:  scale,
-		byUser: make(map[UserID][]Entry, userCount),
-		byItem: make(map[ItemID]int),
-	}
-	var prevUser int64 = -1
-	for n := uint32(0); n < userCount; n++ {
-		uid, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("dataset: user %d header: %w", n, err)
-		}
-		if int64(uid) <= prevUser {
-			return nil, fmt.Errorf("dataset: users out of order at %d", uid)
-		}
-		prevUser = int64(uid)
-		entryCount, err := readU32()
-		if err != nil {
-			return nil, err
-		}
-		entries := make([]Entry, 0, entryCount)
-		var prevItem int64 = -1
-		for e := uint32(0); e < entryCount; e++ {
-			if _, err := io.ReadFull(br, scratch[:12]); err != nil {
-				return nil, fmt.Errorf("dataset: user %d entry %d: %w", uid, e, err)
-			}
-			item := ItemID(binary.LittleEndian.Uint32(scratch[:4]))
-			value := math.Float64frombits(binary.LittleEndian.Uint64(scratch[4:12]))
-			if int64(item) <= prevItem {
-				return nil, fmt.Errorf("dataset: user %d items out of order", uid)
-			}
-			prevItem = int64(item)
-			if !scale.Valid(value) {
-				return nil, fmt.Errorf("dataset: rating %v outside scale for user %d item %d", value, uid, item)
-			}
-			entries = append(entries, Entry{Item: item, Value: value})
-			ds.byItem[item]++
-		}
-		u := UserID(uid)
-		ds.byUser[u] = entries
-		ds.users = append(ds.users, u)
-		ds.ratings += len(entries)
-	}
-	ds.items = make([]ItemID, 0, len(ds.byItem))
-	for i := range ds.byItem {
-		ds.items = append(ds.items, i)
-	}
-	sort.Slice(ds.items, func(a, b int) bool { return ds.items[a] < ds.items[b] })
-	return ds, nil
 }

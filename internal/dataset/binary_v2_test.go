@@ -1,0 +1,195 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"groupform/internal/gferr"
+)
+
+// randomDataset builds a moderately sized sparse dataset with
+// non-contiguous IDs, the shape that exercises the index remapping.
+func randomDataset(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(DefaultScale)
+	for i := 0; i < 5000; i++ {
+		b.MustAdd(UserID(rng.Intn(400)*3+7), ItemID(rng.Intn(200)*5+11), float64(1+rng.Intn(9))/2+0.5)
+	}
+	return b.Build()
+}
+
+// requireSameDataset compares every observable of two datasets,
+// including the index-space views.
+func requireSameDataset(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if got.Scale() != want.Scale() {
+		t.Fatalf("scale %v != %v", got.Scale(), want.Scale())
+	}
+	if !reflect.DeepEqual(got.Users(), want.Users()) {
+		t.Fatal("user tables differ")
+	}
+	if !reflect.DeepEqual(got.Items(), want.Items()) {
+		t.Fatal("item tables differ")
+	}
+	if got.NumRatings() != want.NumRatings() {
+		t.Fatalf("ratings %d != %d", got.NumRatings(), want.NumRatings())
+	}
+	for r := 0; r < want.NumUsers(); r++ {
+		gc, gv := got.RowIdx(UserIdx(r))
+		wc, wv := want.RowIdx(UserIdx(r))
+		if !reflect.DeepEqual(gc, wc) || !reflect.DeepEqual(gv, wv) {
+			t.Fatalf("row %d differs", r)
+		}
+		if !reflect.DeepEqual(got.RowEntries(UserIdx(r)), want.RowEntries(UserIdx(r))) {
+			t.Fatalf("row entries %d differ", r)
+		}
+	}
+	for j := 0; j < want.NumItems(); j++ {
+		if got.ItemCountIdx(ItemIdx(j)) != want.ItemCountIdx(ItemIdx(j)) {
+			t.Fatalf("item count %d differs", j)
+		}
+	}
+}
+
+// TestBinaryV2RoundTripCSR round-trips a non-trivial dataset through
+// the current format and requires the CSR views to come back
+// identical — the zero-copy contract.
+func TestBinaryV2RoundTripCSR(t *testing.T) {
+	orig := randomDataset(t, 42)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDataset(t, back, orig)
+}
+
+// TestBinaryLegacyV1Fallback writes the legacy version-1 layout and
+// reads it through ReadBinary's fallback path.
+func TestBinaryLegacyV1Fallback(t *testing.T) {
+	orig := randomDataset(t, 43)
+	var buf bytes.Buffer
+	if err := writeBinaryV1(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDataset(t, back, orig)
+}
+
+// TestBinaryErrorsWrapBadConfig pins the error classification:
+// truncated or corrupt input of either version fails with an error
+// wrapping gferr.ErrBadConfig.
+func TestBinaryErrorsWrapBadConfig(t *testing.T) {
+	ds := randomDataset(t, 44)
+	var v2, v1 bytes.Buffer
+	if err := WriteBinary(&v2, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBinaryV1(&v1, ds); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("definitely not a dataset")},
+		{"bad magic", append([]byte("XFDS"), v2.Bytes()[4:]...)},
+		{"bad version", append(append([]byte{}, v2.Bytes()[:4]...), 9, 9)},
+		{"v2 truncated header", v2.Bytes()[:10]},
+		{"v2 truncated counts", v2.Bytes()[:24]},
+		{"v2 truncated user table", v2.Bytes()[:40]},
+		{"v2 truncated values", v2.Bytes()[:v2.Len()-3]},
+		{"v1 truncated header", v1.Bytes()[:10]},
+		{"v1 truncated body", v1.Bytes()[:v1.Len()-3]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("malformed input should error")
+			}
+			if !errors.Is(err, gferr.ErrBadConfig) {
+				t.Fatalf("error %v should wrap gferr.ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+// TestBinaryV2RejectsStructuralCorruption mangles structural fields
+// (not just truncation) and requires classified rejections.
+func TestBinaryV2RejectsStructuralCorruption(t *testing.T) {
+	b := NewBuilder(DefaultScale)
+	b.MustAdd(1, 1, 3)
+	b.MustAdd(2, 2, 4)
+	ds := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Layout: magic(4) version(2) scale(16) n(4) m(4) r(8) users(2*4)
+	// items(2*4) rowPtr(3*4) colIdx(2*4) vals(2*8).
+	const usersOff = 4 + 2 + 16 + 16
+	mangle := func(off int, v byte) []byte {
+		out := append([]byte{}, good...)
+		out[off] = v
+		return out
+	}
+	cases := map[string][]byte{
+		// users become 1,1 — out of order.
+		"users out of order": mangle(usersOff, 2),
+		// rowPtr[2] (last) disagrees with the rating count.
+		"rowptr span": mangle(usersOff+16+8, 9),
+		// colIdx[0] >= m.
+		"column out of range": mangle(usersOff+16+12, 7),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupt structure should error")
+			}
+			if !errors.Is(err, gferr.ErrBadConfig) {
+				t.Fatalf("error %v should wrap gferr.ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+// TestLoadAutoDetects drives the sniffing loader with both
+// containers.
+func TestLoadAutoDetects(t *testing.T) {
+	orig := randomDataset(t, 45)
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Load(&bin, DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDataset(t, fromBin, orig)
+
+	fromCSV, err := Load(strings.NewReader("user,item,rating\n1,2,4.5\n3,2,1\n"), DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.NumRatings() != 2 {
+		t.Fatalf("CSV load: %v", fromCSV.Describe())
+	}
+	if v, ok := fromCSV.Rating(1, 2); !ok || v != 4.5 {
+		t.Fatalf("CSV rating lost: %v %v", v, ok)
+	}
+}

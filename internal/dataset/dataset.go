@@ -9,6 +9,29 @@
 // stored as float64. Missing ratings are represented by absence, and
 // consumers choose an explicit policy for them (see
 // internal/semantics.Scorer).
+//
+// # Storage layout
+//
+// A Dataset is a CSR (compressed sparse row) matrix over a dense
+// index space. Arbitrary application-assigned UserID/ItemID values
+// are remapped at construction time to contiguous UserIdx (0..n-1)
+// and ItemIdx (0..m-1), assigned in ascending ID order, so index
+// order and ID order always agree. All ratings live in flat arrays:
+//
+//	rowPtr  []int32   // n+1 offsets; user r's ratings are [rowPtr[r], rowPtr[r+1])
+//	colIdx  []ItemIdx // item index per rating, ascending within a row
+//	vals    []float64 // rating value per rating
+//	entries []Entry   // ID-space mirror of (colIdx, vals), same layout
+//
+// plus the two ID<->index tables (users/items slices for idx->ID,
+// maps for ID->idx). Hot paths — preference-list construction, group
+// scoring, clustering — walk the flat arrays with zero map accesses
+// and zero per-row allocation; the long-standing ID-space accessors
+// (Rating, UserRatings, ItemCount, ...) remain as thin adapters over
+// one ID->index lookup. The index space is exported for the sibling
+// internal packages but is deliberately absent from the public facade:
+// indices are an artifact of one Dataset value and mean nothing across
+// datasets.
 package dataset
 
 import (
@@ -22,6 +45,16 @@ type UserID int32
 
 // ItemID identifies an item.
 type ItemID int32
+
+// UserIdx is a dense user index in 0..NumUsers()-1, assigned in
+// ascending UserID order (so Users()[r] is the ID of index r). Indices
+// are private to one Dataset value: a derived dataset (SubsetUsers,
+// Trim) renumbers.
+type UserIdx int32
+
+// ItemIdx is a dense item index in 0..NumItems()-1, assigned in
+// ascending ItemID order (so Items()[j] is the ID of index j).
+type ItemIdx int32
 
 // Scale bounds the rating values, rmin and rmax in the paper.
 type Scale struct {
@@ -60,23 +93,112 @@ type Rating struct {
 	Value float64
 }
 
-// Dataset is an immutable sparse rating matrix. Construct one with a
-// Builder. Per-user entries are kept sorted by item ID so lookups are
-// O(log d) where d is the user's rating count, and iteration order is
+// Dataset is an immutable sparse rating matrix in CSR form (see the
+// package comment for the layout). Construct one with a Builder or
+// one of the From* constructors. Per-user entries are kept sorted by
+// item ID — equivalently by item index — so lookups are O(log d)
+// where d is the user's rating count, and iteration order is
 // deterministic.
 type Dataset struct {
-	scale   Scale
-	users   []UserID // sorted
-	items   []ItemID // sorted
-	byUser  map[UserID][]Entry
-	byItem  map[ItemID]int // rating count per item
-	ratings int
+	scale Scale
+
+	users []UserID // idx -> ID, ascending
+	items []ItemID // idx -> ID, ascending
+
+	userIdx map[UserID]UserIdx
+	itemIdx map[ItemID]ItemIdx
+
+	rowPtr  []int32   // len(users)+1
+	colIdx  []ItemIdx // len = NumRatings, ascending within each row
+	vals    []float64 // len = NumRatings
+	entries []Entry   // ID-space mirror of (colIdx, vals)
+
+	itemCount []int32 // ratings per item index
+
+	// dups counts duplicate (user, item) additions collapsed at build
+	// time under the documented last-write-wins policy; see
+	// Builder.Add and Stats.Duplicates.
+	dups int
+}
+
+// newCSR freezes validated CSR arrays into a Dataset, building the
+// ID->index tables, the per-item rating counts and the ID-space entry
+// mirror. It adopts the slices without copying; callers hand over
+// ownership. Requirements: users and items strictly ascending;
+// rowPtr non-decreasing with rowPtr[0] == 0 and len(users)+1 entries;
+// colIdx strictly ascending within each row and < len(items); vals
+// within scale.
+func newCSR(scale Scale, users []UserID, items []ItemID, rowPtr []int32, colIdx []ItemIdx, vals []float64, dups int) *Dataset {
+	ds := &Dataset{
+		scale:   scale,
+		users:   users,
+		items:   items,
+		userIdx: make(map[UserID]UserIdx, len(users)),
+		itemIdx: make(map[ItemID]ItemIdx, len(items)),
+		rowPtr:  rowPtr,
+		colIdx:  colIdx,
+		vals:    vals,
+		dups:    dups,
+	}
+	for r, u := range users {
+		ds.userIdx[u] = UserIdx(r)
+	}
+	for j, it := range items {
+		ds.itemIdx[it] = ItemIdx(j)
+	}
+	ds.itemCount = make([]int32, len(items))
+	ds.entries = make([]Entry, len(colIdx))
+	for p, j := range colIdx {
+		ds.itemCount[j]++
+		ds.entries[p] = Entry{Item: items[j], Value: vals[p]}
+	}
+	return ds
+}
+
+// buildFromRows assembles a Dataset from per-user entry rows aligned
+// with the (ascending) users slice. Rows must already be sorted by
+// item ID, deduplicated and scale-validated; buildFromRows only
+// remaps to index space. Empty rows are legal and keep their user.
+func buildFromRows(scale Scale, users []UserID, rows [][]Entry, dups int) *Dataset {
+	total := 0
+	itemSet := make(map[ItemID]struct{})
+	for _, row := range rows {
+		total += len(row)
+		for _, e := range row {
+			itemSet[e.Item] = struct{}{}
+		}
+	}
+	items := make([]ItemID, 0, len(itemSet))
+	for it := range itemSet {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	idxOf := make(map[ItemID]ItemIdx, len(items))
+	for j, it := range items {
+		idxOf[it] = ItemIdx(j)
+	}
+
+	rowPtr := make([]int32, len(users)+1)
+	colIdx := make([]ItemIdx, total)
+	vals := make([]float64, total)
+	p := int32(0)
+	for r, row := range rows {
+		rowPtr[r] = p
+		for _, e := range row {
+			colIdx[p] = idxOf[e.Item]
+			vals[p] = e.Value
+			p++
+		}
+	}
+	rowPtr[len(users)] = p
+	return newCSR(scale, users, items, rowPtr, colIdx, vals, dups)
 }
 
 // Builder accumulates ratings and produces a Dataset.
 type Builder struct {
 	scale  Scale
 	byUser map[UserID]map[ItemID]float64
+	dups   int
 }
 
 // NewBuilder returns a Builder enforcing the given scale.
@@ -84,9 +206,14 @@ func NewBuilder(scale Scale) *Builder {
 	return &Builder{scale: scale, byUser: make(map[UserID]map[ItemID]float64)}
 }
 
-// Add records a rating. Values outside the scale are rejected. Adding
-// the same (user, item) twice overwrites the earlier value; explicit
-// feedback systems treat a re-rating as a correction.
+// Add records a rating. Values outside the scale are rejected.
+//
+// Duplicate policy: adding the same (user, item) twice is legal and
+// the LAST write wins — explicit-feedback systems treat a re-rating
+// as a correction, and every loader in this package feeds ratings in
+// input order, so the file's final word stands. Collapsed duplicates
+// are counted and surfaced by Stats.Duplicates so that data-quality
+// problems (a ratings dump with conflicting rows) stay observable.
 func (b *Builder) Add(u UserID, i ItemID, v float64) error {
 	if !b.scale.Valid(v) {
 		return fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
@@ -96,6 +223,9 @@ func (b *Builder) Add(u UserID, i ItemID, v float64) error {
 	if !ok {
 		m = make(map[ItemID]float64)
 		b.byUser[u] = m
+	}
+	if _, exists := m[i]; exists {
+		b.dups++
 	}
 	m[i] = v
 	return nil
@@ -112,32 +242,27 @@ func (b *Builder) MustAdd(u UserID, i ItemID, v float64) {
 // Build freezes the accumulated ratings into a Dataset. The Builder
 // may be reused afterwards; Build copies everything.
 func (b *Builder) Build() *Dataset {
-	ds := &Dataset{
-		scale:  b.scale,
-		byUser: make(map[UserID][]Entry, len(b.byUser)),
-		byItem: make(map[ItemID]int),
+	users := make([]UserID, 0, len(b.byUser))
+	for u := range b.byUser {
+		users = append(users, u)
 	}
-	for u, m := range b.byUser {
-		entries := make([]Entry, 0, len(m))
+	sort.Slice(users, func(a, c int) bool { return users[a] < users[c] })
+	rows := make([][]Entry, len(users))
+	for r, u := range users {
+		m := b.byUser[u]
+		row := make([]Entry, 0, len(m))
 		for i, v := range m {
-			entries = append(entries, Entry{Item: i, Value: v})
-			ds.byItem[i]++
+			row = append(row, Entry{Item: i, Value: v})
 		}
-		sort.Slice(entries, func(a, c int) bool { return entries[a].Item < entries[c].Item })
-		ds.byUser[u] = entries
-		ds.users = append(ds.users, u)
-		ds.ratings += len(entries)
+		sort.Sort(byItem(row))
+		rows[r] = row
 	}
-	sort.Slice(ds.users, func(a, c int) bool { return ds.users[a] < ds.users[c] })
-	ds.items = make([]ItemID, 0, len(ds.byItem))
-	for i := range ds.byItem {
-		ds.items = append(ds.items, i)
-	}
-	sort.Slice(ds.items, func(a, c int) bool { return ds.items[a] < ds.items[c] })
-	return ds
+	return buildFromRows(b.scale, users, rows, b.dups)
 }
 
-// FromRatings builds a Dataset directly from a slice of triples.
+// FromRatings builds a Dataset directly from a slice of triples,
+// under the Builder's documented last-write-wins duplicate policy;
+// the collapsed-duplicate count is surfaced by Describe().Duplicates.
 func FromRatings(scale Scale, rs []Rating) (*Dataset, error) {
 	b := NewBuilder(scale)
 	for _, r := range rs {
@@ -151,24 +276,41 @@ func FromRatings(scale Scale, rs []Rating) (*Dataset, error) {
 // FromDense builds a complete (dense) Dataset from a matrix indexed as
 // rows[u][i], with user IDs 0..len(rows)-1 and item IDs 0..m-1. Every
 // row must have the same length. This mirrors the paper's worked
-// examples, which are small dense tables.
+// examples, which are small dense tables. The CSR arrays are filled
+// directly — a dense table needs no sorting or deduplication.
 func FromDense(scale Scale, rows [][]float64) (*Dataset, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("dataset: no rows")
 	}
 	m := len(rows[0])
-	b := NewBuilder(scale)
+	n := len(rows)
+	users := make([]UserID, n)
+	items := make([]ItemID, m)
+	for j := range items {
+		items[j] = ItemID(j)
+	}
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]ItemIdx, n*m)
+	vals := make([]float64, n*m)
+	p := 0
 	for u, row := range rows {
 		if len(row) != m {
 			return nil, fmt.Errorf("dataset: row %d has %d items, want %d", u, len(row), m)
 		}
+		users[u] = UserID(u)
+		rowPtr[u] = int32(p)
 		for i, v := range row {
-			if err := b.Add(UserID(u), ItemID(i), v); err != nil {
-				return nil, err
+			if !scale.Valid(v) {
+				return nil, fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+					v, u, i, scale.Min, scale.Max)
 			}
+			colIdx[p] = ItemIdx(i)
+			vals[p] = v
+			p++
 		}
 	}
-	return b.Build(), nil
+	rowPtr[n] = int32(p)
+	return newCSR(scale, users, items, rowPtr, colIdx, vals, 0), nil
 }
 
 // byItem sorts entries by item ID with a concrete sort.Interface (the
@@ -184,15 +326,19 @@ func (s byItem) Less(i, j int) bool { return s[i].Item < s[j].Item }
 // the Builder's per-user maps, which matters when generating the
 // paper's scalability workloads (hundreds of thousands of users).
 // Entries are validated against the scale, sorted by item, and
-// deduplicated with the last occurrence winning. The input slices are
-// not retained.
+// deduplicated under the same last-write-wins policy as Builder.Add
+// (the last occurrence wins); collapsed duplicates are counted into
+// Stats.Duplicates. The input slices are not retained.
 func FromUserEntries(scale Scale, perUser map[UserID][]Entry) (*Dataset, error) {
-	ds := &Dataset{
-		scale:  scale,
-		byUser: make(map[UserID][]Entry, len(perUser)),
-		byItem: make(map[ItemID]int),
+	users := make([]UserID, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
 	}
-	for u, entries := range perUser {
+	sort.Slice(users, func(a, c int) bool { return users[a] < users[c] })
+	rows := make([][]Entry, len(users))
+	dups := 0
+	for r, u := range users {
+		entries := perUser[u]
 		es := make([]Entry, len(entries))
 		copy(es, entries)
 		for _, e := range es {
@@ -207,25 +353,14 @@ func FromUserEntries(scale Scale, perUser map[UserID][]Entry) (*Dataset, error) 
 		out := es[:0]
 		for i := 0; i < len(es); i++ {
 			if i+1 < len(es) && es[i+1].Item == es[i].Item {
+				dups++
 				continue
 			}
 			out = append(out, es[i])
 		}
-		es = out
-		for _, e := range es {
-			ds.byItem[e.Item]++
-		}
-		ds.byUser[u] = es
-		ds.users = append(ds.users, u)
-		ds.ratings += len(es)
+		rows[r] = out
 	}
-	sort.Slice(ds.users, func(a, c int) bool { return ds.users[a] < ds.users[c] })
-	ds.items = make([]ItemID, 0, len(ds.byItem))
-	for i := range ds.byItem {
-		ds.items = append(ds.items, i)
-	}
-	sort.Slice(ds.items, func(a, c int) bool { return ds.items[a] < ds.items[c] })
-	return ds, nil
+	return buildFromRows(scale, users, rows, dups), nil
 }
 
 // Scale returns the rating scale.
@@ -239,50 +374,168 @@ func (ds *Dataset) NumUsers() int { return len(ds.users) }
 func (ds *Dataset) NumItems() int { return len(ds.items) }
 
 // NumRatings returns the total number of stored ratings.
-func (ds *Dataset) NumRatings() int { return ds.ratings }
+func (ds *Dataset) NumRatings() int { return len(ds.vals) }
 
-// Users returns the sorted user IDs. The returned slice is shared; do
-// not modify it.
+// Users returns the sorted user IDs; Users()[r] is the ID at UserIdx
+// r. The returned slice is shared; do not modify it.
 func (ds *Dataset) Users() []UserID { return ds.users }
 
-// Items returns the sorted item IDs. The returned slice is shared; do
-// not modify it.
+// Items returns the sorted item IDs; Items()[j] is the ID at ItemIdx
+// j. The returned slice is shared; do not modify it.
 func (ds *Dataset) Items() []ItemID { return ds.items }
 
-// Rating returns the rating of item i by user u, and whether it
-// exists.
-func (ds *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
-	entries := ds.byUser[u]
-	lo := sort.Search(len(entries), func(j int) bool { return entries[j].Item >= i })
-	if lo < len(entries) && entries[lo].Item == i {
-		return entries[lo].Value, true
+// UserIdxOf resolves a user ID to its dense index.
+func (ds *Dataset) UserIdxOf(u UserID) (UserIdx, bool) {
+	r, ok := ds.userIdx[u]
+	return r, ok
+}
+
+// ItemIdxOf resolves an item ID to its dense index.
+func (ds *Dataset) ItemIdxOf(i ItemID) (ItemIdx, bool) {
+	j, ok := ds.itemIdx[i]
+	return j, ok
+}
+
+// UserAt returns the user ID at a dense index.
+func (ds *Dataset) UserAt(r UserIdx) UserID { return ds.users[r] }
+
+// ItemAt returns the item ID at a dense index.
+func (ds *Dataset) ItemAt(j ItemIdx) ItemID { return ds.items[j] }
+
+// RowIdx returns user r's CSR row: the parallel (item index, value)
+// slices, item indices ascending. The slices are shared; do not
+// modify them. This is the map-free hot-path accessor: callers index
+// dense per-item accumulators directly with the returned indices.
+func (ds *Dataset) RowIdx(r UserIdx) ([]ItemIdx, []float64) {
+	lo, hi := ds.rowPtr[r], ds.rowPtr[r+1]
+	return ds.colIdx[lo:hi], ds.vals[lo:hi]
+}
+
+// RowEntries returns user r's ratings as ID-space entries sorted by
+// item ID, without the ID->index map lookup UserRatings pays. The
+// slice is shared; do not modify it.
+func (ds *Dataset) RowEntries(r UserIdx) []Entry {
+	return ds.entries[ds.rowPtr[r]:ds.rowPtr[r+1]]
+}
+
+// RatingIdx returns the rating at (user index, item index) and
+// whether it exists, by binary search over the user's CSR row.
+func (ds *Dataset) RatingIdx(r UserIdx, j ItemIdx) (float64, bool) {
+	lo, hi := int(ds.rowPtr[r]), int(ds.rowPtr[r+1])
+	row := ds.colIdx[lo:hi]
+	p := sort.Search(len(row), func(q int) bool { return row[q] >= j })
+	if p < len(row) && row[p] == j {
+		return ds.vals[lo+p], true
 	}
 	return 0, false
 }
 
+// ItemCountIdx returns how many users rated the item at index j.
+func (ds *Dataset) ItemCountIdx(j ItemIdx) int { return int(ds.itemCount[j]) }
+
+// Rating returns the rating of item i by user u, and whether it
+// exists.
+func (ds *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
+	r, ok := ds.userIdx[u]
+	if !ok {
+		return 0, false
+	}
+	j, ok := ds.itemIdx[i]
+	if !ok {
+		return 0, false
+	}
+	return ds.RatingIdx(r, j)
+}
+
 // UserRatings returns user u's ratings sorted by item ID. The slice is
 // shared; do not modify it. Unknown users yield nil.
-func (ds *Dataset) UserRatings(u UserID) []Entry { return ds.byUser[u] }
+func (ds *Dataset) UserRatings(u UserID) []Entry {
+	r, ok := ds.userIdx[u]
+	if !ok {
+		return nil
+	}
+	return ds.RowEntries(r)
+}
 
 // ItemCount returns how many users rated item i.
-func (ds *Dataset) ItemCount(i ItemID) int { return ds.byItem[i] }
+func (ds *Dataset) ItemCount(i ItemID) int {
+	j, ok := ds.itemIdx[i]
+	if !ok {
+		return 0
+	}
+	return int(ds.itemCount[j])
+}
+
+// filterCSR builds a new Dataset from the (ascending) selected rows,
+// keeping only ratings whose item passes keepItem (nil keeps all).
+// Items left with no ratings disappear and the remaining items are
+// renumbered; selected rows that end up empty are dropped with their
+// user, matching the historical Builder-based rebuild (a user exists
+// only through ratings). This is the index-space rebuild behind
+// SubsetUsers and Trim: two passes over flat arrays, no maps beyond
+// the new Dataset's own tables.
+func (ds *Dataset) filterCSR(rows []UserIdx, keepItem []bool) *Dataset {
+	// Pass 1: per-item counts and total size over the selection.
+	cnt := make([]int32, len(ds.items))
+	total := 0
+	for _, r := range rows {
+		for _, j := range ds.colIdx[ds.rowPtr[r]:ds.rowPtr[r+1]] {
+			if keepItem == nil || keepItem[j] {
+				cnt[j]++
+				total++
+			}
+		}
+	}
+	// Renumber surviving items.
+	oldToNew := make([]ItemIdx, len(ds.items))
+	items := make([]ItemID, 0, len(ds.items))
+	for j, c := range cnt {
+		if c > 0 {
+			oldToNew[j] = ItemIdx(len(items))
+			items = append(items, ds.items[j])
+		} else {
+			oldToNew[j] = -1
+		}
+	}
+	// Pass 2: fill the new CSR arrays.
+	users := make([]UserID, 0, len(rows))
+	rowPtr := make([]int32, 1, len(rows)+1)
+	colIdx := make([]ItemIdx, 0, total)
+	vals := make([]float64, 0, total)
+	for _, r := range rows {
+		lo, hi := ds.rowPtr[r], ds.rowPtr[r+1]
+		before := len(colIdx)
+		for p := lo; p < hi; p++ {
+			j := ds.colIdx[p]
+			if keepItem == nil || keepItem[j] {
+				colIdx = append(colIdx, oldToNew[j])
+				vals = append(vals, ds.vals[p])
+			}
+		}
+		if len(colIdx) == before {
+			continue // row emptied: the user disappears with it
+		}
+		users = append(users, ds.users[r])
+		rowPtr = append(rowPtr, int32(len(colIdx)))
+	}
+	return newCSR(ds.scale, users, items, rowPtr, colIdx, vals, 0)
+}
 
 // SubsetUsers returns a new Dataset restricted to the given users.
 // Items with no remaining ratings disappear. Duplicate or unknown user
-// IDs are ignored.
+// IDs are ignored; an empty (or fully unknown) selection yields an
+// empty dataset.
 func (ds *Dataset) SubsetUsers(users []UserID) *Dataset {
-	b := NewBuilder(ds.scale)
-	seen := make(map[UserID]bool, len(users))
+	rows := make([]UserIdx, 0, len(users))
+	seen := make([]bool, len(ds.users))
 	for _, u := range users {
-		if seen[u] {
-			continue
-		}
-		seen[u] = true
-		for _, e := range ds.byUser[u] {
-			b.MustAdd(u, e.Item, e.Value)
+		if r, ok := ds.userIdx[u]; ok && !seen[r] {
+			seen[r] = true
+			rows = append(rows, r)
 		}
 	}
-	return b.Build()
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	return ds.filterCSR(rows, nil)
 }
 
 // Trim repeatedly removes users with fewer than minUserRatings ratings
@@ -290,41 +543,36 @@ func (ds *Dataset) SubsetUsers(users []UserID) *Dataset {
 // is stable. This is the paper's pre-processing ("each user has rated
 // at least 20 songs, and each song has been rated by at least 20
 // users"), which must iterate because removing an item can push a user
-// under the threshold and vice versa.
+// under the threshold and vice versa. Trimming everything away is a
+// legal fixpoint: the result is then the empty dataset.
 func (ds *Dataset) Trim(minUserRatings, minItemRatings int) *Dataset {
 	cur := ds
 	for {
 		badUser := false
-		keepUsers := make([]UserID, 0, cur.NumUsers())
-		for _, u := range cur.users {
-			if len(cur.byUser[u]) >= minUserRatings {
-				keepUsers = append(keepUsers, u)
+		keep := make([]UserIdx, 0, cur.NumUsers())
+		for r := 0; r < cur.NumUsers(); r++ {
+			if int(cur.rowPtr[r+1]-cur.rowPtr[r]) >= minUserRatings {
+				keep = append(keep, UserIdx(r))
 			} else {
 				badUser = true
 			}
 		}
 		if badUser {
-			cur = cur.SubsetUsers(keepUsers)
+			cur = cur.filterCSR(keep, nil)
 			continue
 		}
-		badItem := make(map[ItemID]bool)
-		for i, c := range cur.byItem {
-			if c < minItemRatings {
-				badItem[i] = true
+		keepItem := make([]bool, cur.NumItems())
+		anyBad := false
+		for j, c := range cur.itemCount {
+			keepItem[j] = int(c) >= minItemRatings
+			if !keepItem[j] {
+				anyBad = true
 			}
 		}
-		if len(badItem) == 0 {
+		if !anyBad {
 			return cur
 		}
-		b := NewBuilder(cur.scale)
-		for _, u := range cur.users {
-			for _, e := range cur.byUser[u] {
-				if !badItem[e.Item] {
-					b.MustAdd(u, e.Item, e.Value)
-				}
-			}
-		}
-		cur = b.Build()
+		cur = cur.filterCSR(keep, keepItem)
 	}
 }
 
@@ -336,20 +584,23 @@ type Stats struct {
 	Ratings  int
 	Density  float64 // ratings / (users*items)
 	MeanRate float64 // average rating value
+	// Duplicates counts (user, item) pairs that were rated more than
+	// once in the construction input and collapsed under the
+	// last-write-wins policy (see Builder.Add). Derived datasets
+	// (SubsetUsers, Trim, binary round-trips) report 0.
+	Duplicates int
 }
 
 // Describe computes summary statistics.
 func (ds *Dataset) Describe() Stats {
-	st := Stats{Users: ds.NumUsers(), Items: ds.NumItems(), Ratings: ds.NumRatings()}
+	st := Stats{Users: ds.NumUsers(), Items: ds.NumItems(), Ratings: ds.NumRatings(), Duplicates: ds.dups}
 	if st.Users > 0 && st.Items > 0 {
 		st.Density = float64(st.Ratings) / (float64(st.Users) * float64(st.Items))
 	}
 	if st.Ratings > 0 {
 		sum := 0.0
-		for _, u := range ds.users {
-			for _, e := range ds.byUser[u] {
-				sum += e.Value
-			}
+		for _, v := range ds.vals {
+			sum += v
 		}
 		st.MeanRate = sum / float64(st.Ratings)
 	}
@@ -358,6 +609,10 @@ func (ds *Dataset) Describe() Stats {
 
 // String renders stats in a Table-3-like row.
 func (st Stats) String() string {
-	return fmt.Sprintf("users=%d items=%d ratings=%d density=%.4f mean=%.2f",
+	s := fmt.Sprintf("users=%d items=%d ratings=%d density=%.4f mean=%.2f",
 		st.Users, st.Items, st.Ratings, st.Density, st.MeanRate)
+	if st.Duplicates > 0 {
+		s += fmt.Sprintf(" dups=%d", st.Duplicates)
+	}
+	return s
 }

@@ -8,6 +8,19 @@ import (
 	"strings"
 )
 
+// Load reads a dataset from r, auto-detecting the container: a
+// stream starting with the binary magic is handed to ReadBinary,
+// anything else is parsed as CSV against the scale. Commands use this
+// so one -input flag accepts either artifact.
+func Load(r io.Reader, scale Scale) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && [4]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return LoadCSV(br, scale)
+}
+
 // LoadMovieLens parses the MovieLens "ratings.dat" format:
 //
 //	UserID::MovieID::Rating::Timestamp

@@ -9,6 +9,7 @@ import (
 	"groupform/internal/dataset"
 	"groupform/internal/gferr"
 	"groupform/internal/lp"
+	"groupform/internal/rank"
 	"groupform/internal/semantics"
 )
 
@@ -75,16 +76,16 @@ func BuildLM(ds *dataset.Dataset, l int, symmetryBreak bool) (*Formulation, erro
 	}
 	f.addAssignmentRows(p)
 	// LM cap rows: t_g - sum_j sc(i,j) y_{jg} + rmax u_{ig} <= rmax.
+	// Each user's score row materializes once from the CSR storage
+	// (f.items is the dataset's item order, i.e. the dense item-index
+	// order), instead of n*m*l individual rating probes.
 	for ui, u := range f.users {
+		row := rank.FullRanking(ds, u, 0)
 		for g := 0; g < l; g++ {
 			co := make([]float64, f.nVars)
 			co[f.tVar(g)] = 1
-			for ij, it := range f.items {
-				v, ok := ds.Rating(u, it)
-				if !ok {
-					v = 0
-				}
-				co[f.yVar(ij, g)] = -v
+			for ij := range f.items {
+				co[f.yVar(ij, g)] = -row[ij]
 			}
 			co[f.uVar(ui, g)] = rmax
 			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: co, Sense: lp.LE, RHS: rmax})
@@ -120,11 +121,9 @@ func BuildAV(ds *dataset.Dataset, l int, symmetryBreak bool) (*Formulation, erro
 	f.nVars = l + n*l + m*l + n*m*l
 	p := &lp.Problem{NumVars: f.nVars, Maximize: true, Objective: make([]float64, f.nVars)}
 	for ui, u := range f.users {
-		for ij, it := range f.items {
-			v, ok := ds.Rating(u, it)
-			if !ok {
-				v = 0
-			}
+		row := rank.FullRanking(ds, u, 0)
+		for ij := range f.items {
+			v := row[ij]
 			for g := 0; g < l; g++ {
 				p.Objective[f.zVar(ui, ij, g)] = v
 			}

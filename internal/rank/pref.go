@@ -69,14 +69,35 @@ func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefL
 	if k > ds.NumItems() {
 		return PrefList{}, gferr.BadConfigf("rank: K=%d exceeds item count %d", k, ds.NumItems())
 	}
-	entries := ds.UserRatings(u)
+	var scratch []dataset.Entry
+	return topKInto(ds, u, ds.UserRatings(u), k, padValue,
+		make([]dataset.ItemID, 0, k), make([]float64, 0, k), &scratch), nil
+}
+
+// topKInto computes u's top-k list from its rating row into the
+// provided capacity-k backing slices, reusing *scratch for the
+// intermediate ranking (grown as needed, never shrunk). Bounds (k >=
+// 1, k <= NumItems) are the caller's responsibility. This is the
+// allocation-free core shared by TopK and the bulk AllTopK path: with
+// arena-backed outputs and a per-shard scratch, building n lists
+// costs O(1) allocations instead of O(n).
+func topKInto(ds *dataset.Dataset, u dataset.UserID, entries []dataset.Entry, k int, padValue float64,
+	items []dataset.ItemID, scores []float64, scratch *[]dataset.Entry) PrefList {
+
+	need := len(entries)
+	if k > need {
+		need = k
+	}
+	if cap(*scratch) < need {
+		*scratch = make([]dataset.Entry, need)
+	}
 	var ranked []dataset.Entry
 	if k < len(entries)/2 {
 		// Partial selection: maintain the best k in a small insertion
 		// buffer, O(d*k) — the common case (k of 5 against dozens of
-		// ratings) and allocation-light, which matters because this
+		// ratings) and allocation-free, which matters because this
 		// runs once per user.
-		ranked = make([]dataset.Entry, 0, k)
+		ranked = (*scratch)[:0]
 		for _, e := range entries {
 			pos := len(ranked)
 			for pos > 0 && prefLess(e, ranked[pos-1]) {
@@ -95,35 +116,37 @@ func TopK(ds *dataset.Dataset, u dataset.UserID, k int, padValue float64) (PrefL
 			ranked[pos] = e
 		}
 	} else {
-		ranked = make([]dataset.Entry, len(entries))
+		ranked = (*scratch)[:len(entries)]
 		copy(ranked, entries)
 		sort.Sort(byPreference(ranked))
 		if len(ranked) > k {
 			ranked = ranked[:k]
 		}
 	}
-	p := PrefList{User: u, Items: make([]dataset.ItemID, 0, k), Scores: make([]float64, 0, k)}
 	for _, e := range ranked {
-		p.Items = append(p.Items, e.Item)
-		p.Scores = append(p.Scores, e.Value)
+		items = append(items, e.Item)
+		scores = append(scores, e.Value)
 	}
-	if len(p.Items) < k {
-		// Pad with unrated items (ascending ID) at padValue.
-		rated := make(map[dataset.ItemID]bool, len(entries))
-		for _, e := range entries {
-			rated[e.Item] = true
-		}
+	if len(items) < k {
+		// Pad with unrated items (ascending ID) at padValue, walking
+		// the sorted item table and the sorted row in lockstep — no
+		// membership map needed.
+		j := 0
 		for _, it := range ds.Items() {
-			if len(p.Items) == k {
+			if len(items) == k {
 				break
 			}
-			if !rated[it] {
-				p.Items = append(p.Items, it)
-				p.Scores = append(p.Scores, padValue)
+			for j < len(entries) && entries[j].Item < it {
+				j++
 			}
+			if j < len(entries) && entries[j].Item == it {
+				continue
+			}
+			items = append(items, it)
+			scores = append(scores, padValue)
 		}
 	}
-	return p, nil
+	return PrefList{User: u, Items: items, Scores: scores}
 }
 
 // AllTopK computes top-k preference lists for every user in the
@@ -136,14 +159,14 @@ func AllTopK(ds *dataset.Dataset, k int, padValue float64) ([]PrefList, error) {
 // AllTopKParallel is AllTopK with the per-user list construction
 // fanned out over a worker pool (workers <= 1 runs serially). Each
 // user's list is computed independently and stored at the user's
-// index, so the output is identical for every worker count. The
+// index, so the output is identical for every worker count. Rows are
+// read straight from the dataset's CSR storage by index — no map
+// access — and every list's Items/Scores are carved from two shared
+// flat arenas (one bounded-capacity sub-slice per user), so the whole
+// O(nk) preprocessing costs a constant number of allocations. The
 // context is checked every few thousand users per shard; a canceled
 // context returns an error wrapping gferr.ErrCanceled.
 func AllTopKParallel(ctx context.Context, ds *dataset.Dataset, k int, padValue float64, workers int) ([]PrefList, error) {
-	// TopK can today only fail on bounds that are global to the
-	// dataset, checked up front so no shard should ever observe an
-	// error; the per-shard collection below stays anyway, so a future
-	// per-user error path in TopK cannot be silently swallowed.
 	if k <= 0 {
 		return nil, gferr.BadConfigf("rank: K must be positive, got %d", k)
 	}
@@ -153,11 +176,20 @@ func AllTopKParallel(ctx context.Context, ds *dataset.Dataset, k int, padValue f
 	if err := gferr.Ctx(ctx); err != nil {
 		return nil, err
 	}
+	n := ds.NumUsers()
+	out := make([]PrefList, n)
+	// Arena backing for all n lists. Every list holds exactly k
+	// entries (k <= NumItems is enforced above, and topKInto pads to
+	// k), so user i owns the [i*k, (i+1)*k) window; the three-index
+	// sub-slices below make the capacity bound explicit so a
+	// downstream append can never bleed into a neighbor's window.
+	itemsArena := make([]dataset.ItemID, n*k)
+	scoresArena := make([]float64, n*k)
 	users := ds.Users()
-	out := make([]PrefList, len(users))
-	ranges := par.Ranges(len(users), workers)
+	ranges := par.Ranges(n, workers)
 	errs := make([]error, len(ranges))
 	par.Do(len(ranges), workers, func(s int) {
+		var scratch []dataset.Entry
 		for i := ranges[s][0]; i < ranges[s][1]; i++ {
 			if i&0x3FF == 0 {
 				if err := gferr.Ctx(ctx); err != nil {
@@ -165,12 +197,9 @@ func AllTopKParallel(ctx context.Context, ds *dataset.Dataset, k int, padValue f
 					return
 				}
 			}
-			p, err := TopK(ds, users[i], k, padValue)
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			out[i] = p
+			lo, hi := i*k, (i+1)*k
+			out[i] = topKInto(ds, users[i], ds.RowEntries(dataset.UserIdx(i)), k, padValue,
+				itemsArena[lo:lo:hi], scoresArena[lo:lo:hi], &scratch)
 		}
 	})
 	for _, err := range errs {
@@ -184,21 +213,23 @@ func AllTopKParallel(ctx context.Context, ds *dataset.Dataset, k int, padValue f
 // FullRanking returns the user's scores over every item in the
 // dataset's item order, with missing ratings mapped to missingValue.
 // The paper's baseline computes Kendall-Tau over the ranking of *all*
-// items ("it is not sufficient to consider only top-k items").
+// items ("it is not sufficient to consider only top-k items"). Since
+// the dataset's item order IS the dense item-index order, this is a
+// fill plus a direct CSR-row scatter.
 func FullRanking(ds *dataset.Dataset, u dataset.UserID, missingValue float64) []float64 {
-	items := ds.Items()
-	out := make([]float64, len(items))
-	entries := ds.UserRatings(u)
-	j := 0
-	for idx, it := range items {
-		for j < len(entries) && entries[j].Item < it {
-			j++
-		}
-		if j < len(entries) && entries[j].Item == it {
-			out[idx] = entries[j].Value
-		} else {
+	out := make([]float64, ds.NumItems())
+	if missingValue != 0 {
+		for idx := range out {
 			out[idx] = missingValue
 		}
+	}
+	r, ok := ds.UserIdxOf(u)
+	if !ok {
+		return out
+	}
+	cols, vals := ds.RowIdx(r)
+	for p, j := range cols {
+		out[j] = vals[p]
 	}
 	return out
 }

@@ -1,0 +1,131 @@
+package semantics
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// TestTopKDenseMatchesMap is the backend parity contract: the dense
+// index-space accumulation returns bit-identical lists to the legacy
+// map accumulation, for every semantics, weighting, missing policy,
+// worker count and group size (including sizes that cross the
+// parallel chunk grid).
+func TestTopKDenseMatchesMap(t *testing.T) {
+	ds, err := synth.YahooLike(2*topkChunk+137, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := ds.Users()
+	weights := map[dataset.UserID]float64{}
+	for i, u := range users {
+		if i%4 == 0 {
+			weights[u] = 0.25 * float64(1+i%7)
+		}
+	}
+	sizes := []int{1, 3, 100, topkChunk + 1, 2*topkChunk + 137}
+	for _, sem := range []Semantics{LM, AV} {
+		for _, missing := range []float64{0, 0.5} {
+			for _, wmap := range []map[dataset.UserID]float64{nil, weights} {
+				for _, workers := range []int{1, 4} {
+					for _, size := range sizes {
+						members := users[:size]
+						dense := Scorer{DS: ds, Missing: missing, Weights: wmap, Workers: workers}
+						legacy := dense
+						legacy.Accum = AccumMap
+						for _, k := range []int{1, 5, 40} {
+							di, dsc, err := dense.TopK(sem, members, k)
+							if err != nil {
+								t.Fatal(err)
+							}
+							mi, msc, err := legacy.TopK(sem, members, k)
+							if err != nil {
+								t.Fatal(err)
+							}
+							label := fmt.Sprintf("%s/missing=%v/weighted=%v/workers=%d/size=%d/k=%d",
+								sem, missing, wmap != nil, workers, size, k)
+							if !reflect.DeepEqual(di, mi) {
+								t.Fatalf("%s: items differ\ndense: %v\nmap:   %v", label, di, mi)
+							}
+							if !reflect.DeepEqual(dsc, msc) {
+								t.Fatalf("%s: scores differ\ndense: %v\nmap:   %v", label, dsc, msc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKDensePadding crosses the k > candidate-count boundary so
+// the dense pad path (untouched-slot scan) is compared against the
+// map pad path.
+func TestTopKDensePadding(t *testing.T) {
+	b := dataset.NewBuilder(dataset.DefaultScale)
+	b.MustAdd(1, 10, 5)
+	b.MustAdd(1, 30, 2)
+	b.MustAdd(2, 10, 3)
+	// Items 20, 40, 50 exist only through other users.
+	b.MustAdd(9, 20, 1)
+	b.MustAdd(9, 40, 1)
+	b.MustAdd(9, 50, 1)
+	ds := b.Build()
+	members := []dataset.UserID{1, 2}
+	for _, sem := range []Semantics{LM, AV} {
+		for _, missing := range []float64{0, 2} {
+			dense := Scorer{DS: ds, Missing: missing}
+			legacy := dense
+			legacy.Accum = AccumMap
+			for k := 1; k <= 5; k++ {
+				di, dsc, err := dense.TopK(sem, members, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mi, msc, err := legacy.TopK(sem, members, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(di, mi) || !reflect.DeepEqual(dsc, msc) {
+					t.Fatalf("%s/missing=%v/k=%d: dense (%v,%v) != map (%v,%v)",
+						sem, missing, k, di, dsc, mi, msc)
+				}
+				if len(di) != k {
+					t.Fatalf("list length %d, want %d", len(di), k)
+				}
+			}
+		}
+	}
+}
+
+// TestItemScoreIdxMatchesItemScore pins the index-space single-item
+// scorer to its ID-space adapter, including missing-rating probes.
+func TestItemScoreIdxMatchesItemScore(t *testing.T) {
+	ds, err := synth.MovieLensLike(300, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := ds.Users()
+	members := users[:25]
+	midx := make([]dataset.UserIdx, len(members))
+	for i, u := range members {
+		r, ok := ds.UserIdxOf(u)
+		if !ok {
+			t.Fatal("member must resolve")
+		}
+		midx[i] = r
+	}
+	sc := Scorer{DS: ds, Missing: 0.25, Weights: map[dataset.UserID]float64{members[0]: 2}}
+	for _, sem := range []Semantics{LM, AV} {
+		for j, it := range ds.Items() {
+			want := sc.ItemScore(sem, members, it)
+			got := sc.ItemScoreIdx(sem, midx, dataset.ItemIdx(j))
+			if got != want {
+				t.Fatalf("%s item %d: ItemScoreIdx %v != ItemScore %v", sem, it, got, want)
+			}
+		}
+	}
+}

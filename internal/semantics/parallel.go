@@ -1,11 +1,26 @@
-// Parallel candidate accumulation for Scorer.TopK. One pass over the
-// members' ratings accumulates every candidate item's min, weighted
-// sum and rater count, from which both semantics follow in O(total
-// ratings) — crucial for the merged l-th group of the greedy
-// algorithms, whose member count can approach n. For large groups the
-// pass is fanned out over a worker pool on a fixed chunk grid and the
-// chunk partials are merged in chunk order; see Scorer.Workers for
-// the determinism contract.
+// Candidate accumulation for Scorer.TopK. One pass over the members'
+// ratings accumulates every candidate item's min, weighted sum and
+// rater count, from which both semantics follow in O(total ratings) —
+// crucial for the merged l-th group of the greedy algorithms, whose
+// member count can approach n. For large groups the pass is fanned
+// out over a worker pool on a fixed chunk grid and the chunk partials
+// are merged in chunk order; see Scorer.Workers for the determinism
+// contract.
+//
+// Two backends execute the same fold:
+//
+//   - The dense index-space backend (default, AccumDense): pooled
+//     flat arrays keyed by dataset.ItemIdx, fed directly from CSR
+//     rows. No hashing, no per-item pointer chasing; the touched list
+//     keeps reset cost proportional to the candidate count, not the
+//     catalog size.
+//   - The legacy map backend (AccumMap): map[ItemID]*acc, retained as
+//     the reference implementation the dense path is parity-tested
+//     against.
+//
+// Per-item arithmetic is literally the same operation sequence in
+// both (seed on first touch, fold afterwards, chunk-ordered merges),
+// so their outputs are bit-identical.
 package semantics
 
 import (
@@ -72,6 +87,117 @@ func (sc Scorer) accumulateInto(cand map[dataset.ItemID]*acc, members []dataset.
 // integer-exact; the AV sums reassociate (chunk-tree instead of flat
 // left fold), which is bit-exact for exactly-representable weighted
 // ratings and deterministic for every worker count regardless.
+// denseAcc is the index-space accumulator: one slot per ItemIdx in
+// four parallel flat arrays, plus the first-touch order of the slots
+// actually used. count[j] == 0 marks an untouched slot, so only
+// counts need clearing on release; min/wsum/wraters are overwritten
+// by the seeding write of the next use.
+type denseAcc struct {
+	min     []float64
+	wsum    []float64
+	wraters []float64
+	count   []int32
+	touched []dataset.ItemIdx
+}
+
+// denseAccPool recycles accumulators across TopK calls — the dense
+// counterpart of accMapPool, and the reason repeated formation runs
+// (benchmark iterations, experiment sweeps, a serving process) pay no
+// per-call array allocation once warm.
+var denseAccPool = sync.Pool{New: func() any { return new(denseAcc) }}
+
+// acquireDense returns a cleared accumulator with at least m slots.
+func acquireDense(m int) *denseAcc {
+	da := denseAccPool.Get().(*denseAcc)
+	if cap(da.min) < m {
+		da.min = make([]float64, m)
+		da.wsum = make([]float64, m)
+		da.wraters = make([]float64, m)
+		da.count = make([]int32, m)
+	}
+	da.min = da.min[:m]
+	da.wsum = da.wsum[:m]
+	da.wraters = da.wraters[:m]
+	da.count = da.count[:m]
+	return da
+}
+
+// release clears the touched slots and returns the accumulator to the
+// pool. Every count mutation goes through the touched list (including
+// the listed-marker trick in PseudoUserTopK), so this restores the
+// all-zero-counts invariant acquireDense relies on.
+func (da *denseAcc) release() {
+	for _, j := range da.touched {
+		da.count[j] = 0
+	}
+	da.touched = da.touched[:0]
+	denseAccPool.Put(da)
+}
+
+// accumulateIdx folds the members' ratings into da in member order,
+// reading CSR rows by index. Per item this executes exactly the
+// seed/fold sequence of accumulateInto, so the two backends agree
+// bit-for-bit; members unknown to the dataset contribute nothing,
+// like their nil UserRatings row always did.
+func (sc Scorer) accumulateIdx(da *denseAcc, members []dataset.UserID) {
+	ds := sc.DS
+	for _, u := range members {
+		r, ok := ds.UserIdxOf(u)
+		if !ok {
+			continue
+		}
+		w := sc.Weight(u)
+		cols, vals := ds.RowIdx(r)
+		for p, j := range cols {
+			v := vals[p]
+			if da.count[j] == 0 {
+				da.min[j], da.wsum[j], da.wraters[j], da.count[j] = v, w*v, w, 1
+				da.touched = append(da.touched, j)
+			} else {
+				if v < da.min[j] {
+					da.min[j] = v
+				}
+				da.wsum[j] += w * v
+				da.count[j]++
+				da.wraters[j] += w
+			}
+		}
+	}
+}
+
+// accumulateIdxParallel is accumulateIdx fanned out on the same fixed
+// topkChunk grid as the map backend, with chunk partials merged in
+// chunk order (adopt chunk 0, fold later chunks element-wise — the
+// identical merge arithmetic, so the determinism contract of
+// Scorer.Workers carries over unchanged).
+func (sc Scorer) accumulateIdxParallel(members []dataset.UserID, m int) *denseAcc {
+	chunks := par.Chunks(len(members), topkChunk)
+	partials := make([]*denseAcc, len(chunks))
+	par.Do(len(chunks), sc.Workers, func(c int) {
+		da := acquireDense(m)
+		sc.accumulateIdx(da, members[chunks[c][0]:chunks[c][1]])
+		partials[c] = da
+	})
+	out := partials[0]
+	for _, da := range partials[1:] {
+		for _, j := range da.touched {
+			if out.count[j] == 0 {
+				out.min[j], out.wsum[j], out.wraters[j], out.count[j] = da.min[j], da.wsum[j], da.wraters[j], da.count[j]
+				out.touched = append(out.touched, j)
+			} else {
+				if da.min[j] < out.min[j] {
+					out.min[j] = da.min[j]
+				}
+				out.wsum[j] += da.wsum[j]
+				out.count[j] += da.count[j]
+				out.wraters[j] += da.wraters[j]
+			}
+		}
+		da.release()
+	}
+	return out
+}
+
 func (sc Scorer) accumulateParallel(members []dataset.UserID) map[dataset.ItemID]*acc {
 	chunks := par.Chunks(len(members), topkChunk)
 	partials := make([]map[dataset.ItemID]*acc, len(chunks))

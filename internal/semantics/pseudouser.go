@@ -2,7 +2,6 @@ package semantics
 
 import (
 	"fmt"
-	"sort"
 
 	"groupform/internal/dataset"
 )
@@ -19,6 +18,9 @@ import (
 // the two diverge — the mean ignores non-raters while the AV sum
 // (with Missing 0) penalizes items few members rated. MinRaters
 // filters items supported by too few members (1 by default).
+//
+// The profile accumulates in the same pooled dense index-space arrays
+// as Scorer.TopK (wsum/wraters/count; min is unused here).
 func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]dataset.ItemID, []float64, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("semantics: k must be positive, got %d", k)
@@ -32,42 +34,17 @@ func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]d
 	if minRaters <= 0 {
 		minRaters = 1
 	}
-	type acc struct {
-		wsum  float64
-		w     float64
-		count int
-	}
-	profile := make(map[dataset.ItemID]*acc)
-	for _, u := range members {
-		w := sc.Weight(u)
-		for _, e := range sc.DS.UserRatings(u) {
-			a, ok := profile[e.Item]
-			if !ok {
-				profile[e.Item] = &acc{wsum: w * e.Value, w: w, count: 1}
-				continue
-			}
-			a.wsum += w * e.Value
-			a.w += w
-			a.count++
-		}
-	}
-	type scored struct {
-		item  dataset.ItemID
-		score float64
-	}
-	all := make([]scored, 0, len(profile))
-	for it, a := range profile {
-		if a.count < minRaters || a.w == 0 {
+	m := sc.DS.NumItems()
+	da := acquireDense(m)
+	sc.accumulateIdx(da, members)
+	all := make([]scoredItem, 0, len(da.touched))
+	for _, j := range da.touched {
+		if int(da.count[j]) < minRaters || da.wraters[j] == 0 {
 			continue
 		}
-		all = append(all, scored{it, a.wsum / a.w})
+		all = append(all, scoredItem{sc.DS.ItemAt(j), da.wsum[j] / da.wraters[j]})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].score != all[j].score {
-			return all[i].score > all[j].score
-		}
-		return all[i].item < all[j].item
-	})
+	sortScored(all)
 	if len(all) > k {
 		all = all[:k]
 	}
@@ -78,19 +55,24 @@ func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]d
 		scores = append(scores, s.score)
 	}
 	if len(items) < k {
-		listed := make(map[dataset.ItemID]bool, len(items))
+		// Mark the listed items in the count array (negative counts
+		// never occur otherwise and are cleared by release via the
+		// touched list), then pad with every other item — including
+		// rated-but-unlisted ones — at the Missing score, in ascending
+		// item order, matching the historical behavior.
 		for _, it := range items {
-			listed[it] = true
-		}
-		for _, it := range sc.DS.Items() {
-			if len(items) == k {
-				break
+			if j, ok := sc.DS.ItemIdxOf(it); ok {
+				da.count[j] = -1
 			}
-			if !listed[it] {
-				items = append(items, it)
+		}
+		ids := sc.DS.Items()
+		for j := 0; j < m && len(items) < k; j++ {
+			if da.count[j] != -1 {
+				items = append(items, ids[j])
 				scores = append(scores, sc.Missing)
 			}
 		}
 	}
+	da.release()
 	return items, scores, nil
 }

@@ -124,6 +124,20 @@ func (a Aggregation) Aggregate(scores []float64) float64 {
 	return 0
 }
 
+// Accum selects the accumulation backend Scorer.TopK uses; see the
+// file comment in parallel.go. The zero value is the dense
+// index-space backend.
+type Accum int
+
+const (
+	// AccumDense accumulates into pooled flat arrays keyed by
+	// dataset.ItemIdx — the default, map-free hot path.
+	AccumDense Accum = iota
+	// AccumMap accumulates into map[ItemID]*acc — the legacy backend,
+	// retained as the reference implementation for parity tests.
+	AccumMap
+)
+
 // Scorer evaluates group scores over a dataset. Missing is the value
 // imputed for an unrated (user, item) pair; the paper assumes a
 // complete matrix (observed or predicted), so Missing only matters on
@@ -133,6 +147,10 @@ func (a Aggregation) Aggregate(scores []float64) float64 {
 type Scorer struct {
 	DS      *dataset.Dataset
 	Missing float64
+	// Accum selects the candidate-accumulation backend for TopK; the
+	// zero value is the dense index-space path. Both backends produce
+	// bit-identical lists; AccumMap exists for parity testing.
+	Accum Accum
 	// Weights optionally assigns per-user importance under AV
 	// semantics (the paper's "forming groups where the individual
 	// members are not treated equally" future-work direction): the
@@ -163,13 +181,53 @@ func (sc Scorer) Weight(u dataset.UserID) float64 {
 	return 1
 }
 
-// ItemScore returns sc(g, i) for the given members under sem.
+// ItemScore returns sc(g, i) for the given members under sem. The
+// item index is resolved once; each member probe is then a single
+// index lookup plus a binary search over that member's CSR row.
+// Members or items unknown to the dataset contribute Missing.
 func (sc Scorer) ItemScore(sem Semantics, members []dataset.UserID, item dataset.ItemID) float64 {
+	j, okItem := sc.DS.ItemIdxOf(item)
+	memberScore := func(u dataset.UserID) float64 {
+		if okItem {
+			if r, ok := sc.DS.UserIdxOf(u); ok {
+				if v, ok := sc.DS.RatingIdx(r, j); ok {
+					return v
+				}
+			}
+		}
+		return sc.Missing
+	}
 	switch sem {
 	case LM:
 		lo := math.Inf(1)
 		for _, u := range members {
-			v, ok := sc.DS.Rating(u, item)
+			if v := memberScore(u); v < lo {
+				lo = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			return sc.Missing
+		}
+		return lo
+	case AV:
+		s := 0.0
+		for _, u := range members {
+			s += sc.Weight(u) * memberScore(u)
+		}
+		return s
+	}
+	panic(fmt.Sprintf("semantics: invalid semantics %d", int(sem)))
+}
+
+// ItemScoreIdx is ItemScore in index space: members and the item are
+// dense indices into sc.DS, skipping every ID lookup. Members who did
+// not rate the item contribute Missing, exactly like ItemScore.
+func (sc Scorer) ItemScoreIdx(sem Semantics, members []dataset.UserIdx, item dataset.ItemIdx) float64 {
+	switch sem {
+	case LM:
+		lo := math.Inf(1)
+		for _, r := range members {
+			v, ok := sc.DS.RatingIdx(r, item)
 			if !ok {
 				v = sc.Missing
 			}
@@ -183,12 +241,12 @@ func (sc Scorer) ItemScore(sem Semantics, members []dataset.UserID, item dataset
 		return lo
 	case AV:
 		s := 0.0
-		for _, u := range members {
-			v, ok := sc.DS.Rating(u, item)
+		for _, r := range members {
+			v, ok := sc.DS.RatingIdx(r, item)
 			if !ok {
 				v = sc.Missing
 			}
-			s += sc.Weight(u) * v
+			s += sc.Weight(sc.DS.UserAt(r)) * v
 		}
 		return s
 	}
@@ -216,6 +274,89 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 	for _, u := range members {
 		totalW += sc.Weight(u)
 	}
+	if sc.Accum == AccumMap {
+		items, scores := sc.topKMap(sem, members, k, totalW)
+		return items, scores, nil
+	}
+	items, scores := sc.topKDense(sem, members, k, totalW)
+	return items, scores, nil
+}
+
+// scoredItem pairs a candidate with its group score for the top-k
+// selection sort.
+type scoredItem struct {
+	item  dataset.ItemID
+	score float64
+}
+
+// sortScored orders candidates by score descending, item ascending —
+// a total order, so the output is the same whatever order candidates
+// were enumerated in.
+func sortScored(all []scoredItem) {
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].item < all[b].item
+	})
+}
+
+// topKDense is the index-space TopK backend: candidates accumulate in
+// pooled dense arrays and padding reads the untouched-slot markers
+// directly — no map from the first rating probe to the returned list.
+func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, totalW float64) ([]dataset.ItemID, []float64) {
+	m := sc.DS.NumItems()
+	var da *denseAcc
+	if sc.Workers >= 2 && len(members) > topkChunk {
+		da = sc.accumulateIdxParallel(members, m)
+	} else {
+		da = acquireDense(m)
+		sc.accumulateIdx(da, members)
+	}
+	all := make([]scoredItem, 0, len(da.touched))
+	for _, j := range da.touched {
+		var score float64
+		switch sem {
+		case LM:
+			score = da.min[j]
+			if int(da.count[j]) < len(members) && sc.Missing < score {
+				score = sc.Missing
+			}
+		case AV:
+			score = da.wsum[j] + (totalW-da.wraters[j])*sc.Missing
+		}
+		all = append(all, scoredItem{sc.DS.ItemAt(j), score})
+	}
+	sortScored(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	items := make([]dataset.ItemID, 0, k)
+	scores := make([]float64, 0, k)
+	for _, s := range all {
+		items = append(items, s.item)
+		scores = append(scores, s.score)
+	}
+	if len(items) < k {
+		imputed := sc.Missing
+		if sem == AV {
+			imputed = sc.Missing * totalW
+		}
+		ids := sc.DS.Items()
+		for j := 0; j < m && len(items) < k; j++ {
+			if da.count[j] == 0 {
+				items = append(items, ids[j])
+				scores = append(scores, imputed)
+			}
+		}
+	}
+	da.release()
+	return items, scores
+}
+
+// topKMap is the legacy map-accumulation backend, kept bit-compatible
+// with topKDense as the parity reference.
+func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW float64) ([]dataset.ItemID, []float64) {
 	var cand map[dataset.ItemID]*acc
 	if sc.Workers >= 2 && len(members) > topkChunk {
 		cand = sc.accumulateParallel(members)
@@ -223,11 +364,7 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 		cand = make(map[dataset.ItemID]*acc)
 		sc.accumulateInto(cand, members)
 	}
-	type scored struct {
-		item  dataset.ItemID
-		score float64
-	}
-	all := make([]scored, 0, len(cand))
+	all := make([]scoredItem, 0, len(cand))
 	for it, a := range cand {
 		var score float64
 		switch sem {
@@ -239,14 +376,9 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 		case AV:
 			score = a.wsum + (totalW-a.wraters)*sc.Missing
 		}
-		all = append(all, scored{it, score})
+		all = append(all, scoredItem{it, score})
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].score != all[b].score {
-			return all[a].score > all[b].score
-		}
-		return all[a].item < all[b].item
-	})
+	sortScored(all)
 	if len(all) > k {
 		all = all[:k]
 	}
@@ -271,7 +403,7 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 			}
 		}
 	}
-	return items, scores, nil
+	return items, scores
 }
 
 // Satisfaction computes gs(I_g^k): the group's top-k list under sem is

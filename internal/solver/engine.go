@@ -17,6 +17,10 @@ import (
 // between calls, so repeated Engine.Form runs with different L,
 // semantics or aggregation skip straight to bucketizing — the
 // serving-path win when one catalog answers many formation requests.
+// Cached lists are arena-backed (two flat arrays per cache slot, see
+// rank.AllTopKParallel), so a warm Engine holds the dataset's CSR
+// arrays plus one 2*n*k-element arena per (K, Missing) key and almost
+// nothing else.
 //
 // An Engine is safe for concurrent use. Cached preference lists are
 // shared read-only between concurrent solves (core.FormWithPrefs
