@@ -12,6 +12,8 @@ package groupform
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"groupform/internal/baseline"
@@ -21,6 +23,7 @@ import (
 	"groupform/internal/ilp"
 	"groupform/internal/opt"
 	"groupform/internal/rank"
+	"groupform/internal/selection"
 	"groupform/internal/semantics"
 	"groupform/internal/solver"
 	"groupform/internal/synth"
@@ -374,5 +377,76 @@ func BenchmarkEngineForm(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineFormSteadyState is the tentpole's serving-path
+// benchmark: one bound Engine, one caller-owned Scratch, warm
+// preference lists — the per-request cost of a zero-allocation
+// steady-state solve at the acceptance scale (n = 10k). allocs/op is
+// the headline column and must read 0; TestEngineFormIntoSteadyState-
+// ZeroAlloc asserts the same bar in the test suite.
+func BenchmarkEngineFormSteadyState(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+	s := core.NewScratch()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm cache, arenas, intern table
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKSelect pits the k-bounded selection kernel against the
+// historical full sort + truncate on the pipeline's candidate shape,
+// at m candidates and list length k. The kernel's win is the point of
+// internal/selection: one comparison per rejected candidate instead
+// of O(m log m) swap traffic.
+func BenchmarkTopKSelect(b *testing.B) {
+	type cand struct {
+		item  dataset.ItemID
+		score float64
+	}
+	less := func(x, y cand) bool {
+		if x.score != y.score {
+			return x.score > y.score
+		}
+		return x.item < y.item
+	}
+	for _, m := range []int{1_000, 100_000} {
+		base := make([]cand, m)
+		rng := rand.New(rand.NewSource(int64(m)))
+		for i := range base {
+			base[i] = cand{item: dataset.ItemID(i), score: float64(rng.Intn(11))}
+		}
+		work := make([]cand, m)
+		for _, k := range []int{5, 50} {
+			b.Run(fmt.Sprintf("kernel/m=%d/k=%d", m, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(work, base)
+					selection.TopK(work, k, less)
+				}
+			})
+			b.Run(fmt.Sprintf("fullsort/m=%d/k=%d", m, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(work, base)
+					sort.Slice(work, func(x, y int) bool { return less(work[x], work[y]) })
+				}
+			})
+		}
 	}
 }

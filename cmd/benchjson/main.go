@@ -1,15 +1,24 @@
 // Command benchjson converts `go test -bench` text output into the
-// structured JSON the CI perf-trajectory job uploads (BENCH_<n>.json).
+// structured JSON the CI perf-trajectory job uploads (BENCH_<n>.json),
+// and diffs two such files as the CI bench-regression guard.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'GRD|Engine|TopK' -benchmem -benchtime 1x . \
-//	    | benchjson -out BENCH_3.json
-//	benchjson -in bench.txt -out BENCH_3.json
+//	    | benchjson -out BENCH_4.json
+//	benchjson -in bench.txt -out BENCH_4.json
+//	benchjson -compare bench/BENCH_3.json BENCH_4.json
+//
+// In -compare mode the two positional arguments are the committed
+// baseline and the fresh run; the exit status is 1 when any benchmark
+// present in both regresses by more than -ns-threshold in ns/op
+// (default 15%) or by any amount in allocs/op (allocation counts are
+// deterministic, so the budget is zero).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +26,10 @@ import (
 
 	"groupform/internal/benchparse"
 )
+
+// errRegression marks a guard failure (as opposed to a usage or I/O
+// error); both exit 1, but tests distinguish them.
+var errRegression = errors.New("benchmark regression")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -29,11 +42,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		in  = fs.String("in", "", "benchmark text input (default stdin)")
-		out = fs.String("out", "", "JSON output path (default stdout)")
+		in          = fs.String("in", "", "benchmark text input (default stdin)")
+		out         = fs.String("out", "", "JSON output path (default stdout)")
+		compare     = fs.Bool("compare", false, "compare two BENCH json files: -compare old.json new.json")
+		nsThreshold = fs.Float64("ns-threshold", benchparse.DefaultNsThreshold, "relative ns/op regression budget in -compare mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *nsThreshold, stdout)
 	}
 	r := stdin
 	if *in != "" {
@@ -61,4 +82,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = stdout.Write(data)
 	return err
+}
+
+// runCompare loads the two reports, prints the delta table, and
+// returns errRegression when the guard trips.
+func runCompare(oldPath, newPath string, nsThreshold float64, stdout io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	c := benchparse.Compare(oldRep, newRep, nsThreshold)
+	if len(c.Deltas) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	c.WriteText(stdout)
+	if regs := c.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%w: %d of %d benchmarks regressed (>%g%% ns/op or any allocs/op increase) vs %s",
+			errRegression, len(regs), len(c.Deltas), nsThreshold*100, oldPath)
+	}
+	fmt.Fprintf(stdout, "OK: %d benchmarks within budget vs %s\n", len(c.Deltas), oldPath)
+	return nil
+}
+
+func loadReport(path string) (*benchparse.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &benchparse.Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return rep, nil
 }

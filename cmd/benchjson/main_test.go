@@ -58,3 +58,64 @@ func TestRunRejectsEmpty(t *testing.T) {
 		t.Fatal("want error for input without benchmark lines")
 	}
 }
+
+const oldSample = `pkg: groupform
+BenchmarkGRD/LM-MIN-8  5  1200 ns/op  64 B/op  2 allocs/op
+PASS
+`
+
+const regressedSample = `pkg: groupform
+BenchmarkGRD/LM-MIN-8  5  2400 ns/op  64 B/op  2 allocs/op
+PASS
+`
+
+// writeJSON converts bench text to a BENCH json file via run itself.
+func writeJSON(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	in := filepath.Join(dir, name+".txt")
+	out := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(in, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareModeOK(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := writeJSON(t, dir, "old", oldSample)
+	newJSON := writeJSON(t, dir, "new", sample)
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldJSON, newJSON}, nil, &out); err != nil {
+		t.Fatalf("identical runs must pass the guard: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK:") {
+		t.Fatalf("missing OK summary:\n%s", out.String())
+	}
+}
+
+func TestCompareModeRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := writeJSON(t, dir, "old", oldSample)
+	newJSON := writeJSON(t, dir, "new", regressedSample)
+	var out bytes.Buffer
+	err := run([]string{"-compare", oldJSON, newJSON}, nil, &out)
+	if err == nil {
+		t.Fatalf("2x ns/op must trip the guard\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regress") {
+		t.Fatalf("err = %v, want a regression message", err)
+	}
+	// A wider threshold admits the same delta.
+	if err := run([]string{"-compare", "-ns-threshold", "1.5", oldJSON, newJSON}, nil, &bytes.Buffer{}); err != nil {
+		t.Fatalf("threshold 150%% must pass: %v", err)
+	}
+}
+
+func TestCompareModeUsage(t *testing.T) {
+	if err := run([]string{"-compare", "only-one.json"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("one argument must be a usage error")
+	}
+}

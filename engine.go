@@ -1,6 +1,9 @@
 package groupform
 
-import "groupform/internal/solver"
+import (
+	"groupform/internal/core"
+	"groupform/internal/solver"
+)
 
 // Engine binds a Dataset once and amortizes the expensive shared
 // per-dataset work across solves: the O(nk) preference-list
@@ -25,3 +28,13 @@ type EngineStats = solver.EngineStats
 
 // NewEngine binds ds to a new Engine. The dataset must be non-empty.
 func NewEngine(ds *Dataset) (*Engine, error) { return solver.NewEngine(ds) }
+
+// Scratch owns the reusable buffers of Engine.FormInto's zero-alloc
+// serving path. A Scratch is single-goroutine state: keep one per
+// worker, reuse it across requests, and treat each returned Result as
+// borrowed from the scratch — valid only until its next use. See
+// docs/API.md ("Into variants and buffer ownership").
+type Scratch = core.Scratch
+
+// NewScratch returns an empty Scratch ready for Engine.FormInto.
+func NewScratch() *Scratch { return core.NewScratch() }

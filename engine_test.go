@@ -233,3 +233,70 @@ func TestNewEngineValidates(t *testing.T) {
 		t.Errorf("NewEngine(nil): err = %v, want ErrBadConfig", err)
 	}
 }
+
+// TestEngineFormIntoMatchesForm: the scratch-owned serving path forms
+// byte-identical groups to Form across the semantics/aggregation
+// sweep, with one deliberately dirty Scratch reused for every cell.
+func TestEngineFormIntoMatchesForm(t *testing.T) {
+	ctx := context.Background()
+	ds := solverTestDataset(t)
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	for _, sem := range []Semantics{LM, AV} {
+		for _, agg := range []Aggregation{Max, Min, Sum, WeightedSumLog} {
+			for _, l := range []int{3, 1000} { // heap branch and split branch
+				cfg := Config{K: 3, L: l, Semantics: sem, Aggregation: agg}
+				want, err := eng.Form(ctx, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.FormInto(ctx, cfg, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v-%v L=%d: FormInto result differs from Form", sem, agg, l)
+				}
+			}
+		}
+	}
+	if _, err := eng.FormInto(ctx, Config{K: 3, L: 3, Semantics: LM, Aggregation: Min}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("FormInto(nil scratch): err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestEngineFormIntoSteadyStateZeroAlloc pins the tentpole's
+// acceptance bar: a warm serial Engine.FormInto at n=10k performs zero
+// allocations per solve.
+func TestEngineFormIntoSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-user dataset")
+	}
+	ds, err := YahooLike(10_000, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 5, L: 10, Semantics: LM, Aggregation: Min}
+	s := NewScratch()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm the pref cache, arenas and intern table
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Engine.FormInto allocated %v times per solve, want 0", allocs)
+	}
+}

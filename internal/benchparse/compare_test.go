@@ -1,0 +1,119 @@
+package benchparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rep(benches ...Benchmark) *Report { return &Report{Benchmarks: benches} }
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 5), bench("BenchmarkB", 2000, 0))
+	new := rep(bench("BenchmarkA", 1140, 5), bench("BenchmarkB", 1500, 0))
+	c := Compare(old, new, 0.15)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(c.Deltas))
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none (+14%% ns is inside the 15%% budget)", regs)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 5))
+	new := rep(bench("BenchmarkA", 1151, 5))
+	c := Compare(old, new, 0.15)
+	regs := c.Regressions()
+	if len(regs) != 1 || !regs[0].NsRegressed || regs[0].AllocsRegressed {
+		t.Fatalf("regressions = %+v, want one ns/op regression", regs)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	// Any allocs/op increase trips the guard, even with faster ns/op.
+	old := rep(bench("BenchmarkA", 1000, 0))
+	new := rep(bench("BenchmarkA", 500, 1))
+	c := Compare(old, new, 0.15)
+	regs := c.Regressions()
+	if len(regs) != 1 || !regs[0].AllocsRegressed || regs[0].NsRegressed {
+		t.Fatalf("regressions = %+v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareDisjointSets(t *testing.T) {
+	old := rep(bench("BenchmarkGone", 1000, 0), bench("BenchmarkA", 1000, 0))
+	new := rep(bench("BenchmarkA", 1000, 0), bench("BenchmarkNew", 10, 99))
+	c := Compare(old, new, 0)
+	if len(c.Deltas) != 1 || c.Deltas[0].Name != "BenchmarkA" {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", c.OnlyNew)
+	}
+	// Unmatched benchmarks never regress on their own.
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none", regs)
+	}
+}
+
+func TestCompareMatchesAcrossProcs(t *testing.T) {
+	// A 1-CPU baseline must still match a run from a multi-core
+	// machine whose lines carry a -GOMAXPROCS suffix; keying on Procs
+	// would leave the guard with zero common benchmarks.
+	old := rep(Benchmark{Name: "BenchmarkA", Procs: 1, NsPerOp: 1000})
+	new := rep(Benchmark{Name: "BenchmarkA", Procs: 4, NsPerOp: 1050})
+	c := Compare(old, new, 0.15)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want the procs variants matched by name", c.Deltas)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none", regs)
+	}
+}
+
+func TestCompareDefaultThreshold(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 0))
+	new := rep(bench("BenchmarkA", 1100, 0))
+	if regs := Compare(old, new, 0).Regressions(); len(regs) != 0 {
+		t.Fatalf("nsThreshold<=0 must select the %v default; got regressions %+v", DefaultNsThreshold, regs)
+	}
+}
+
+func TestWriteTextFlagsRegressions(t *testing.T) {
+	old := rep(bench("BenchmarkA", 1000, 0), bench("BenchmarkB", 1000, 0))
+	new := rep(bench("BenchmarkA", 2000, 1), bench("BenchmarkB", 990, 0))
+	var buf bytes.Buffer
+	Compare(old, new, 0.15).WriteText(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "REGRESSION(ns/op,allocs/op)") {
+		t.Fatalf("missing combined regression flag in:\n%s", text)
+	}
+	if strings.Count(text, "REGRESSION") != 1 {
+		t.Fatalf("BenchmarkB must not be flagged:\n%s", text)
+	}
+}
+
+func TestCompareCollapsesCountRepeats(t *testing.T) {
+	// -count 3 output: one noisy spike among the repeats must not trip
+	// the guard — the per-benchmark minimum is compared.
+	old := rep(bench("BenchmarkA", 1000, 5))
+	new := rep(bench("BenchmarkA", 1400, 5), bench("BenchmarkA", 1010, 5), bench("BenchmarkA", 1200, 5))
+	c := Compare(old, new, 0.15)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want the repeats collapsed to one", c.Deltas)
+	}
+	if c.Deltas[0].New.NsPerOp != 1010 {
+		t.Fatalf("collapsed ns = %v, want the 1010 minimum", c.Deltas[0].New.NsPerOp)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none", regs)
+	}
+}

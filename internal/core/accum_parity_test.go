@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"groupform/internal/dataset"
+	"groupform/internal/rank"
 	"groupform/internal/semantics"
 	"groupform/internal/synth"
 )
@@ -13,9 +14,12 @@ import (
 // TestFormAccumGoldenParity is the tentpole's golden parity gate: the
 // index-space (dense) scoring path and the legacy ID-space (map)
 // scoring path must produce byte-identical Results for every
-// semantics, aggregation and worker count, on both Form branches.
-// Config.accum is the package-private backend switch; production
-// configs always carry the dense zero value.
+// semantics, aggregation and worker count, on both Form branches —
+// and so must the scratch-owned FormInto serving path, with one
+// Scratch deliberately reused (dirty) across every cell of the sweep,
+// under both accumulation backends. Config.accum is the
+// package-private backend switch; production configs always carry the
+// dense zero value.
 func TestFormAccumGoldenParity(t *testing.T) {
 	sparse, err := synth.YahooLike(2500, 300, 91)
 	if err != nil {
@@ -26,11 +30,13 @@ func TestFormAccumGoldenParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	corpora := map[string]*dataset.Dataset{"sparse": sparse, "clustered": clustered}
+	scratch := NewScratch() // shared across the whole sweep on purpose
 	for name, ds := range corpora {
 		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
 			for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
 				for _, workers := range []int{1, 8} {
 					cfg := Config{K: 4, L: 10, Semantics: sem, Aggregation: agg, Workers: workers}
+					label := fmt.Sprintf("%s/%s-%s/workers=%d", name, sem, agg, workers)
 					dense, err := Form(context.Background(), ds, cfg)
 					if err != nil {
 						t.Fatal(err)
@@ -41,7 +47,18 @@ func TestFormAccumGoldenParity(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					requireSameResult(t, fmt.Sprintf("%s/%s-%s/workers=%d", name, sem, agg, workers), legacy, dense)
+					requireSameResult(t, label, legacy, dense)
+					for _, c := range []Config{cfg, legacyCfg} {
+						prefs, err := rank.AllTopK(ds, c.K, c.Missing)
+						if err != nil {
+							t.Fatal(err)
+						}
+						into, err := FormInto(context.Background(), ds, c, prefs, scratch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireSameResult(t, label+"/scratch", dense, into)
+					}
 				}
 			}
 		}

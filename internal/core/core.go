@@ -42,7 +42,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 
 	"groupform/internal/dataset"
 	"groupform/internal/gferr"
@@ -153,9 +153,24 @@ func (c Config) weight(u dataset.UserID) float64 {
 	return 1
 }
 
+// grdNames precomputes the algorithm names of every valid
+// (semantics, aggregation) pair, keeping AlgorithmName off fmt on the
+// zero-allocation steady-state path.
+var grdNames = func() (t [2][5]string) {
+	for s := range t {
+		for a := range t[s] {
+			t[s][a] = fmt.Sprintf("GRD-%s-%s", semantics.Semantics(s), semantics.Aggregation(a))
+		}
+	}
+	return
+}()
+
 // AlgorithmName returns the paper's name for the greedy algorithm this
 // configuration selects, e.g. "GRD-LM-MIN".
 func (c Config) AlgorithmName() string {
+	if c.Semantics.Valid() && c.Aggregation.Valid() {
+		return grdNames[c.Semantics][c.Aggregation]
+	}
 	return fmt.Sprintf("GRD-%s-%s", c.Semantics, c.Aggregation)
 }
 
@@ -217,8 +232,40 @@ func Form(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error)
 // internally. Supplied lists are treated as shared and read-only —
 // the fold paths copy score positions instead of aliasing them — so
 // an Engine can serve many concurrent Forms from one cached slice;
-// the formed groups are byte-identical either way.
+// the formed groups are byte-identical either way. The run borrows a
+// pooled Scratch for its transient state, but everything reachable
+// from the returned Result is freshly allocated and caller-owned.
 func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*Result, error) {
+	s := formScratchPool.Get().(*Scratch)
+	res, err := s.form(ctx, ds, cfg, prefs)
+	formScratchPool.Put(s)
+	return res, err
+}
+
+// FormInto is FormWithPrefs running entirely on the caller's Scratch:
+// every buffer, including the Result and the arrays its Groups point
+// into, is carved from s and reused by s's next run. The returned
+// Result is therefore valid only until s is used again, and s must not
+// be shared between goroutines. In steady state — same dataset, same
+// configuration shape, warm preference lists — a serial FormInto
+// performs no allocations; this is the Engine's serving path.
+func FormInto(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList, s *Scratch) (*Result, error) {
+	if s == nil {
+		return nil, gferr.BadConfigf("core: FormInto requires a non-nil Scratch")
+	}
+	s.begin(true)
+	return s.run(ctx, ds, cfg, prefs)
+}
+
+// form is the safe-mode entry: transient scratch reuse, fresh
+// result-owned memory.
+func (s *Scratch) form(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*Result, error) {
+	s.begin(false)
+	return s.run(ctx, ds, cfg, prefs)
+}
+
+// run executes the greedy framework on the (already begun) scratch.
+func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
 	}
@@ -249,14 +296,16 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 	}
 	var buckets []*bucket
 	if par.Enabled(workers) {
-		buckets = bucketizeParallel(prefs, cfg, workers)
+		buckets = bucketizeParallel(prefs, cfg, workers, s)
 	} else {
-		buckets = bucketize(prefs, cfg, !shared)
+		buckets = s.bucketize(prefs, cfg, !shared)
 	}
 	if err := gferr.Ctx(ctx); err != nil {
 		return nil, err
 	}
-	res := &Result{Buckets: len(buckets), Algorithm: cfg.AlgorithmName()}
+	res := s.newResult()
+	res.Buckets = len(buckets)
+	res.Algorithm = cfg.AlgorithmName()
 	scorer := cfg.scorer(ds)
 
 	if len(buckets) <= cfg.L {
@@ -271,58 +320,76 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 		// first is optimal given the bucketing — and is required for
 		// the rmax absolute-error guarantee of Theorem 2 when l
 		// exceeds the bucket count.
-		groups, err := splitBuckets(ctx, ds, scorer, buckets, cfg)
+		groups, err := s.splitBuckets(ctx, ds, scorer, buckets, cfg)
 		if err != nil {
 			return nil, err
 		}
 		res.Groups = groups
 	} else {
-		h := newBucketHeap(buckets, cfg.Aggregation)
-		popped := make([]*bucket, 0, cfg.L-1)
+		h := newBucketHeapInto(&s.heap, buckets, cfg.Aggregation)
+		popped := slices.Grow(s.popped[:0], cfg.L-1)
 		for len(popped) < cfg.L-1 {
 			popped = append(popped, heap.Pop(h).(*bucket))
 		}
+		s.popped = popped
 		// Finalization of the popped buckets is independent per
 		// bucket, so it fans out; each task writes only its own
 		// index (see nestedScorer for when the per-bucket top-k
-		// keeps its own parallelism).
-		res.Groups = make([]Group, len(popped))
-		errs := make([]error, len(popped))
+		// keeps its own parallelism). The serial path threads the
+		// scratch through instead — the fan-out tasks must not share
+		// its single top-k buffer.
+		groups := s.groupSlice(len(popped))
+		errs := s.errSlice(len(popped))
 		bucketScorer := nestedScorer(scorer, len(popped), workers)
-		par.Do(len(popped), workers, func(i int) {
-			if err := gferr.Ctx(ctx); err != nil {
-				errs[i] = err
-				return
-			}
-			res.Groups[i], errs[i] = finalizeBucket(bucketScorer, popped[i], popped[i].members, cfg)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		if par.Enabled(workers) {
+			par.Do(len(popped), workers, func(i int) {
+				if err := gferr.Ctx(ctx); err != nil {
+					errs[i] = err
+					return
+				}
+				groups[i], errs[i] = finalizeBucket(bucketScorer, popped[i], popped[i].members, cfg, nil)
+			})
+		} else {
+			for i := range popped {
+				if err := gferr.Ctx(ctx); err != nil {
+					errs[i] = err
+					break
+				}
+				groups[i], errs[i] = finalizeBucket(bucketScorer, popped[i], popped[i].members, cfg, s)
 			}
 		}
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+		res.Groups = groups
 		// Merge the remaining buckets into the l-th group and
 		// compute its top-k list from scratch.
-		var rest []dataset.UserID
+		rest := s.rest[:0]
 		for h.Len() > 0 {
 			b := heap.Pop(h).(*bucket)
 			rest = append(rest, b.members...)
+		}
+		if s.owned {
+			s.rest = rest
 		}
 		sortUsers(rest)
 		if err := gferr.Ctx(ctx); err != nil {
 			return nil, err
 		}
-		items, scores, err := scorer.TopK(cfg.Semantics, rest, cfg.K)
+		items, scores, err := scorer.TopKInto(cfg.Semantics, rest, cfg.K, &s.topk)
 		if err != nil {
 			return nil, err
 		}
 		res.Groups = append(res.Groups, Group{
 			Members:      rest,
-			Items:        items,
-			ItemScores:   scores,
+			Items:        s.itemArena.copyIn(items),
+			ItemScores:   s.scoreArena.copyIn(scores),
 			Satisfaction: cfg.Aggregation.Aggregate(scores),
 			Merged:       true,
 		})
+		if s.owned {
+			s.groups = res.Groups
+		}
 	}
 	for _, g := range res.Groups {
 		res.Objective += g.Satisfaction
@@ -337,13 +404,17 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 // full bucket satisfaction, so this maximizes the objective over all
 // ways to spend the budget; under AV the per-piece satisfactions
 // always sum to the bucket's, so splitting is harmless either way.
-func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, error) {
-	h := newBucketHeap(buckets, cfg.Aggregation)
-	ordered := make([]*bucket, 0, len(buckets))
+func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, error) {
+	h := newBucketHeapInto(&s.heap, buckets, cfg.Aggregation)
+	ordered := slices.Grow(s.popped[:0], len(buckets))
 	for h.Len() > 0 {
 		ordered = append(ordered, heap.Pop(h).(*bucket))
 	}
-	pieces := make([]int, len(ordered))
+	s.popped = ordered
+	if cap(s.pieces) < len(ordered) {
+		s.pieces = make([]int, len(ordered))
+	}
+	pieces := s.pieces[:len(ordered)]
 	total := 0
 	for i := range ordered {
 		pieces[i] = 1
@@ -370,19 +441,20 @@ func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Sco
 	// disjoint member sub-slice and writes only its own index, and
 	// the slicing itself is deterministic (par.Ranges' contiguous,
 	// near-even chunks — the pipeline's one partitioning convention),
-	// so the output is identical for every worker count.
-	type piece struct {
-		b      *bucket
-		part   []dataset.UserID
-		refold bool
-	}
-	var tasks []piece
+	// so the output is identical for every worker count. Unsplit
+	// buckets skip the par.Ranges call — a single range over all
+	// members is its trivial (and allocation-free) result.
+	tasks := s.tasks[:0]
 	for i, b := range ordered {
 		sortUsers(b.members)
 		n := len(b.members)
+		if pieces[i] == 1 {
+			tasks = append(tasks, pieceTask{b: b, part: b.members})
+			continue
+		}
 		for _, r := range par.Ranges(n, pieces[i]) {
 			part := b.members[r[0]:r[1]]
-			tasks = append(tasks, piece{
+			tasks = append(tasks, pieceTask{
 				b:    b,
 				part: part,
 				// A strict piece of a full-sequence bucket refolds
@@ -392,10 +464,12 @@ func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Sco
 			})
 		}
 	}
-	groups := make([]Group, len(tasks))
-	errs := make([]error, len(tasks))
-	pieceScorer := nestedScorer(scorer, len(tasks), cfg.EffectiveWorkers())
-	par.Do(len(tasks), cfg.EffectiveWorkers(), func(i int) {
+	s.tasks = tasks
+	groups := s.groupSlice(len(tasks))
+	errs := s.errSlice(len(tasks))
+	workers := cfg.EffectiveWorkers()
+	pieceScorer := nestedScorer(scorer, len(tasks), workers)
+	materialize := func(i int, sc *Scratch) {
 		if err := gferr.Ctx(ctx); err != nil {
 			errs[i] = err
 			return
@@ -405,18 +479,25 @@ func splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Sco
 			g := Group{
 				Members:    t.part,
 				Items:      t.b.items,
-				ItemScores: pieceScores(ds, scorer, t.part, t.b, cfg),
+				ItemScores: pieceScores(ds, scorer, t.part, t.b, cfg, sc),
 			}
 			g.Satisfaction = cfg.Aggregation.Aggregate(g.ItemScores)
 			groups[i] = g
 			return
 		}
-		groups[i], errs[i] = finalizeBucket(pieceScorer, t.b, t.part, cfg)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		groups[i], errs[i] = finalizeBucket(pieceScorer, t.b, t.part, cfg, sc)
+	}
+	if par.Enabled(workers) {
+		// Fan-out tasks must not share the scratch's single top-k
+		// buffer and arenas; they allocate their own escaping memory.
+		par.Do(len(tasks), workers, func(i int) { materialize(i, nil) })
+	} else {
+		for i := range tasks {
+			materialize(i, s)
 		}
+	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return groups, nil
 }
@@ -445,16 +526,26 @@ func nestedScorer(scorer semantics.Scorer, tasks, workers int) semantics.Scorer 
 // an unsplit bucket this equals the maintained scores; for a strict
 // subset, LM minima can only rise and AV sums shrink to the piece's
 // members. Piece members always come from preference lists, so they
-// resolve by construction.
-func pieceScores(ds *dataset.Dataset, scorer semantics.Scorer, part []dataset.UserID, b *bucket, cfg Config) []float64 {
+// resolve by construction. With a scratch, the member-index buffer is
+// reused and the scores are carved from the score arena; without one
+// (parallel fan-out) both allocate.
+func pieceScores(ds *dataset.Dataset, scorer semantics.Scorer, part []dataset.UserID, b *bucket, cfg Config, s *Scratch) []float64 {
 	if len(part) == len(b.members) {
 		return b.scores
 	}
-	midx := make([]dataset.UserIdx, len(part))
+	var midx []dataset.UserIdx
+	if s != nil {
+		if cap(s.midx) < len(part) {
+			s.midx = make([]dataset.UserIdx, len(part))
+		}
+		midx = s.midx[:len(part)]
+	} else {
+		midx = make([]dataset.UserIdx, len(part))
+	}
+	scores := s.takeScores(len(b.items))
 	for i, u := range part {
 		midx[i], _ = ds.UserIdxOf(u)
 	}
-	scores := make([]float64, len(b.items))
 	for j, it := range b.items {
 		ij, _ := ds.ItemIdxOf(it)
 		scores[j] = scorer.ItemScoreIdx(cfg.Semantics, midx, ij)
@@ -467,15 +558,27 @@ func pieceScores(ds *dataset.Dataset, scorer semantics.Scorer, part []dataset.Us
 // recommended list is the shared top-k sequence with the maintained
 // scores; LM-MAX buckets store only the shared (top item, score) pair
 // and their list tail is completed from the ratings, which cannot
-// change the Max-aggregated satisfaction.
-func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID, cfg Config) (Group, error) {
+// change the Max-aggregated satisfaction. With a scratch the completed
+// list goes through the scratch's top-k buffer and is copied into the
+// item/score arenas; without one (parallel fan-out) the allocating
+// TopK runs.
+func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID, cfg Config, s *Scratch) (Group, error) {
 	sortUsers(members)
 	items, scores := b.items, b.scores
 	if len(items) < cfg.K {
-		var err error
-		items, scores, err = scorer.TopK(cfg.Semantics, members, cfg.K)
-		if err != nil {
-			return Group{}, err
+		if s != nil {
+			ti, ts, err := scorer.TopKInto(cfg.Semantics, members, cfg.K, &s.topk)
+			if err != nil {
+				return Group{}, err
+			}
+			items = s.itemArena.copyIn(ti)
+			scores = s.scoreArena.copyIn(ts)
+		} else {
+			var err error
+			items, scores, err = scorer.TopK(cfg.Semantics, members, cfg.K)
+			if err != nil {
+				return Group{}, err
+			}
 		}
 	}
 	return Group{
@@ -488,33 +591,67 @@ func finalizeBucket(scorer semantics.Scorer, b *bucket, members []dataset.UserID
 
 // bucketize hashes every user's preference list into intermediate
 // groups under the configured key (step 1 of the framework), in
+// first-seen order, on a throwaway scratch — the serial reference
+// entry point the parallel parity tests pin bucketizeParallel against.
+func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
+	s := NewScratch()
+	s.begin(false)
+	return s.bucketize(prefs, cfg, ownedPrefs)
+}
+
+// bucketize hashes every user's preference list into intermediate
+// groups under the configured key (step 1 of the framework), in
 // first-seen order. Group item scores are folded in as members join:
 // min for LM, sum for AV. With ownedPrefs false the prefs are shared
 // (an Engine cache) and every bucket copies its score positions
 // instead of adopting the pref list's slices, so the fold never
 // mutates the caller's lists.
 //
-// Allocation discipline: the key string is materialized only when a
-// new bucket is born (map lookups go through the no-alloc
-// string([]byte) conversion), each user's bucket assignment is
-// recorded in a flat array, and all member slices are carved from one
-// shared arena sized by a counting pass — so the whole step costs
-// O(distinct buckets) allocations instead of O(n).
-func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
-	byKey := make(map[string]int32)
-	var bs []bucket
-	var counts []int32
-	assign := make([]int32, len(prefs))
-	var keyBuf []byte
+// Allocation discipline: key bytes resolve through the scratch's
+// persistent intern table (map lookups go through the no-alloc
+// string([]byte) conversion, and a key string is materialized only the
+// first time the scratch ever sees it — steady-state traffic
+// materializes none), each user's bucket assignment is recorded in a
+// flat array, score positions are carved from the score arena, and all
+// member slices are carved from one shared arena sized by a counting
+// pass. A warm scratch runs this whole step without allocating.
+func (s *Scratch) bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
+	// A cold scratch pre-sizes the intern-side arrays to the worst
+	// case (every list a distinct bucket): three exact allocations
+	// instead of append-doubling chains, so a one-shot Form never
+	// allocates more than the pre-scratch code did. Warm scratches
+	// keep whatever capacity they reached and grow amortized.
+	if cap(s.keys) == 0 {
+		s.keys = make([]string, 0, len(prefs))
+		s.keyToBucket = make([]int32, 0, len(prefs))
+	}
+	if cap(s.touchedKeys) == 0 {
+		s.touchedKeys = make([]int32, 0, len(prefs))
+	}
+	bs := s.bs[:0]
+	counts := s.counts[:0]
+	if cap(s.assign) < len(prefs) {
+		s.assign = make([]int32, len(prefs))
+	}
+	assign := s.assign[:len(prefs)]
+	keyBuf := s.keyBuf
 	for i, p := range prefs {
 		keyBuf = appendKey(keyBuf[:0], p, cfg)
-		idx, ok := byKey[string(keyBuf)]
+		id, ok := s.intern[string(keyBuf)]
 		if !ok {
-			items, scores := seedBucket(p, cfg, !ownedPrefs)
 			key := string(keyBuf)
+			id = int32(len(s.keys))
+			s.keys = append(s.keys, key)
+			s.keyToBucket = append(s.keyToBucket, -1)
+			s.intern[key] = id
+		}
+		idx := s.keyToBucket[id]
+		if idx < 0 {
 			idx = int32(len(bs))
-			byKey[key] = idx
-			bs = append(bs, bucket{key: key, items: items, scores: scores})
+			s.keyToBucket[id] = idx
+			s.touchedKeys = append(s.touchedKeys, id)
+			items, scores := s.seedBucket(p, cfg, !ownedPrefs)
+			bs = append(bs, bucket{key: s.keys[id], items: items, scores: scores})
 			counts = append(counts, 0)
 		} else {
 			foldBucketMember(bs[idx].scores, p, cfg)
@@ -522,31 +659,43 @@ func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
 		assign[i] = idx
 		counts[idx]++
 	}
-	return fillMembers(prefs, bs, counts, func(yield func(i int, bucketIdx int32)) {
-		for i, idx := range assign {
-			yield(i, idx)
-		}
-	})
+	s.keyBuf = keyBuf
+	s.bs, s.counts = bs, counts
+	return s.fillMembers(prefs, bs, counts, assign)
 }
 
 // fillMembers carves every bucket's member slice out of one shared
-// arena: offsets come from the per-bucket counts, and walk emits the
-// (pref index, bucket) assignments in global pref order, so each
-// bucket's members land in exactly the order the serial fold met
-// them. Returns stable pointers into the bucket backing array.
-func fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32, walk func(yield func(i int, bucketIdx int32))) []*bucket {
-	arena := make([]dataset.UserID, len(prefs))
-	offs := make([]int32, len(bs)+1)
+// arena: offsets come from the per-bucket counts, and assign holds
+// each pref's global bucket index in pref order, so each bucket's
+// members land in exactly the order the serial fold met them (a flat
+// array rather than a walk callback — the closure was the warm path's
+// last heap allocation). Returns stable pointers into the bucket
+// backing array. The offset/cursor/pointer bookkeeping is
+// scratch-transient; the member arena itself follows the scratch's
+// ownership mode (it escapes into the Result's Groups).
+func (s *Scratch) fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32, assign []int32) []*bucket {
+	arena := s.memberSlice(len(prefs))
+	if cap(s.offs) < len(bs)+1 {
+		s.offs = make([]int32, len(bs)+1)
+	}
+	offs := s.offs[:len(bs)+1]
+	offs[0] = 0
 	for i, c := range counts {
 		offs[i+1] = offs[i] + c
 	}
-	cur := make([]int32, len(bs))
+	if cap(s.cur) < len(bs) {
+		s.cur = make([]int32, len(bs))
+	}
+	cur := s.cur[:len(bs)]
 	copy(cur, offs[:len(bs)])
-	walk(func(i int, idx int32) {
+	for i, idx := range assign {
 		arena[cur[idx]] = prefs[i].User
 		cur[idx]++
-	})
-	out := make([]*bucket, len(bs))
+	}
+	if cap(s.outPtrs) < len(bs) {
+		s.outPtrs = make([]*bucket, len(bs))
+	}
+	out := s.outPtrs[:len(bs)]
 	for i := range bs {
 		lo, hi := offs[i], offs[i+1]
 		bs[i].members = arena[lo:hi:hi]
@@ -555,30 +704,44 @@ func fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32, walk func(y
 	return out
 }
 
+// takeScores returns a length-n score buffer: carved from the score
+// arena when a scratch is available, heap-allocated from the parallel
+// fan-outs that must not share the scratch (the same nil convention
+// pieceScores and finalizeBucket use).
+func (s *Scratch) takeScores(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	return s.scoreArena.take(n)
+}
+
 // seedBucket returns the item list and initial score positions of a
 // bucket created by preference list p. LM-MAX buckets agree only on
 // the (top item, score) pair — members' list tails differ, so only
 // position 0 is stored and the final list is completed later. With
 // copyScores false the bucket adopts the pref list's freshly
 // allocated slices without copying (at large n*k the copies would
-// dominate memory); the parallel shards force a copy because they
-// must not mutate scores the merge later replays. AV always folds
-// weighted copies and never aliases the pref list.
-func seedBucket(p rank.PrefList, cfg Config, copyScores bool) ([]dataset.ItemID, []float64) {
+// dominate memory); shared Engine-cached lists force a copy because
+// the fold must not mutate them, and the parallel shard passes (nil
+// scratch) always copy because the merge later replays the original
+// scores. AV always folds weighted copies and never aliases the pref
+// list. With a scratch, copies are carved from the score arena and
+// cost no allocation once warm.
+func (s *Scratch) seedBucket(p rank.PrefList, cfg Config, copyScores bool) ([]dataset.ItemID, []float64) {
 	items, scores := p.Items, p.Scores
 	if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {
 		items, scores = items[:1], scores[:1]
 	}
 	if cfg.Semantics == semantics.AV {
 		w := cfg.weight(p.User)
-		owned := make([]float64, len(scores))
-		for j, s := range scores {
-			owned[j] = w * s
+		owned := s.takeScores(len(scores))
+		for j, v := range scores {
+			owned[j] = w * v
 		}
 		return items, owned
 	}
 	if copyScores {
-		owned := make([]float64, len(scores))
+		owned := s.takeScores(len(scores))
 		copy(owned, scores)
 		return items, owned
 	}
@@ -655,8 +818,12 @@ type bucketHeap struct {
 	agg semantics.Aggregation
 }
 
-func newBucketHeap(buckets []*bucket, agg semantics.Aggregation) *bucketHeap {
-	h := &bucketHeap{agg: agg, bs: make([]*bucket, 0, len(buckets)), sat: make([]float64, 0, len(buckets))}
+// newBucketHeapInto (re)initializes h — typically a Scratch's reusable
+// heap — over the given buckets.
+func newBucketHeapInto(h *bucketHeap, buckets []*bucket, agg semantics.Aggregation) *bucketHeap {
+	h.agg = agg
+	h.bs = slices.Grow(h.bs[:0], len(buckets))
+	h.sat = slices.Grow(h.sat[:0], len(buckets))
 	for _, b := range buckets {
 		h.bs = append(h.bs, b)
 		h.sat = append(h.sat, agg.Aggregate(b.scores))
@@ -697,5 +864,5 @@ func (h *bucketHeap) Pop() any {
 }
 
 func sortUsers(us []dataset.UserID) {
-	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	slices.Sort(us)
 }

@@ -57,8 +57,11 @@ type shardBuckets struct {
 // bucketizeParallel builds the same buckets bucketize builds, using
 // one contiguous pref-list shard per worker and an order-replaying
 // merge. See the file comment for why the output is byte-identical to
-// the serial pass for every worker count.
-func bucketizeParallel(prefs []rank.PrefList, cfg Config, workers int) []*bucket {
+// the serial pass for every worker count. The shard passes allocate
+// their own bucket state (they run concurrently and must not share
+// the scratch); scr serves only the single-threaded merge — its
+// member arena and fill bookkeeping.
+func bucketizeParallel(prefs []rank.PrefList, cfg Config, workers int, scr *Scratch) []*bucket {
 	ranges := par.Ranges(len(prefs), workers)
 	shards := make([]shardBuckets, len(ranges))
 	par.Do(len(ranges), workers, func(s int) {
@@ -71,7 +74,7 @@ func bucketizeParallel(prefs []rank.PrefList, cfg Config, workers int) []*bucket
 			keyBuf = appendKey(keyBuf[:0], p, cfg)
 			idx, ok := byKey[string(keyBuf)]
 			if !ok {
-				items, scores := seedBucket(p, cfg, true)
+				items, scores := (*Scratch)(nil).seedBucket(p, cfg, true)
 				key := string(keyBuf)
 				idx = int32(len(sh.recs))
 				byKey[key] = idx
@@ -141,14 +144,18 @@ func bucketizeParallel(prefs []rank.PrefList, cfg Config, workers int) []*bucket
 			}
 		}
 	}
-	// Member arena fill in global pref order (property 1).
-	return fillMembers(prefs, bs, counts, func(yield func(i int, bucketIdx int32)) {
-		for s := range shards {
-			sh := &shards[s]
-			lo := ranges[s][0]
-			for d, li := range sh.assign {
-				yield(lo+d, lut[s][li])
-			}
+	// Member arena fill in global pref order (property 1): translate
+	// the shard-local assignments into one flat global array first.
+	if cap(scr.assign) < len(prefs) {
+		scr.assign = make([]int32, len(prefs))
+	}
+	assign := scr.assign[:len(prefs)]
+	for s := range shards {
+		sh := &shards[s]
+		lo := ranges[s][0]
+		for d, li := range sh.assign {
+			assign[lo+d] = lut[s][li]
 		}
-	})
+	}
+	return scr.fillMembers(prefs, bs, counts, assign)
 }

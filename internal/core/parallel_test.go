@@ -172,7 +172,9 @@ func TestBucketizeParallelMatchesSerial(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, w := range []int{2, 3, 8, 64} {
-				got := bucketizeParallel(prefs2, cfg, w)
+				scr := NewScratch()
+				scr.begin(false)
+				got := bucketizeParallel(prefs2, cfg, w, scr)
 				if len(got) != len(serial) {
 					t.Fatalf("%s-%s/workers=%d: %d buckets, want %d", sem, agg, w, len(got), len(serial))
 				}

@@ -7,11 +7,12 @@ package rank
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strings"
 
 	"groupform/internal/dataset"
 	"groupform/internal/gferr"
 	"groupform/internal/par"
+	"groupform/internal/selection"
 )
 
 // PrefList is a user's items ordered by non-increasing rating; ties
@@ -29,24 +30,18 @@ func (p PrefList) Len() int { return len(p.Items) }
 
 // String renders the list in the paper's notation.
 func (p PrefList) String() string {
-	s := fmt.Sprintf("L_u%d = <", p.User)
+	var b strings.Builder
+	b.Grow(16 + 12*len(p.Items))
+	fmt.Fprintf(&b, "L_u%d = <", p.User)
 	for j := range p.Items {
 		if j > 0 {
-			s += "; "
+			b.WriteString("; ")
 		}
-		s += fmt.Sprintf("i%d,%g", p.Items[j], p.Scores[j])
+		fmt.Fprintf(&b, "i%d,%g", p.Items[j], p.Scores[j])
 	}
-	return s + ">"
+	b.WriteByte('>')
+	return b.String()
 }
-
-// byPreference sorts entries by value descending, item ascending — a
-// concrete sort.Interface to avoid sort.Slice's reflection-based
-// swaps on the per-user hot path.
-type byPreference []dataset.Entry
-
-func (s byPreference) Len() int           { return len(s) }
-func (s byPreference) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
-func (s byPreference) Less(i, j int) bool { return prefLess(s[i], s[j]) }
 
 // prefLess reports whether a ranks strictly ahead of b.
 func prefLess(a, b dataset.Entry) bool {
@@ -116,12 +111,14 @@ func topKInto(ds *dataset.Dataset, u dataset.UserID, entries []dataset.Entry, k 
 			ranked[pos] = e
 		}
 	} else {
+		// Large-k branch: the k-bounded selection kernel on a scratch
+		// copy of the row (CSR rows are shared and must not be
+		// reordered). prefLess is a strict total order (items unique
+		// within a row), so the selected prefix is byte-identical to
+		// the historical full sort + truncate.
 		ranked = (*scratch)[:len(entries)]
 		copy(ranked, entries)
-		sort.Sort(byPreference(ranked))
-		if len(ranked) > k {
-			ranked = ranked[:k]
-		}
+		ranked = ranked[:selection.TopK(ranked, k, prefLess)]
 	}
 	for _, e := range ranked {
 		items = append(items, e.Item)

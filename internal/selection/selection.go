@@ -1,0 +1,194 @@
+// Package selection provides the deterministic k-bounded selection
+// kernel of the formation pipeline: given a candidate slice and a
+// strict total order, move the k best candidates to the front in fully
+// sorted (best-first) order, in place and without allocating.
+//
+// The paper's greedy algorithms need a from-scratch top-k only for the
+// merged l-th group and for split pieces, but each of those calls used
+// to fully sort every touched candidate (O(m log m) for k of them).
+// The kernel keeps that cost k-bounded:
+//
+//   - k ≪ candidates: a bounded worst-at-root heap over the first k
+//     elements; every remaining candidate is tested against the
+//     current worst (one comparison in the common reject case) and
+//     replaces it on win. O(m + hits·log k), no swap traffic for the
+//     rejected bulk.
+//   - large k: partial quickselect (median-of-three Lomuto, with an
+//     introselect-style depth budget that falls back to the heap on
+//     adversarial/all-tied inputs) confines the k best to the prefix
+//     in O(m) expected time.
+//
+// Either way the prefix is finished with an in-place heapsort, so for
+// a strict total order the output bytes are identical to sorting the
+// whole slice and truncating — which is exactly how the randomized
+// parity tests pin the kernel, and why swapping selection strategies
+// can never change formation output.
+package selection
+
+import "math/bits"
+
+// Thresholds of the strategy switch. The bounded heap wins while the
+// candidate bulk is rejected with one comparison each (k small in
+// absolute terms, or small relative to the input so heap hits stay
+// rare); past that, quickselect's O(n) partitioning beats the heap's
+// O(n log k) worst case. maxInsertion is the subrange size below which
+// quickselect finishes with an insertion sort instead of partitioning
+// further (the usual small-slice cutoff).
+const (
+	heapMaxK     = 32
+	heapRatio    = 8
+	maxInsertion = 12
+)
+
+// TopK reorders data in place so that its k best elements under less
+// occupy data[:k] in best-first sorted order, and returns min(k,
+// len(data)) (0 when k <= 0). The ordering of data[k:] is unspecified.
+//
+// less must be a strict weak order ("a ranks strictly ahead of b").
+// When less is a strict *total* order — as with the pipeline's
+// score-descending, item-ascending candidate order — the resulting
+// prefix is byte-identical to sorting all of data and truncating,
+// whatever the input permutation and whichever internal strategy runs.
+// With genuine ties, which equivalent elements survive the cut is
+// unspecified, but the sorted sequence of keys is still deterministic.
+func TopK[T any](data []T, k int, less func(a, b T) bool) int {
+	n := len(data)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return 0
+	}
+	switch {
+	case k == n:
+		// Degenerate selection: everything survives, only the order is
+		// missing. Heapsort keeps the no-allocation guarantee.
+	case k <= heapMaxK || k*heapRatio <= n:
+		heapSelect(data, k, less)
+	default:
+		quickSelect(data, k, less)
+	}
+	heapify(data[:k], less)
+	sortHeap(data[:k], less)
+	return k
+}
+
+// heapSelect confines the k best elements of data to data[:k] (in heap
+// order, worst at data[0]): the prefix is heapified and every further
+// candidate either loses one comparison against the current worst or
+// replaces it. Ties keep the incumbent, which is irrelevant under a
+// total order and harmless otherwise.
+func heapSelect[T any](data []T, k int, less func(a, b T) bool) {
+	heapify(data[:k], less)
+	for i := k; i < len(data); i++ {
+		if less(data[i], data[0]) {
+			data[0], data[i] = data[i], data[0]
+			siftWorse(data[:k], 0, less)
+		}
+	}
+}
+
+// heapify establishes the worst-at-root heap property (no parent ranks
+// ahead of either child) over heap.
+func heapify[T any](heap []T, less func(a, b T) bool) {
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftWorse(heap, i, less)
+	}
+}
+
+// siftWorse sifts heap[i] down a worst-at-root heap.
+func siftWorse[T any](heap []T, i int, less func(a, b T) bool) {
+	for {
+		c := 2*i + 1
+		if c >= len(heap) {
+			return
+		}
+		if c+1 < len(heap) && less(heap[c], heap[c+1]) {
+			c++ // right child ranks behind the left one
+		}
+		if !less(heap[i], heap[c]) {
+			return
+		}
+		heap[i], heap[c] = heap[c], heap[i]
+		i = c
+	}
+}
+
+// sortHeap sorts a worst-at-root heap best-first by repeated root
+// extraction (classic in-place heapsort, inverted comparator).
+func sortHeap[T any](heap []T, less func(a, b T) bool) {
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftWorse(heap[:end], 0, less)
+	}
+}
+
+// quickSelect confines the k best elements of data to data[:k],
+// unordered, by repeated partitioning of the undecided range. The
+// depth budget bounds the adversarial case (Lomuto sends ties right,
+// so an all-tied input advances one slot per round): when it runs out,
+// the remaining selection falls back to heapSelect, keeping the worst
+// case O(n log k).
+func quickSelect[T any](data []T, k int, less func(a, b T) bool) {
+	lo, hi := 0, len(data)
+	limit := 2 * bits.Len(uint(len(data)))
+	// Invariant: data[:lo] are confirmed among the k best, data[hi:]
+	// confirmed outside; [lo, hi) is undecided.
+	for lo < k && k < hi {
+		if hi-lo <= maxInsertion {
+			insertionSort(data[lo:hi], less)
+			return
+		}
+		if limit == 0 {
+			heapSelect(data[lo:hi], k-lo, less)
+			return
+		}
+		limit--
+		p := partition(data, lo, hi, less)
+		if p >= k {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+}
+
+// partition is a median-of-three Lomuto partition of data[lo:hi] under
+// "ranks ahead goes left": it returns the pivot's final position p with
+// data[lo:p] strictly ahead of the pivot and data[p+1:hi] not ahead of
+// it.
+func partition[T any](data []T, lo, hi int, less func(a, b T) bool) int {
+	mid := lo + (hi-lo)/2
+	// Order the sample so data[hi-1] holds the median of the three.
+	if less(data[mid], data[lo]) {
+		data[mid], data[lo] = data[lo], data[mid]
+	}
+	if less(data[hi-1], data[mid]) {
+		data[hi-1], data[mid] = data[mid], data[hi-1]
+		if less(data[mid], data[lo]) {
+			data[mid], data[lo] = data[lo], data[mid]
+		}
+	}
+	data[mid], data[hi-1] = data[hi-1], data[mid]
+	pivot := data[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if less(data[j], pivot) {
+			data[i], data[j] = data[j], data[i]
+			i++
+		}
+	}
+	data[i], data[hi-1] = data[hi-1], data[i]
+	return i
+}
+
+// insertionSort sorts data best-first; used for small undecided
+// subranges where finishing the sort is cheaper than another
+// partition.
+func insertionSort[T any](data []T, less func(a, b T) bool) {
+	for i := 1; i < len(data); i++ {
+		for j := i; j > 0 && less(data[j], data[j-1]); j-- {
+			data[j], data[j-1] = data[j-1], data[j]
+		}
+	}
+}

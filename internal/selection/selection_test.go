@@ -1,0 +1,204 @@
+package selection
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// cand mirrors the pipeline's scored-candidate shape: score
+// descending, id ascending is a strict total order as long as ids are
+// unique.
+type cand struct {
+	id    int32
+	score float64
+}
+
+func lessCand(a, b cand) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+// reference sorts a copy fully and truncates — the specification the
+// kernel must match byte-for-byte under a total order.
+func reference(data []cand, k int) []cand {
+	ref := append([]cand(nil), data...)
+	sort.Slice(ref, func(i, j int) bool { return lessCand(ref[i], ref[j]) })
+	if k > len(ref) {
+		k = len(ref)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ref[:k]
+}
+
+func checkTopK(t *testing.T, data []cand, k int) {
+	t.Helper()
+	got := append([]cand(nil), data...)
+	n := TopK(got, k, lessCand)
+	want := reference(data, k)
+	if n != len(want) {
+		t.Fatalf("TopK(n=%d, k=%d) returned %d, want %d", len(data), k, n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK(n=%d, k=%d): prefix[%d] = %+v, want %+v", len(data), k, i, got[i], want[i])
+		}
+	}
+	// The tail must be a permutation of the non-selected elements.
+	if len(got) != len(data) {
+		t.Fatalf("TopK changed the slice length: %d -> %d", len(data), len(got))
+	}
+	tally := make(map[cand]int, len(data))
+	for _, c := range data {
+		tally[c]++
+	}
+	for _, c := range got {
+		tally[c]--
+	}
+	for c, d := range tally {
+		if d != 0 {
+			t.Fatalf("TopK(n=%d, k=%d) is not a permutation: %+v off by %d", len(data), k, c, d)
+		}
+	}
+}
+
+// TestTopKRandomParity pins the kernel against the full-sort reference
+// over random inputs with heavy score ties, across sizes that exercise
+// the heap branch, the quickselect branch, the insertion cutoff and the
+// k == n degenerate case.
+func TestTopKRandomParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 2, 3, 7, 12, 13, 100, 1000, 5000} {
+		for _, distinct := range []int{1, 2, 5, 1 << 30} { // 1: all scores tie
+			for trial := 0; trial < 4; trial++ {
+				data := make([]cand, n)
+				perm := rng.Perm(n)
+				for i := range data {
+					data[i] = cand{id: int32(perm[i]), score: float64(rng.Intn(distinct))}
+				}
+				for _, k := range []int{1, 2, n / 2, n - 1, n} {
+					if k < 1 {
+						continue
+					}
+					checkTopK(t, data, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKTieBreakDeterminism feeds the same multiset in many input
+// permutations: under the total order the selected prefix must come
+// out bit-identical every time, whichever internal strategy the (n, k)
+// pair selects.
+func TestTopKTieBreakDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n = 300
+	base := make([]cand, n)
+	for i := range base {
+		base[i] = cand{id: int32(i), score: float64(i % 3)} // 3-way score ties
+	}
+	for _, k := range []int{1, 5, 40, n / 2, n - 1, n} {
+		want := reference(base, k)
+		for trial := 0; trial < 20; trial++ {
+			data := make([]cand, n)
+			for i, p := range rng.Perm(n) {
+				data[i] = base[p]
+			}
+			got := append([]cand(nil), data...)
+			TopK(got, k, lessCand)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d trial %d: prefix[%d] = %+v, want %+v", k, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKEdgeCases covers the k bounds the callers rely on.
+func TestTopKEdgeCases(t *testing.T) {
+	data := []cand{{1, 2}, {2, 1}}
+	if n := TopK(append([]cand(nil), data...), 0, lessCand); n != 0 {
+		t.Fatalf("k=0: got %d", n)
+	}
+	if n := TopK(append([]cand(nil), data...), -3, lessCand); n != 0 {
+		t.Fatalf("k<0: got %d", n)
+	}
+	if n := TopK(append([]cand(nil), data...), 10, lessCand); n != 2 {
+		t.Fatalf("k>n: got %d, want clamp to 2", n)
+	}
+	if n := TopK([]cand(nil), 4, lessCand); n != 0 {
+		t.Fatalf("empty: got %d", n)
+	}
+	one := []cand{{7, 3}}
+	if n := TopK(one, 1, lessCand); n != 1 || one[0] != (cand{7, 3}) {
+		t.Fatalf("singleton: got n=%d data=%+v", n, one)
+	}
+}
+
+// TestTopKAdversarialTies drives the quickselect branch into its depth
+// budget (Lomuto advances one slot per round on all-tied prefixes) and
+// checks the heap fallback still selects correctly.
+func TestTopKAdversarialTies(t *testing.T) {
+	const n = 4096
+	data := make([]cand, n)
+	for i := range data {
+		data[i] = cand{id: int32(i), score: 1} // fully tied scores
+	}
+	k := n / 2 // large k relative to n: quickselect branch
+	checkTopK(t, data, k)
+}
+
+// TestTopKZeroAlloc pins the kernel's no-allocation contract on both
+// strategy branches (package-level less, in-place selection).
+func TestTopKZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	data := make([]cand, 10000)
+	for i := range data {
+		data[i] = cand{id: int32(i), score: rng.Float64()}
+	}
+	for _, k := range []int{5, len(data) / 2} {
+		allocs := testing.AllocsPerRun(10, func() {
+			TopK(data, k, lessCand)
+		})
+		if allocs != 0 {
+			t.Fatalf("TopK(k=%d) allocated %v times per run", k, allocs)
+		}
+	}
+}
+
+// FuzzTopK cross-checks the kernel against the full-sort reference on
+// fuzzer-generated byte strings decoded into (id, score) candidates
+// with deliberately narrow score alphabets (maximizing ties).
+func FuzzTopK(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint16(3))
+	f.Add([]byte{0, 0, 0, 0}, uint16(1))
+	f.Add([]byte{255, 254, 1, 0, 7, 9, 11, 2}, uint16(400))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint16) {
+		if len(raw) == 0 {
+			return
+		}
+		data := make([]cand, len(raw))
+		for i, b := range raw {
+			// id unique (total order), score drawn from 8 levels.
+			data[i] = cand{id: int32(i), score: float64(b % 8)}
+		}
+		k := int(kRaw)%(len(data)+2) - 1 // exercises k in [-1, n]
+		got := append([]cand(nil), data...)
+		n := TopK(got, k, lessCand)
+		want := reference(data, k)
+		if n != len(want) {
+			t.Fatalf("TopK returned %d, want %d", n, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("prefix[%d] = %+v, want %+v (n=%d k=%d)", i, got[i], want[i], len(data), k)
+			}
+		}
+	})
+}

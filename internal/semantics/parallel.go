@@ -109,6 +109,13 @@ var denseAccPool = sync.Pool{New: func() any { return new(denseAcc) }}
 // acquireDense returns a cleared accumulator with at least m slots.
 func acquireDense(m int) *denseAcc {
 	da := denseAccPool.Get().(*denseAcc)
+	da.ensure(m)
+	return da
+}
+
+// ensure sizes the accumulator for m slots, growing the arrays only
+// when a larger catalog than ever before comes through.
+func (da *denseAcc) ensure(m int) {
 	if cap(da.min) < m {
 		da.min = make([]float64, m)
 		da.wsum = make([]float64, m)
@@ -119,18 +126,23 @@ func acquireDense(m int) *denseAcc {
 	da.wsum = da.wsum[:m]
 	da.wraters = da.wraters[:m]
 	da.count = da.count[:m]
-	return da
 }
 
-// release clears the touched slots and returns the accumulator to the
-// pool. Every count mutation goes through the touched list (including
-// the listed-marker trick in PseudoUserTopK), so this restores the
-// all-zero-counts invariant acquireDense relies on.
-func (da *denseAcc) release() {
+// clear resets the touched slots, restoring the all-zero-counts
+// invariant ensure/acquireDense rely on. Every count mutation goes
+// through the touched list (including the listed-marker trick in
+// PseudoUserTopK), so this is complete.
+func (da *denseAcc) clear() {
 	for _, j := range da.touched {
 		da.count[j] = 0
 	}
 	da.touched = da.touched[:0]
+}
+
+// release clears the accumulator and returns it to the pool; leased
+// accumulators (TopKScratch) call clear directly and stay owned.
+func (da *denseAcc) release() {
+	da.clear()
 	denseAccPool.Put(da)
 }
 

@@ -44,10 +44,7 @@ func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]d
 		}
 		all = append(all, scoredItem{sc.DS.ItemAt(j), da.wsum[j] / da.wraters[j]})
 	}
-	sortScored(all)
-	if len(all) > k {
-		all = all[:k]
-	}
+	all = selectScored(all, k)
 	items := make([]dataset.ItemID, 0, k)
 	scores := make([]float64, 0, k)
 	for _, s := range all {

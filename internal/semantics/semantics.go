@@ -8,10 +8,11 @@ package semantics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"groupform/internal/dataset"
 	"groupform/internal/gferr"
+	"groupform/internal/selection"
 )
 
 // Semantics selects how a group's score for a single item is derived
@@ -253,6 +254,71 @@ func (sc Scorer) ItemScoreIdx(sem Semantics, members []dataset.UserIdx, item dat
 	panic(fmt.Sprintf("semantics: invalid semantics %d", int(sem)))
 }
 
+// TopKScratch holds the reusable buffers of a TopKInto call: the
+// candidate accumulation list and the output item/score arrays. The
+// zero value is ready to use; buffers grow on demand and are retained
+// across calls, so a caller that keeps one scratch per goroutine
+// reaches a zero-allocation steady state. A scratch must not be used
+// from two goroutines at once.
+type TopKScratch struct {
+	cand   []scoredItem
+	items  []dataset.ItemID
+	scores []float64
+	// da is the scratch's leased dense accumulator: the serial dense
+	// backend accumulates here instead of borrowing from the shared
+	// sync.Pool, so a caller-owned scratch keeps the steady state
+	// allocation-free even across GC cycles (pools may be emptied;
+	// leases are not).
+	da *denseAcc
+}
+
+// ensureDense returns the scratch's leased accumulator with at least m
+// slots, creating or growing it on first need.
+func (s *TopKScratch) ensureDense(m int) *denseAcc {
+	if s.da == nil {
+		s.da = new(denseAcc)
+	}
+	s.da.ensure(m)
+	return s.da
+}
+
+// candidates returns the empty candidate buffer pre-sized for n
+// entries: one exact allocation on a cold scratch (matching the
+// historical make) instead of an append-doubling chain, none once
+// warm.
+func (s *TopKScratch) candidates(n int) []scoredItem {
+	if cap(s.cand) < n {
+		s.cand = make([]scoredItem, 0, n)
+	}
+	return s.cand[:0]
+}
+
+// finish is the backend-shared tail of a TopKInto: store the populated
+// candidate buffer back, cut it to the best k, and rebuild the output
+// arrays from the survivors. The returned slices still need
+// backend-specific padding when fewer than k candidates existed; the
+// caller stores them back into the scratch once padded. Both
+// accumulation backends must run literally this code so their outputs
+// stay bit-identical.
+func (s *TopKScratch) finish(all []scoredItem, k int) ([]dataset.ItemID, []float64) {
+	s.cand = all
+	all = selectScored(all, k)
+	if cap(s.items) < k {
+		s.items = make([]dataset.ItemID, 0, k)
+		s.scores = make([]float64, 0, k)
+	}
+	items, scores := s.items[:0], s.scores[:0]
+	for _, c := range all {
+		items = append(items, c.item)
+		scores = append(scores, c.score)
+	}
+	return items, scores
+}
+
+// topkScratchPool backs the allocating TopK wrapper so its candidate
+// buffer is still recycled across calls.
+var topkScratchPool = sync.Pool{New: func() any { return new(TopKScratch) }}
+
 // TopK computes the group's recommended top-k item list I_g^k under
 // sem, together with the group scores of each listed item in
 // non-increasing order. Ties are broken by ascending item ID, making
@@ -260,7 +326,28 @@ func (sc Scorer) ItemScoreIdx(sem Semantics, members []dataset.UserIdx, item dat
 // members' rated items; if fewer than k candidates exist, the list is
 // completed with unrated items (whose group score is the imputed
 // value: Missing for LM, |g|*Missing for AV).
+//
+// TopK is a thin wrapper over TopKInto that copies the results into
+// freshly allocated slices the caller owns; hot paths that can keep a
+// scratch alive should call TopKInto directly.
 func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset.ItemID, []float64, error) {
+	s := topkScratchPool.Get().(*TopKScratch)
+	items, scores, err := sc.TopKInto(sem, members, k, s)
+	if err != nil {
+		topkScratchPool.Put(s)
+		return nil, nil, err
+	}
+	outItems := append(make([]dataset.ItemID, 0, len(items)), items...)
+	outScores := append(make([]float64, 0, len(scores)), scores...)
+	topkScratchPool.Put(s)
+	return outItems, outScores, nil
+}
+
+// TopKInto is TopK writing into s's reusable buffers: the returned
+// slices alias s and stay valid only until the next call that uses s.
+// With a long-lived scratch the serial path performs no allocations
+// once the buffers have grown to the workload's high-water mark.
+func (sc Scorer) TopKInto(sem Semantics, members []dataset.UserID, k int, s *TopKScratch) ([]dataset.ItemID, []float64, error) {
 	if k <= 0 {
 		return nil, nil, gferr.BadConfigf("semantics: K must be positive, got %d", k)
 	}
@@ -275,45 +362,53 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 		totalW += sc.Weight(u)
 	}
 	if sc.Accum == AccumMap {
-		items, scores := sc.topKMap(sem, members, k, totalW)
+		items, scores := sc.topKMap(sem, members, k, totalW, s)
 		return items, scores, nil
 	}
-	items, scores := sc.topKDense(sem, members, k, totalW)
+	items, scores := sc.topKDense(sem, members, k, totalW, s)
 	return items, scores, nil
 }
 
-// scoredItem pairs a candidate with its group score for the top-k
-// selection sort.
+// scoredItem pairs a candidate with its group score for the k-bounded
+// top-k selection.
 type scoredItem struct {
 	item  dataset.ItemID
 	score float64
 }
 
-// sortScored orders candidates by score descending, item ascending —
-// a total order, so the output is the same whatever order candidates
-// were enumerated in.
-func sortScored(all []scoredItem) {
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].score != all[b].score {
-			return all[a].score > all[b].score
-		}
-		return all[a].item < all[b].item
-	})
+// lessScored is the pipeline's candidate order — score descending,
+// item ascending — a strict total order, so the selected prefix is the
+// same whatever order candidates were enumerated in and whichever
+// selection strategy runs (see internal/selection).
+func lessScored(a, b scoredItem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.item < b.item
+}
+
+// selectScored keeps the best k candidates of all in sorted order —
+// the k-bounded replacement for the historical full sort + truncate,
+// byte-identical under lessScored's total order.
+func selectScored(all []scoredItem, k int) []scoredItem {
+	return all[:selection.TopK(all, k, lessScored)]
 }
 
 // topKDense is the index-space TopK backend: candidates accumulate in
 // pooled dense arrays and padding reads the untouched-slot markers
 // directly — no map from the first rating probe to the returned list.
-func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, totalW float64) ([]dataset.ItemID, []float64) {
+func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, totalW float64, s *TopKScratch) ([]dataset.ItemID, []float64) {
 	m := sc.DS.NumItems()
 	var da *denseAcc
+	leased := false
 	if sc.Workers >= 2 && len(members) > topkChunk {
 		da = sc.accumulateIdxParallel(members, m)
 	} else {
-		da = acquireDense(m)
+		da = s.ensureDense(m)
+		leased = true
 		sc.accumulateIdx(da, members)
 	}
-	all := make([]scoredItem, 0, len(da.touched))
+	all := s.candidates(len(da.touched))
 	for _, j := range da.touched {
 		var score float64
 		switch sem {
@@ -327,16 +422,7 @@ func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, total
 		}
 		all = append(all, scoredItem{sc.DS.ItemAt(j), score})
 	}
-	sortScored(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	items := make([]dataset.ItemID, 0, k)
-	scores := make([]float64, 0, k)
-	for _, s := range all {
-		items = append(items, s.item)
-		scores = append(scores, s.score)
-	}
+	items, scores := s.finish(all, k)
 	if len(items) < k {
 		imputed := sc.Missing
 		if sem == AV {
@@ -350,13 +436,18 @@ func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, total
 			}
 		}
 	}
-	da.release()
+	if leased {
+		da.clear()
+	} else {
+		da.release()
+	}
+	s.items, s.scores = items, scores
 	return items, scores
 }
 
 // topKMap is the legacy map-accumulation backend, kept bit-compatible
 // with topKDense as the parity reference.
-func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW float64) ([]dataset.ItemID, []float64) {
+func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW float64, s *TopKScratch) ([]dataset.ItemID, []float64) {
 	var cand map[dataset.ItemID]*acc
 	if sc.Workers >= 2 && len(members) > topkChunk {
 		cand = sc.accumulateParallel(members)
@@ -364,7 +455,7 @@ func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW 
 		cand = make(map[dataset.ItemID]*acc)
 		sc.accumulateInto(cand, members)
 	}
-	all := make([]scoredItem, 0, len(cand))
+	all := s.candidates(len(cand))
 	for it, a := range cand {
 		var score float64
 		switch sem {
@@ -378,16 +469,7 @@ func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW 
 		}
 		all = append(all, scoredItem{it, score})
 	}
-	sortScored(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	items := make([]dataset.ItemID, 0, k)
-	scores := make([]float64, 0, k)
-	for _, s := range all {
-		items = append(items, s.item)
-		scores = append(scores, s.score)
-	}
+	items, scores := s.finish(all, k)
 	if len(items) < k {
 		imputed := sc.Missing
 		if sem == AV {
@@ -403,6 +485,7 @@ func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW 
 			}
 		}
 	}
+	s.items, s.scores = items, scores
 	return items, scores
 }
 
@@ -416,11 +499,24 @@ func (sc Scorer) Satisfaction(sem Semantics, agg Aggregation, members []dataset.
 	return agg.Aggregate(scores), nil
 }
 
+// ndcgScratchPool recycles the rating-row copy NDCG selects the ideal
+// ordering from, so repeated evaluation sweeps stop allocating a full
+// row per (user, list) pair.
+var ndcgScratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// greaterFloat orders ratings descending; ratings are scale-validated
+// (never NaN), so this is a strict weak order whose sorted key
+// sequence is unique — all the ideal DCG needs.
+func greaterFloat(a, b float64) bool { return a > b }
+
 // NDCG computes the Normalized Discounted Cumulative Gain of the
 // recommended item list for a single user (Section 6, "weights at the
 // user level"): graded relevance is the user's own rating (missing =
 // Missing), discounted by log2(position+1), normalized by the user's
-// ideal ordering over the same list length.
+// ideal ordering over the same list length. The ideal ordering needs
+// only the user's best len(items) ratings, so it runs through the
+// k-bounded selection kernel on a pooled scratch copy of the rating
+// row instead of reverse-sorting the whole row per call.
 func (sc Scorer) NDCG(u dataset.UserID, items []dataset.ItemID) float64 {
 	if len(items) == 0 {
 		return 0
@@ -435,11 +531,13 @@ func (sc Scorer) NDCG(u dataset.UserID, items []dataset.ItemID) float64 {
 	}
 	// Ideal: user's best len(items) ratings in descending order.
 	entries := sc.DS.UserRatings(u)
-	vals := make([]float64, len(entries))
-	for i, e := range entries {
-		vals[i] = e.Value
+	bufp := ndcgScratchPool.Get().(*[]float64)
+	vals := (*bufp)[:0]
+	for _, e := range entries {
+		vals = append(vals, e.Value)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	*bufp = vals
+	vals = vals[:selection.TopK(vals, len(items), greaterFloat)]
 	idcg := 0.0
 	for j := 0; j < len(items); j++ {
 		v := sc.Missing
@@ -448,6 +546,7 @@ func (sc Scorer) NDCG(u dataset.UserID, items []dataset.ItemID) float64 {
 		}
 		idcg += v / math.Log2(float64(j+2))
 	}
+	ndcgScratchPool.Put(bufp)
 	if idcg == 0 {
 		return 0
 	}

@@ -150,6 +150,25 @@ func (e *Engine) Form(ctx context.Context, cfg core.Config) (*core.Result, error
 	return core.FormWithPrefs(ctx, e.ds, cfg, prefs)
 }
 
+// FormInto is Form running entirely on the caller's Scratch: with warm
+// preference lists a serial steady-state call performs no allocations,
+// which is the intended per-request serving path — one Scratch per
+// worker goroutine, reused across requests. The returned Result (and
+// everything its Groups point into) is carved from s, so it is valid
+// only until s's next use; callers that need to retain a Result across
+// calls must copy it or use Form. The formed groups are byte-identical
+// to Form's.
+func (e *Engine) FormInto(ctx context.Context, cfg core.Config, s *core.Scratch) (*core.Result, error) {
+	if err := cfg.Validate(e.ds); err != nil {
+		return nil, err
+	}
+	prefs, err := e.prefLists(ctx, cfg.K, cfg.Missing, cfg.EffectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	return core.FormInto(ctx, e.ds, cfg, prefs, s)
+}
+
 // Solve runs any registered solver on the bound dataset. The greedy
 // path ("grd" or an alias) is served from the preference-list cache;
 // every other algorithm delegates to the registry unchanged, so one
