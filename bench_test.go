@@ -10,9 +10,11 @@
 package groupform
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"sort"
 	"testing"
 
@@ -447,6 +449,41 @@ func BenchmarkTopKSelect(b *testing.B) {
 					sort.Slice(work, func(x, y int) bool { return less(work[x], work[y]) })
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkServerForm is the serving tier's per-request cost: one
+// POST /form through the full handler — strict JSON decode, registry
+// lookup, pooled-scratch FormInto on warm preference lists, JSON
+// encode — with no network in the way (httptest request/recorder).
+// The solve section inside it is pinned at 0 allocs/op by
+// TestServerFormSteadyStateZeroAlloc; the allocs this benchmark
+// reports are the JSON/HTTP envelope, which the bench-regression
+// guard keeps from creeping.
+func BenchmarkServerForm(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	srv := NewServer(ServerConfig{})
+	if err := srv.AddDataset("main", ds); err != nil {
+		b.Fatal(err)
+	}
+	body := []byte(`{"dataset":"main","k":5,"l":10,"semantics":"lm","agg":"min"}`)
+	do := func() int {
+		req := httptest.NewRequest("POST", "/form", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	for i := 0; i < 3; i++ { // warm the pref cache and scratch pool
+		if code := do(); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != 200 {
+			b.Fatalf("status %d", code)
 		}
 	}
 }

@@ -101,7 +101,7 @@ func runCompare(oldPath, newPath string, nsThreshold float64, stdout io.Writer) 
 	}
 	c.WriteText(stdout)
 	if regs := c.Regressions(); len(regs) > 0 {
-		return fmt.Errorf("%w: %d of %d benchmarks regressed (>%g%% ns/op or any allocs/op increase) vs %s",
+		return fmt.Errorf("%w: %d of %d benchmarks regressed (>%g%% ns/op, or allocs/op beyond the max(1, 0.1%%) jitter slack) vs %s",
 			errRegression, len(regs), len(c.Deltas), nsThreshold*100, oldPath)
 	}
 	fmt.Fprintf(stdout, "OK: %d benchmarks within budget vs %s\n", len(c.Deltas), oldPath)

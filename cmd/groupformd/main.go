@@ -1,0 +1,136 @@
+// Command groupformd serves recommendation-aware group formation
+// over HTTP: it loads one or more datasets into a hot-swappable
+// engine registry and answers /form, /form/batch, /solve,
+// /datasets/{name} uploads and /healthz with the JSON API documented
+// in docs/API.md.
+//
+// Usage:
+//
+//	groupformd -listen :8080 -dataset main=ratings.csv \
+//	    [-dataset other=more.bin ...] [-workers 0] \
+//	    [-max-inflight 64] [-timeout 30s] [-max-upload 1073741824]
+//
+// Each -dataset flag is name=path; the file loads through the
+// sniffing loader, so CSV and the compact binary format both work.
+// Starting with no -dataset flags is allowed: datasets can be
+// uploaded later with POST /datasets/{name}. -listen accepts :0 to
+// pick a free port; the bound address is printed on one line
+// ("groupformd: listening on http://...") so scripts and tests can
+// scrape it. SIGINT/SIGTERM drain in-flight requests and exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"groupform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "groupformd:", err)
+		os.Exit(1)
+	}
+}
+
+// datasetFlags collects repeatable -dataset name=path values.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+func (d *datasetFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("-dataset wants name=path, got %q", v)
+	}
+	*d = append(*d, v)
+	return nil
+}
+
+// shutdown carries the termination signal; package-level so tests can
+// stop a running daemon without delivering a real signal to the test
+// process.
+var shutdown = make(chan os.Signal, 1)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("groupformd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var datasets datasetFlags
+	fs.Var(&datasets, "dataset", "name=path of a ratings file to serve (repeatable; CSV or binary, sniffed)")
+	var (
+		listen      = fs.String("listen", ":8080", "address to listen on (host:port; :0 picks a free port)")
+		workers     = fs.Int("workers", 0, "default formation worker count per request (0 or 1 = serial zero-alloc path, -1 = all CPUs)")
+		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently served requests; excess get 503 (0 = unlimited)")
+		timeout     = fs.Duration("timeout", 0, "default per-solve deadline for requests without timeout_ms (0 = unbounded)")
+		maxUpload   = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := groupform.NewServer(groupform.ServerConfig{
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxUploadBytes: *maxUpload,
+	})
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := loadInto(srv, name, path, out); err != nil {
+			return err
+		}
+	}
+	if len(datasets) == 0 {
+		fmt.Fprintln(out, "groupformd: no -dataset flags; waiting for POST /datasets/{name} uploads")
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "groupformd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(shutdown)
+	done := make(chan error, 1)
+	go func() {
+		<-shutdown
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- hs.Shutdown(ctx)
+	}()
+	if err := hs.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "groupformd: drained, bye")
+	return nil
+}
+
+// loadInto reads one -dataset spec into the server's registry.
+func loadInto(srv *groupform.Server, name, path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := groupform.Load(f, groupform.DefaultScale)
+	if err != nil {
+		return fmt.Errorf("dataset %s (%s): %w", name, path, err)
+	}
+	if err := srv.AddDataset(name, ds); err != nil {
+		return fmt.Errorf("dataset %s: %w", name, err)
+	}
+	fmt.Fprintf(out, "groupformd: dataset %s: %s\n", name, ds.Describe())
+	return nil
+}

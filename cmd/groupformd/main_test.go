@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groupform"
+)
+
+// syncBuffer lets the test read daemon output while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// writeRatings materializes a small synthetic dataset as a CSV file.
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	ds, err := groupform.Generate(groupform.SynthConfig{
+		Users: 80, Items: 30, Clusters: 8, RatingsPerUser: 15, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ratings.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := groupform.WriteCSV(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// TestServeAndShutdown boots the daemon on a random port, speaks the
+// API over real HTTP, and drains it through the shutdown path.
+func TestServeAndShutdown(t *testing.T) {
+	path := writeRatings(t)
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-dataset", "main=" + path, "-max-inflight", "16"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line within 10s: %s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(health), `"main"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, health)
+	}
+
+	form := `{"dataset":"main","k":3,"l":5,"semantics":"lm","agg":"min"}`
+	resp, err = http.Post(base+"/form", "application/json", strings.NewReader(form))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/form: %d %s", resp.StatusCode, body)
+	}
+	var fr struct {
+		Groups []struct {
+			Members []int `json:"members"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil || len(fr.Groups) == 0 {
+		t.Fatalf("/form body %s (err %v)", body, err)
+	}
+
+	shutdown <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain line: %s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "missing-equals"},
+		{"-dataset", "x=/does/not/exist.csv", "-listen", "127.0.0.1:0"},
+		{"-listen", "not-an-address"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Command loadgen replays a synthetic formation query mix against a
+// running groupformd and prints a latency histogram (p50/p95/p99)
+// plus throughput — the measuring half of the serving tier.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:8080 [-dataset main] \
+//	    [-duration 10s] [-concurrency 8] [-mix form:8,batch:1,solve:1] \
+//	    [-k 5] [-l 10] [-batch 8] [-algo ls] [-seed 1] [-timeout-ms 0]
+//
+// Each worker draws requests from the weighted mix: "form" posts
+// /form with semantics, aggregation and k jittered per request,
+// "batch" posts /form/batch with -batch jittered parameter sets, and
+// "solve" posts /solve with the -algo algorithm. Non-2xx responses
+// count as errors (their latency still recorded).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"groupform/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// mixEntry is one weighted endpoint in the query mix.
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+// parseMix reads "form:8,batch:1,solve:1" (weights optional,
+// defaulting to 1) into a cumulative-weight table.
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, w := part, 1
+		if name, ws, ok := strings.Cut(part, ":"); ok {
+			n, err := strconv.Atoi(ws)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("mix weight %q is not a non-negative integer", ws)
+			}
+			kind, w = name, n
+		}
+		switch kind {
+		case "form", "batch", "solve":
+		default:
+			return nil, fmt.Errorf("unknown mix kind %q (want form, batch or solve)", kind)
+		}
+		if w > 0 {
+			out = append(out, mixEntry{kind: kind, weight: w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q selects no endpoints", s)
+	}
+	return out, nil
+}
+
+// pick draws one mix entry by weight.
+func pick(mix []mixEntry, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n -= m.weight; n < 0 {
+			return m.kind
+		}
+	}
+	return mix[len(mix)-1].kind
+}
+
+// workerResult is one goroutine's share of the run.
+type workerResult struct {
+	latencies []time.Duration
+	errors    int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		target      = fs.String("target", "", "base URL of a running groupformd (required)")
+		datasetName = fs.String("dataset", "", "dataset name to query (empty works when the server has exactly one)")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = fs.Int("concurrency", 8, "concurrent client connections")
+		mixFlag     = fs.String("mix", "form:8,batch:1,solve:1", "weighted endpoint mix")
+		k           = fs.Int("k", 5, "maximum recommended list length (jittered 2..k per request)")
+		l           = fs.Int("l", 10, "maximum number of groups")
+		batch       = fs.Int("batch", 8, "parameter sets per /form/batch request")
+		algo        = fs.String("algo", "grd", "algorithm for /solve requests (grd is fast everywhere; ls needs a deadline budget at scale)")
+		seed        = fs.Int64("seed", 1, "query-mix seed")
+		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	base := strings.TrimRight(*target, "/")
+	// A request slower than twice the whole run is hung, not slow —
+	// but floor the cutoff so short smoke runs don't count an
+	// honest slow solve as an error.
+	clientTimeout := 2 * *duration
+	if clientTimeout < 5*time.Second {
+		clientTimeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: clientTimeout}
+	deadline := time.Now().Add(*duration)
+	results := make([]workerResult, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				kind := pick(mix, rng)
+				body, path := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS)
+				t0 := time.Now()
+				ok := post(client, base+path, body)
+				res.latencies = append(res.latencies, time.Since(t0))
+				if !ok {
+					res.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errors += r.errors
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed within %v", *duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	report(out, all, errors, elapsed, *mixFlag, *concurrency)
+	return nil
+}
+
+// buildRequest synthesizes one request of the given kind. k jitters
+// in [2, maxK] and the aggregation cycles through min/max/sum so the
+// server's bucket-key and cache behavior is exercised across the
+// realistic parameter space, not one hot cell.
+func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64) ([]byte, string) {
+	params := func() server.FormParams {
+		k := maxK
+		if maxK > 2 {
+			k = 2 + rng.Intn(maxK-1)
+		}
+		return server.FormParams{
+			K:           k,
+			L:           l,
+			Semantics:   []string{"lm", "av"}[rng.Intn(2)],
+			Aggregation: []string{"min", "max", "sum"}[rng.Intn(3)],
+		}
+	}
+	switch kind {
+	case "batch":
+		req := server.BatchRequest{Dataset: dataset, TimeoutMS: timeoutMS}
+		for i := 0; i < batch; i++ {
+			req.Requests = append(req.Requests, params())
+		}
+		body, _ := json.Marshal(req)
+		return body, "/form/batch"
+	case "solve":
+		req := server.SolveRequest{Dataset: dataset, Algo: algo, Seed: rng.Int63(), TimeoutMS: timeoutMS, FormParams: params()}
+		body, _ := json.Marshal(req)
+		return body, "/solve"
+	default:
+		req := server.FormRequest{Dataset: dataset, TimeoutMS: timeoutMS, FormParams: params()}
+		body, _ := json.Marshal(req)
+		return body, "/form"
+	}
+}
+
+// post sends one request, draining the body so connections get
+// reused; ok reports a 2xx status.
+func post(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// report prints throughput, the latency quantiles and a power-of-two
+// histogram.
+func report(out io.Writer, sorted []time.Duration, errors int, elapsed time.Duration, mix string, concurrency int) {
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	n := len(sorted)
+	fmt.Fprintf(out, "loadgen: mix=%s concurrency=%d elapsed=%v\n", mix, concurrency, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "requests=%d errors=%d throughput=%.1f req/s\n", n, errors, float64(n)/elapsed.Seconds())
+	fmt.Fprintf(out, "latency: p50=%v p95=%v p99=%v mean=%v max=%v\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
+		(sum / time.Duration(n)).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
+	fmt.Fprintln(out, "histogram:")
+	// Buckets double from 100µs; everything slower lands in the last.
+	bounds := []time.Duration{100 * time.Microsecond}
+	for bounds[len(bounds)-1] < sorted[n-1] && len(bounds) < 16 {
+		bounds = append(bounds, bounds[len(bounds)-1]*2)
+	}
+	counts := make([]int, len(bounds)+1)
+	for _, d := range sorted {
+		i := sort.Search(len(bounds), func(i int) bool { return d <= bounds[i] })
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		label := fmt.Sprintf(">%v", bounds[len(bounds)-1])
+		if i < len(bounds) {
+			label = fmt.Sprintf("<=%v", bounds[i])
+		}
+		bar := strings.Repeat("#", 1+c*40/n)
+		fmt.Fprintf(out, "  %-12s %6d %s\n", label, c, bar)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"groupform"
+)
+
+func TestParseMix(t *testing.T) {
+	good := map[string][]mixEntry{
+		"form":                 {{"form", 1}},
+		"form:8,batch:1":       {{"form", 8}, {"batch", 1}},
+		"form:2, solve":        {{"form", 2}, {"solve", 1}},
+		"form:0,batch:3":       {{"batch", 3}},
+		"form:8,batch:1,solve": {{"form", 8}, {"batch", 1}, {"solve", 1}},
+	}
+	for in, want := range good {
+		got, err := parseMix(in)
+		if err != nil {
+			t.Fatalf("parseMix(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parseMix(%q) = %v, want %v", in, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parseMix(%q)[%d] = %v, want %v", in, i, got[i], want[i])
+			}
+		}
+	}
+	for _, in := range []string{"", "form:-1", "form:x", "delete:1", "form:0"} {
+		if _, err := parseMix(in); err == nil {
+			t.Errorf("parseMix(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestLoadgenAgainstServer drives a real in-process server with the
+// full mix for a short burst and checks the report shape.
+func TestLoadgenAgainstServer(t *testing.T) {
+	ds, err := groupform.Generate(groupform.SynthConfig{
+		Users: 60, Items: 24, Clusters: 6, RatingsPerUser: 12, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := groupform.NewServer(groupform.ServerConfig{})
+	if err := srv.AddDataset("main", ds); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", ts.URL, "-dataset", "main",
+		"-duration", "400ms", "-concurrency", "2",
+		"-mix", "form:6,batch:2,solve:2", "-k", "4", "-l", "5", "-batch", "3",
+		// grd keeps /solve fast enough for a sub-second smoke run
+		// even under -race; ls belongs in real load runs.
+		"-algo", "grd",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"throughput=", "p50=", "p95=", "p99=", "errors=0", "histogram:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+
+	// -k 1 must not panic the k jitter (regression: Intn(maxK-1) ran
+	// before the small-k guard).
+	out.Reset()
+	err = run([]string{
+		"-target", ts.URL, "-dataset", "main",
+		"-duration", "100ms", "-concurrency", "1", "-mix", "form",
+		"-k", "1", "-l", "3", "-algo", "grd",
+	}, &out)
+	if err != nil {
+		t.Fatalf("-k 1 run: %v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "errors=0") {
+		t.Fatalf("-k 1 run had errors:\n%s", out.String())
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{}, // missing target
+		{"-target", "x", "-mix", "delete:1"},
+		{"-target", "x", "-concurrency", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

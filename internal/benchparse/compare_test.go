@@ -35,13 +35,45 @@ func TestCompareNsRegression(t *testing.T) {
 }
 
 func TestCompareAllocsRegression(t *testing.T) {
-	// Any allocs/op increase trips the guard, even with faster ns/op.
+	// A zero-alloc baseline is exact: 0 -> 1 trips the guard, even
+	// with faster ns/op.
 	old := rep(bench("BenchmarkA", 1000, 0))
 	new := rep(bench("BenchmarkA", 500, 1))
 	c := Compare(old, new, 0.15)
 	regs := c.Regressions()
 	if len(regs) != 1 || !regs[0].AllocsRegressed || regs[0].NsRegressed {
 		t.Fatalf("regressions = %+v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareAllocsSlack(t *testing.T) {
+	// Pool/GC timing wobbles alloc counts by a hair; the guard
+	// tolerates max(1, old/1000) on a nonzero baseline and nothing
+	// beyond it.
+	old := rep(
+		bench("BenchmarkSerial", 1000, 30),    // pooled serial path
+		bench("BenchmarkFanout", 1000, 55000), // parallel fan-out
+		bench("BenchmarkWorse", 1000, 30),
+		bench("BenchmarkFanoutWorse", 1000, 55000),
+	)
+	new := rep(
+		bench("BenchmarkSerial", 1000, 31),         // +1: tolerated
+		bench("BenchmarkFanout", 1000, 55040),      // +40 < old/1000: tolerated
+		bench("BenchmarkWorse", 1000, 32),          // +2 > 1: regression
+		bench("BenchmarkFanoutWorse", 1000, 55100), // +100 > old/1000: regression
+	)
+	c := Compare(old, new, 0.15)
+	regs := c.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkWorse and BenchmarkFanoutWorse", regs)
+	}
+	for _, d := range regs {
+		if d.Name != "BenchmarkWorse" && d.Name != "BenchmarkFanoutWorse" {
+			t.Fatalf("unexpected regression %+v", d)
+		}
+		if !d.AllocsRegressed {
+			t.Fatalf("regression %+v not flagged on allocs", d)
+		}
 	}
 }
 

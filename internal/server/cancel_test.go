@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// bigDS generates an instance whose serial greedy solve runs for
+// hundreds of milliseconds, so a 5-10ms cancellation point lands
+// mid-solve with a wide margin (same sizing idea as the library's
+// cancellation suite). Generated once and shared — datasets are
+// immutable, and each test still builds its own engine.
+func bigDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	bigOnce.Do(func() { bigCached, bigErr = synth.YahooLike(80_000, 1_000, 5) })
+	if bigErr != nil {
+		t.Fatal(bigErr)
+	}
+	return bigCached
+}
+
+var (
+	bigOnce   sync.Once
+	bigCached *dataset.Dataset
+	bigErr    error
+)
+
+// adversarialBBDS is the dense unclustered lattice on which
+// branch-and-bound under AV semantics barely prunes — the slow
+// adversarial instance the mid-solve /solve cancellation rides.
+func adversarialBBDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	users, items := 26, 8
+	rows := make([][]float64, users)
+	for i := range rows {
+		rows[i] = make([]float64, items)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*31+j*17+i*i*j)%9)/2 + 1
+		}
+	}
+	ds, err := dataset.FromDense(dataset.DefaultScale, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestFormPreCanceled: a request arriving with an already-dead
+// context returns the canceled error body immediately and returns its
+// scratch to the pool.
+func TestFormPreCanceled(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, err := marshalBody(FormRequest{FormParams: FormParams{K: 3, L: 4, Semantics: "lm", Aggregation: "min"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/form", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(rec, req)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pre-canceled request took %v", d)
+	}
+	wantStatus(t, rec, StatusClientClosedRequest, CodeCanceled)
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("pre-canceled request leaked %d scratches", n)
+	}
+}
+
+// TestFormTimeoutMSHonored: a per-request timeout_ms cancels a long
+// solve mid-flight (499), while the same request without the field
+// completes.
+func TestFormTimeoutMSHonored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs a deliberately slow instance")
+	}
+	s := New(Config{})
+	if err := s.AddDataset("big", bigDS(t)); err != nil {
+		t.Fatal(err)
+	}
+	p := FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}
+
+	rec := doJSON(t, s, "POST", "/form", FormRequest{Dataset: "big", TimeoutMS: 5, FormParams: p})
+	wantStatus(t, rec, StatusClientClosedRequest, CodeCanceled)
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("timed-out request leaked %d scratches", n)
+	}
+
+	// The uncanceled control solve completes (and proves the 5ms case
+	// above really was mid-solve, not an instant failure).
+	start := time.Now()
+	rec = doJSON(t, s, "POST", "/form", FormRequest{Dataset: "big", FormParams: p})
+	wantStatus(t, rec, http.StatusOK, "")
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Logf("control solve unexpectedly fast (%v); timeout case may not be mid-solve", elapsed)
+	}
+}
+
+// TestServerDefaultTimeout: Config.DefaultTimeout bounds requests
+// that carry no timeout_ms of their own.
+func TestServerDefaultTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs a deliberately slow instance")
+	}
+	s := New(Config{DefaultTimeout: 5 * time.Millisecond})
+	if err := s.AddDataset("big", bigDS(t)); err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, s, "POST", "/form", FormRequest{Dataset: "big",
+		FormParams: FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}})
+	wantStatus(t, rec, StatusClientClosedRequest, CodeCanceled)
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("leaked %d scratches", n)
+	}
+}
+
+// TestClientDisconnectMidSolve: over real HTTP, a client vanishing
+// mid-solve cancels the handler's context; the solver stops and the
+// pooled scratch comes back with no leak.
+func TestClientDisconnectMidSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs a deliberately slow instance")
+	}
+	s := New(Config{})
+	if err := s.AddDataset("big", bigDS(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, err := marshalBody(FormRequest{Dataset: "big",
+		FormParams: FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/form", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// The server may beat the 10ms cancel on a fast machine; that
+		// is not a failure of the disconnect path, just a miss.
+		resp.Body.Close()
+		t.Log("solve finished before the client disconnected; disconnect path not exercised")
+	}
+
+	// The handler notices the disconnect at the solver's next
+	// cancellation check and must return its lease.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.LeasedScratches() != 0 || s.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("after disconnect: leased=%d inflight=%d", s.LeasedScratches(), s.Inflight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSolveCancelAdversarialBB: timeout_ms stops a branch-and-bound
+// solve on the adversarial AV instance (where pruning cannot save
+// it) and maps to the canceled error body.
+func TestSolveCancelAdversarialBB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial branch-and-bound runs for seconds uncanceled")
+	}
+	s := New(Config{})
+	if err := s.AddDataset("adv", adversarialBBDS(t)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rec := doJSON(t, s, "POST", "/solve?algo=bb", SolveRequest{Dataset: "adv", TimeoutMS: 15,
+		FormParams: FormParams{K: 2, L: 6, Semantics: "av", Aggregation: "sum"}})
+	wantStatus(t, rec, StatusClientClosedRequest, CodeCanceled)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v to observe cancellation", elapsed)
+	}
+}
+
+// TestBatchSharedDeadline: one expiring deadline cancels the rest of
+// a batch, reporting every unfinished item canceled — and the single
+// scratch lease comes back.
+func TestBatchSharedDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-solve cancellation needs a deliberately slow instance")
+	}
+	s := New(Config{})
+	if err := s.AddDataset("big", bigDS(t)); err != nil {
+		t.Fatal(err)
+	}
+	p := FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}
+	rec := doJSON(t, s, "POST", "/form/batch", BatchRequest{Dataset: "big", TimeoutMS: 5,
+		Requests: []FormParams{p, p, p}})
+	wantStatus(t, rec, http.StatusOK, "")
+	br := decodeAs[BatchResponse](t, rec)
+	sawCanceled := false
+	for _, item := range br.Results {
+		if item.Error != nil && item.Error.Code == CodeCanceled {
+			sawCanceled = true
+		}
+	}
+	if !sawCanceled {
+		t.Fatalf("no batch item reported canceled: %+v", br.Results)
+	}
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("batch leaked %d scratches", n)
+	}
+}

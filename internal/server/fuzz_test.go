@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+)
+
+// tinyDS is the minimal dataset the fuzz servers solve against —
+// FromDense so each fuzz worker process rebuilds it in microseconds.
+func tinyDS(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.FromDense(dataset.DefaultScale, [][]float64{
+		{5, 1, 3, 2}, {1, 5, 2, 4}, {4, 4, 1, 1}, {2, 3, 5, 1}, {1, 1, 1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// FuzzFormRequest fuzzes the /form request path end to end: the
+// strict JSON decoder must classify every rejection as ErrBadConfig
+// (never panic, never misparse), and the full handler must answer any
+// body with one of the contract's status codes while returning every
+// scratch lease.
+func FuzzFormRequest(f *testing.F) {
+	f.Add([]byte(`{"dataset":"main","k":2,"l":2,"semantics":"lm","agg":"min"}`))
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"av","agg":"sum","missing":1.5,"workers":2}`))
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"av","agg":"sum","timeout_ms":1}`))
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","timeout_ms":-5}`))
+	f.Add([]byte(`{"k":-1,"l":0,"semantics":"lm","agg":"min"}`))
+	f.Add([]byte(`{"k":1000000,"l":2,"semantics":"lm","agg":"min"}`))
+	f.Add([]byte(`{"semantics":"median","agg":"p99"}`))
+	f.Add([]byte(`{"bogus":true}`))
+	f.Add([]byte(`{"k":"two"}`))
+	f.Add([]byte(`{}{}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\xff\xfe garbage"))
+
+	srv := New(Config{})
+	if err := srv.AddDataset("main", tinyDS(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder-level contract: any rejection wraps ErrBadConfig.
+		var req FormRequest
+		if err := decodeJSON(bytes.NewReader(data), &req); err != nil {
+			if !errors.Is(err, gferr.ErrBadConfig) {
+				t.Fatalf("decode rejection not classified ErrBadConfig: %v", err)
+			}
+		}
+
+		// Handler-level contract: no panic, no 5xx, no leaked lease.
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/form", bytes.NewReader(data))
+		srv.ServeHTTP(rec, r)
+		switch rec.Code {
+		case 200, 400, 404, 413, StatusClientClosedRequest:
+		default:
+			t.Fatalf("status %d for body %q: %s", rec.Code, data, rec.Body.String())
+		}
+		if n := srv.LeasedScratches(); n != 0 {
+			t.Fatalf("leaked %d scratches on body %q", n, data)
+		}
+	})
+}
+
+// FuzzDatasetUpload fuzzes POST /datasets/{name} with arbitrary
+// bodies — truncated binary streams, malformed CSV, oversized uploads
+// against a deliberately small MaxUploadBytes — extending the dataset
+// fuzz surface to the serving boundary. Contract: 2xx/400/413 only,
+// no panic, and a 2xx must leave a servable engine in the registry.
+func FuzzDatasetUpload(f *testing.F) {
+	ds := tinyDS(f)
+	var binary bytes.Buffer
+	if err := dataset.WriteBinary(&binary, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("user,item,rating\n1,1,5\n1,2,3\n2,1,4\n"))
+	f.Add([]byte("1,1,5\n2,2,2\n"))
+	f.Add(binary.Bytes())
+	for _, cut := range []int{1, 4, 8, 16, binary.Len() / 2, binary.Len() - 1} {
+		if cut < binary.Len() {
+			f.Add(binary.Bytes()[:cut])
+		}
+	}
+	f.Add([]byte("GFDS")) // magic only
+	f.Add([]byte(""))
+	f.Add([]byte("user,item,rating\n1,1,99\n"))  // rating off scale
+	f.Add(bytes.Repeat([]byte("1,1,5\n"), 3000)) // larger than the cap below
+
+	srv := New(Config{MaxUploadBytes: 8 * 1024})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/datasets/fuzzed", bytes.NewReader(data))
+		srv.ServeHTTP(rec, r)
+		switch rec.Code {
+		case 200, 201, 400, 413:
+		default:
+			t.Fatalf("status %d for %d-byte body: %s", rec.Code, len(data), rec.Body.String())
+		}
+		if rec.Code < 300 {
+			// A successful upload must be servable.
+			if !contains(srv.Datasets(), "fuzzed") {
+				t.Fatal("2xx upload missing from registry")
+			}
+			if !strings.Contains(rec.Body.String(), `"ratings"`) {
+				t.Fatalf("2xx upload body %q lacks stats", rec.Body.String())
+			}
+		}
+	})
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

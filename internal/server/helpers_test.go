@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/synth"
+)
+
+// testDS generates the small clustered dataset most tests serve.
+func testDS(t testing.TB, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{
+		Users: 200, Items: 60, Clusters: 12, RatingsPerUser: 30,
+		ExploreFrac: 0.2, NoiseRate: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// newTestServer builds a Server with one dataset named "main".
+func newTestServer(t testing.TB, cfg Config) (*Server, *dataset.Dataset) {
+	t.Helper()
+	ds := testDS(t, 42)
+	s := New(cfg)
+	if err := s.AddDataset("main", ds); err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+// doJSON runs one request through the handler directly (no network).
+func doJSON(t testing.TB, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if raw, ok := body.([]byte); ok {
+			buf.Write(raw)
+		} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeAs unmarshals a recorder body, failing the test on error.
+func decodeAs[T any](t testing.TB, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// wantStatus asserts the response status and, for errors, the stable
+// error code in the body.
+func wantStatus(t testing.TB, rec *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status = %d (%s), want %d", rec.Code, rec.Body.String(), status)
+	}
+	if code != "" {
+		eb := decodeAs[ErrorBody](t, rec)
+		if eb.Code != code {
+			t.Fatalf("error code = %q (%s), want %q", eb.Code, rec.Body.String(), code)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"groupform/internal/dataset"
+)
+
+// formGrid is the parameter grid the concurrency tests cycle
+// through: every semantics/aggregation pair at two list lengths, so
+// concurrent requests constantly cross engine cache keys and scratch
+// shapes.
+func formGrid() []FormParams {
+	var grid []FormParams
+	for _, sem := range []string{"lm", "av"} {
+		for _, agg := range []string{"max", "min", "sum"} {
+			for _, k := range []int{3, 5} {
+				grid = append(grid, FormParams{K: k, L: 6, Semantics: sem, Aggregation: agg})
+			}
+		}
+	}
+	return grid
+}
+
+// postBody POSTs one JSON document over real HTTP and returns status
+// and body bytes. It returns rather than fails errors so worker
+// goroutines can report through a channel (t.Fatal is main-goroutine
+// only).
+func postBody(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, got, nil
+}
+
+// TestConcurrentFormParity is the concurrency parity gate: N
+// goroutines hammer one engine through the server's scratch pool over
+// real HTTP, and every response is byte-compared against the
+// single-threaded Engine.Form oracle for its parameter set. Run under
+// -race this also proves the pool and registry are data-race free.
+func TestConcurrentFormParity(t *testing.T) {
+	s, ds := newTestServer(t, Config{})
+	grid := formGrid()
+
+	// Oracle bodies, one per grid cell, built before any traffic.
+	oracle := make([][]byte, len(grid))
+	reqs := make([][]byte, len(grid))
+	for i, p := range grid {
+		cfg, err := p.config(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = oracleBody(t, ds, "main", cfg)
+		req, err := marshalBody(FormRequest{Dataset: "main", FormParams: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = req
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const (
+		workers = 8
+		perG    = 24
+	)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < perG; i++ {
+				idx := (g + i) % len(grid)
+				status, got, err := postBody(client, ts.URL+"/form", reqs[idx])
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d req %d: %w", g, i, err)
+					return
+				}
+				if status != http.StatusOK {
+					errc <- fmt.Errorf("goroutine %d req %d: status %d: %s", g, i, status, got)
+					return
+				}
+				if !bytes.Equal(got, oracle[idx]) {
+					errc <- fmt.Errorf("goroutine %d req %d (grid %d): response diverges from serial oracle\n got %s\nwant %s",
+						g, i, idx, got, oracle[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("parity run leaked %d scratches", n)
+	}
+}
+
+// TestConcurrentSwapDuringTraffic hot-swaps the dataset (same bytes,
+// so the oracle stays valid) while goroutines solve against it:
+// in-flight requests must finish on whichever engine they resolved
+// and still produce the oracle response, with no race or 5xx.
+func TestConcurrentSwapDuringTraffic(t *testing.T) {
+	s, ds := newTestServer(t, Config{})
+	p := FormParams{K: 4, L: 6, Semantics: "lm", Aggregation: "min"}
+	cfg, err := p.config(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleBody(t, ds, "main", cfg)
+	reqBody, err := marshalBody(FormRequest{Dataset: "main", FormParams: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upload bytes.Buffer
+	if err := dataset.WriteBinary(&upload, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, got, err := postBody(client, ts.URL+"/form", reqBody)
+				if err != nil {
+					errc <- fmt.Errorf("during swap: %w", err)
+					return
+				}
+				if status != http.StatusOK || !bytes.Equal(got, want) {
+					errc <- fmt.Errorf("during swap: status %d, body %s", status, got)
+					return
+				}
+			}
+		}()
+	}
+	client := &http.Client{}
+	for i := 0; i < 20; i++ {
+		status, got, err := postBody(client, ts.URL+"/datasets/main", upload.Bytes())
+		if err != nil || status != http.StatusOK {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("swap %d: status %d, err %v: %s", i, status, err, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

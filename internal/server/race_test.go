@@ -1,0 +1,10 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary carries the race
+// detector, which deliberately randomizes sync.Pool (Get may ignore
+// the cache and call New) — the pooled zero-alloc measurement is
+// meaningless there. CI runs the steady-state guards in a separate
+// non-race step.
+const raceEnabled = true

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"groupform/internal/dataset"
+	"groupform/internal/solver"
+)
+
+// Registry maps dataset names to the Engine serving them, with
+// atomic hot-swap: Swap publishes a fresh Engine under the write
+// lock, lookups take the read lock only long enough to fetch the
+// pointer, and in-flight requests keep solving on whatever Engine
+// they resolved — an Engine is immutable once published (its dataset
+// is immutable and its preference-list cache is internally
+// synchronized), so a swapped-out engine stays fully usable until
+// the last request holding it returns and the GC collects it. There
+// is deliberately no delete: a serving tier replaces datasets, it
+// does not un-serve them mid-traffic.
+type Registry struct {
+	mu      sync.RWMutex
+	engines map[string]*solver.Engine
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{engines: make(map[string]*solver.Engine)}
+}
+
+// Get resolves name to its current engine. The empty name is a
+// convenience that resolves iff exactly one dataset is loaded, so
+// single-catalog deployments can omit the field entirely. Unknown
+// names report ok = false with the resolved name echoed back.
+func (r *Registry) Get(name string) (eng *solver.Engine, resolved string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.engines) != 1 {
+			return nil, "", false
+		}
+		for n, e := range r.engines {
+			return e, n, true
+		}
+	}
+	eng, ok = r.engines[name]
+	return eng, name, ok
+}
+
+// Swap atomically publishes eng as the engine for name, returning
+// whether an earlier engine was replaced. Requests already holding
+// the old engine finish on it; every later Get sees the new one.
+func (r *Registry) Swap(name string, eng *solver.Engine) (replaced bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, replaced = r.engines[name]
+	r.engines[name] = eng
+	return replaced
+}
+
+// Add builds an engine for ds and publishes it under name; the
+// programmatic (boot-time) twin of the upload endpoint.
+func (r *Registry) Add(name string, ds *dataset.Dataset) error {
+	if err := validDatasetName(name); err != nil {
+		return err
+	}
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		return err
+	}
+	r.Swap(name, eng)
+	return nil
+}
+
+// Names returns the loaded dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.engines))
+	for n := range r.engines {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Infos snapshots per-dataset sizes for GET /datasets.
+func (r *Registry) Infos() map[string]DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]DatasetInfo, len(r.engines))
+	for n, e := range r.engines {
+		ds := e.Dataset()
+		out[n] = DatasetInfo{Users: ds.NumUsers(), Items: ds.NumItems(), Ratings: ds.NumRatings()}
+	}
+	return out
+}
+
+// notFoundMsg renders the 404 detail for an unresolved dataset name.
+func notFoundMsg(name string, known []string) string {
+	if name == "" {
+		return fmt.Sprintf("server: request names no dataset and %d are loaded (known: %v)", len(known), known)
+	}
+	return fmt.Sprintf("server: unknown dataset %q (known: %v)", name, known)
+}

@@ -1,0 +1,461 @@
+// Package server is the concurrent serving tier of the module: an
+// HTTP/JSON facade over the solver Engine that turns the zero-alloc
+// library call of PR 4 into a correct concurrent service. One Server
+// holds a named Registry of engines (hot-swappable via POST
+// /datasets/{name}), a sync.Pool of core.Scratch that keeps the warm
+// serial /form solve section at 0 allocs/op, an optional max-inflight
+// semaphore for backpressure, and per-request cancellation: the
+// client disconnecting or a timeout_ms deadline expiring propagates
+// through context into the solver's periodic checks and surfaces as
+// the 499 "canceled" error body.
+//
+// Error contract: every non-2xx response is an ErrorBody whose Code
+// classifies the failure the same way the library sentinels do —
+// gferr.ErrBadConfig -> 400 bad_config, gferr.ErrTooLarge -> 413
+// too_large, gferr.ErrCanceled -> 499 canceled — plus 404 not_found
+// for unknown datasets, 503 overloaded when the inflight semaphore is
+// saturated, and 500 internal for anything unclassified.
+//
+// cmd/groupformd wraps this package as a daemon; the facade
+// re-exports it as groupform.Server.
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/solver"
+)
+
+// Config parameterizes a Server. The zero value serves: no inflight
+// cap, no default deadline, serial solves, 1 GiB upload cap.
+type Config struct {
+	// Workers is the default formation worker count applied to every
+	// request that does not set its own (0 or 1 = serial — the
+	// zero-alloc path — and negative = all CPUs).
+	Workers int
+	// MaxInflight caps concurrently served solve/upload requests;
+	// excess requests are rejected immediately with 503 rather than
+	// queued, so load sheds at the door instead of as timeouts deep
+	// in the solver. 0 means unlimited.
+	MaxInflight int
+	// DefaultTimeout bounds every solve that does not carry its own
+	// timeout_ms. 0 means unbounded.
+	DefaultTimeout time.Duration
+	// MaxUploadBytes caps POST /datasets/{name} bodies; larger
+	// uploads are rejected with 413. 0 means the 1 GiB default.
+	MaxUploadBytes int64
+	// Scale validates uploaded ratings; the zero value means the
+	// paper's 1-5 default scale.
+	Scale dataset.Scale
+}
+
+// defaultMaxUpload is the upload cap when Config.MaxUploadBytes is 0.
+const defaultMaxUpload = 1 << 30
+
+// maxSolveBodyBytes caps /form, /form/batch and /solve request
+// bodies. A solve request is a handful of scalars (a batch, a few
+// thousand of them); 1 MiB is orders of magnitude of headroom while
+// keeping a hostile body from buffering gigabytes into decodeJSON.
+// Refused bodies surface as 413 too_large.
+const maxSolveBodyBytes = 1 << 20
+
+// Server is the HTTP serving layer. Create one with New, load
+// datasets with AddDataset (boot) or POST /datasets/{name} (runtime),
+// and mount it anywhere an http.Handler goes. A Server is safe for
+// concurrent use; see the package comment for the endpoint and error
+// contract.
+type Server struct {
+	cfg Config
+	reg *Registry
+	mux *http.ServeMux
+
+	// scratch pools per-request formation state. sync.Pool keeps the
+	// hot path contention-free (per-P caches, so the goroutine
+	// serving a keep-alive connection tends to get the scratch it
+	// just warmed); leased tracks outstanding leases so tests can
+	// prove canceled requests never leak one.
+	scratch sync.Pool
+	leased  atomic.Int64
+
+	inflight  chan struct{} // nil when MaxInflight == 0
+	inflightN atomic.Int64
+}
+
+// New builds a Server ready to mount. Datasets come later, via
+// AddDataset or the upload endpoint — a Server with zero datasets is
+// healthy and answers every solve with 404.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = defaultMaxUpload
+	}
+	if cfg.Scale == (dataset.Scale{}) {
+		cfg.Scale = dataset.DefaultScale
+	}
+	s := &Server{cfg: cfg, reg: NewRegistry(), mux: http.NewServeMux()}
+	s.scratch.New = func() any { return core.NewScratch() }
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /datasets/{name}", s.handleUpload)
+	s.mux.HandleFunc("POST /form", s.handleForm)
+	s.mux.HandleFunc("POST /form/batch", s.handleFormBatch)
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	// Routing failures must keep the JSON error contract, which
+	// ServeMux's plain-text defaults would break: "/" catches unknown
+	// paths (404), and a methodless registration per route outranks
+	// "/" but loses to the method-specific pattern above, so a wrong
+	// method lands there (405).
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"server: no such route "+r.URL.Path)
+	})
+	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/form", "/form/batch", "/solve"} {
+		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusMethodNotAllowed, CodeBadMethod,
+				"server: method "+r.Method+" not allowed on "+r.URL.Path)
+		})
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AddDataset loads ds into the registry under name (replacing any
+// earlier engine, like the upload endpoint).
+func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
+	return s.reg.Add(name, ds)
+}
+
+// Datasets returns the loaded dataset names, sorted.
+func (s *Server) Datasets() []string { return s.reg.Names() }
+
+// LeasedScratches reports the scratches currently leased from the
+// pool — 0 whenever no request is mid-solve. Exposed so the
+// cancellation tests can prove error paths return their lease.
+func (s *Server) LeasedScratches() int64 { return s.leased.Load() }
+
+// Inflight reports the requests currently inside the semaphore.
+func (s *Server) Inflight() int64 { return s.inflightN.Load() }
+
+// acquire claims an inflight slot, reporting false when the server is
+// saturated. Admission never blocks: shedding at the door keeps the
+// failure mode crisp (an immediate 503 the load balancer can act on)
+// instead of a queue of requests aging toward their deadlines.
+func (s *Server) acquire() bool {
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			return false
+		}
+	}
+	s.inflightN.Add(1)
+	return true
+}
+
+func (s *Server) release() {
+	s.inflightN.Add(-1)
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// leaseScratch takes a scratch from the pool. Every lease must be
+// returned via releaseScratch exactly once, after the response bytes
+// that alias the scratch's arenas have been written.
+func (s *Server) leaseScratch() *core.Scratch {
+	s.leased.Add(1)
+	return s.scratch.Get().(*core.Scratch)
+}
+
+func (s *Server) releaseScratch(sc *core.Scratch) {
+	s.scratch.Put(sc)
+	s.leased.Add(-1)
+}
+
+// formOnScratch is the handler's solve section, isolated so the
+// steady-state test can pin it at 0 allocs/op warm: lease a pooled
+// scratch and run the cached-preference-list formation into it. The
+// caller owns releasing sc (even on error) once it has consumed res —
+// res is carved from sc, so it is valid only until sc's next use.
+func (s *Server) formOnScratch(ctx context.Context, eng *solver.Engine, cfg core.Config) (res *core.Result, sc *core.Scratch, err error) {
+	sc = s.leaseScratch()
+	res, err = eng.FormInto(ctx, cfg, sc)
+	return res, sc, err
+}
+
+// solveCtx applies the request deadline: timeout_ms when given, the
+// server default otherwise. A negative timeout_ms is a bad request —
+// silently running unbounded would contradict the strict-decoding
+// stance — and 0 means "no per-request deadline". The returned
+// context also carries the client-disconnect cancellation of
+// r.Context().
+func (s *Server) solveCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, gferr.BadConfigf("server: timeout_ms must be non-negative, got %d", timeoutMS)
+	}
+	ctx := r.Context()
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// resolve maps a request's dataset name to its engine or writes the
+// 404 error body.
+func (s *Server) resolve(w http.ResponseWriter, name string) (*solver.Engine, string, bool) {
+	eng, resolved, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, notFoundMsg(name, s.reg.Names()))
+		return nil, "", false
+	}
+	return eng, resolved, true
+}
+
+// admit claims an inflight slot or writes the 503 error body.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if !s.acquire() {
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"server: max-inflight requests already being served")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Datasets: s.reg.Names(),
+		Inflight: s.Inflight(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Infos())
+}
+
+// handleForm serves POST /form: the hot path. Decode, resolve,
+// solve on a pooled scratch, encode straight out of the scratch's
+// arenas (zero-copy), release.
+func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req FormRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, maxSolveBodyBytes), &req); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	eng, name, ok := s.resolve(w, req.Dataset)
+	if !ok {
+		return
+	}
+	cfg, err := req.config(s.cfg.Workers)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	defer cancel()
+	res, sc, err := s.formOnScratch(ctx, eng, cfg)
+	defer s.releaseScratch(sc)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	// The response aliases sc's arenas; the deferred release runs
+	// only after writeJSON has serialized every byte.
+	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
+}
+
+// handleFormBatch serves POST /form/batch: many parameter sets
+// against one dataset on a single scratch lease and one deadline.
+// Items fail independently; each result is copied out of the scratch
+// before the next solve reuses it.
+func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req BatchRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, maxSolveBodyBytes), &req); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeSolverError(w, gferr.BadConfigf("server: batch carries no requests"))
+		return
+	}
+	eng, name, ok := s.resolve(w, req.Dataset)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	defer cancel()
+	sc := s.leaseScratch()
+	defer s.releaseScratch(sc)
+	items := make([]BatchItem, len(req.Requests))
+	for i, p := range req.Requests {
+		cfg, err := p.config(s.cfg.Workers)
+		if err == nil {
+			var res *core.Result
+			if res, err = eng.FormInto(ctx, cfg, sc); err == nil {
+				items[i] = BatchItem{Result: toFormResponse(name, res, true)}
+				continue
+			}
+		}
+		status, code := errorStatus(err)
+		items[i] = BatchItem{Error: &ErrorBody{Code: code, Error: err.Error()}}
+		if status == StatusClientClosedRequest {
+			// The shared deadline is gone; every later item would
+			// fail identically, so report them canceled and stop.
+			for j := i + 1; j < len(items); j++ {
+				items[j] = items[i]
+			}
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Dataset: name, Results: items})
+}
+
+// handleSolve serves POST /solve: any registry algorithm. No scratch
+// pooling — only the greedy Engine path has an Into variant — but the
+// grd algorithm still rides the engine's preference-list cache.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req SolveRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, maxSolveBodyBytes), &req); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	if q := r.URL.Query().Get("algo"); q != "" {
+		req.Algo = q
+	}
+	if req.Algo == "" {
+		req.Algo = "grd"
+	}
+	eng, name, ok := s.resolve(w, req.Dataset)
+	if !ok {
+		return
+	}
+	cfg, err := req.config(s.cfg.Workers)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	defer cancel()
+	res, err := eng.Solve(ctx, req.Algo, cfg, solver.WithSeed(req.Seed))
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
+}
+
+// handleUpload serves POST /datasets/{name}: parse the body with the
+// sniffing dataset loader (binary or CSV), build a fresh engine, and
+// atomically swap it into the registry. In-flight solves finish on
+// the engine they resolved.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	name := r.PathValue("name")
+	if err := validDatasetName(name); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	// The loaders flatten their reader's error into a message (binary
+	// truncation reports wrap ErrBadConfig, not the cause), so the
+	// limit hit is recorded on the reader itself rather than fished
+	// back out of the load error.
+	body := &limitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)}
+	ds, err := dataset.Load(body, s.cfg.Scale)
+	if err != nil {
+		if body.hitLimit {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				gferr.TooLargef("server: upload exceeds %d bytes", s.cfg.MaxUploadBytes).Error())
+			return
+		}
+		// A client abort mid-upload surfaces as a read error inside
+		// the loaders; classify it as the cancellation it is, not as
+		// a malformed dataset.
+		if r.Context().Err() != nil {
+			writeError(w, StatusClientClosedRequest, CodeCanceled,
+				"server: upload canceled: "+r.Context().Err().Error())
+			return
+		}
+		// Malformed binary streams wrap ErrBadConfig already; CSV
+		// parse errors are plain — classify both as bad requests.
+		writeError(w, http.StatusBadRequest, CodeBadConfig, err.Error())
+		return
+	}
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	replaced := s.reg.Swap(name, eng)
+	st := http.StatusCreated
+	if replaced {
+		st = http.StatusOK
+	}
+	writeJSON(w, st, UploadResponse{
+		Dataset:  name,
+		Users:    ds.NumUsers(),
+		Items:    ds.NumItems(),
+		Ratings:  ds.NumRatings(),
+		Replaced: replaced,
+	})
+}
+
+// limitTracker remembers whether its MaxBytesReader refused a read,
+// surviving the loaders' error flattening.
+type limitTracker struct {
+	r        io.Reader
+	hitLimit bool
+}
+
+func (t *limitTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		t.hitLimit = true
+	}
+	return n, err
+}

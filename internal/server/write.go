@@ -1,0 +1,48 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON serializes v as the response body. Marshal-then-write
+// (rather than streaming json.Encoder) so the concurrency parity
+// tests can byte-compare bodies against marshalBody of an oracle
+// result, and so a marshal failure can still become a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := marshalBody(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// writeError emits the ErrorBody envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	buf, _ := marshalBody(ErrorBody{Code: code, Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// writeSolverError classifies err with the sentinel taxonomy and
+// writes the matching status + error body.
+func writeSolverError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeError(w, status, code, err.Error())
+}
+
+// marshalBody is the single serialization every response (and the
+// parity oracle) goes through: compact JSON plus a trailing newline
+// for curl friendliness.
+func marshalBody(v any) ([]byte, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode response: %w", err)
+	}
+	return append(buf, '\n'), nil
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/synth"
+)
+
+// TestServerFormSteadyStateZeroAlloc pins the serving tier's
+// acceptance bar: the /form handler's solve section — lease a pooled
+// scratch, run the cached-preference-list formation into it, return
+// the lease — performs zero allocations per request once warm, at the
+// same n=10k scale the engine-level guard uses. Everything around the
+// section (JSON decode/encode, the response writer) allocates by
+// design; this is the part that must not.
+func TestServerFormSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-user dataset")
+	}
+	if raceEnabled {
+		t.Skip("the race detector randomizes sync.Pool, defeating the pooled measurement; CI runs this in a non-race step")
+	}
+	ds, err := synth.YahooLike(10_000, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.AddDataset("main", ds); err != nil {
+		t.Fatal(err)
+	}
+	eng, _, ok := s.reg.Get("main")
+	if !ok {
+		t.Fatal("dataset missing")
+	}
+	var cfg core.Config
+	p := FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}
+	if cfg, err = p.config(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Warm: pref-list cache, scratch arenas, intern table.
+	for i := 0; i < 3; i++ {
+		res, sc, err := s.formOnScratch(ctx, eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		s.releaseScratch(sc)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		res, sc, err := s.formOnScratch(ctx, eng, cfg)
+		if err != nil || len(res.Groups) == 0 {
+			t.Fatalf("solve failed: %v", err)
+		}
+		s.releaseScratch(sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm handler solve section allocated %v times per request, want 0", allocs)
+	}
+}

@@ -1,0 +1,29 @@
+package groupform
+
+import (
+	"groupform/internal/server"
+)
+
+// Server is the HTTP/JSON serving layer: a named registry of Engines
+// with atomic hot-swap (POST /datasets/{name}), pooled zero-alloc
+// formation (POST /form, POST /form/batch), any registry algorithm
+// over HTTP (POST /solve), health and listing endpoints, per-request
+// cancellation (client disconnect and timeout_ms), and max-inflight
+// backpressure. Mount it anywhere an http.Handler goes:
+//
+//	srv := groupform.NewServer(groupform.ServerConfig{MaxInflight: 64})
+//	err := srv.AddDataset("main", ds)
+//	http.ListenAndServe(":8080", srv)
+//
+// cmd/groupformd wraps this as a daemon; see docs/API.md ("The
+// serving layer") for the endpoint and error-code contract.
+type Server = server.Server
+
+// ServerConfig parameterizes a Server; the zero value serves with no
+// inflight cap, no default deadline, serial solves and a 1 GiB
+// upload cap.
+type ServerConfig = server.Config
+
+// NewServer builds a Server ready to mount. Load datasets with
+// AddDataset at boot or POST /datasets/{name} at runtime.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
