@@ -379,6 +379,124 @@ func BenchmarkEngineForm(b *testing.B) {
 				}
 			}
 		})
+		// warm-overlay measures the overlay-read overhead on the same
+		// warm path: identical ratings, but 256 of the rows resolve
+		// through the delta overlay's map instead of the frozen CSR
+		// arrays. The delta from the warm cell is the per-solve price
+		// of serving between upsert and compaction.
+		b.Run(shape.name+"/warm-overlay", func(b *testing.B) {
+			dsOv, eng := overlayEngine(b, ds, cfg, 256)
+			if _, err := eng.Form(ctx, cfg); err != nil {
+				b.Fatal(err)
+			}
+			if dsOv.Overlay().DirtyRows == 0 {
+				b.Fatal("overlay did not take the fast path")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Form(ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// overlayEngine re-rates `rows` distinct users of ds and rides the
+// delta through Engine.Advance: the warm-cache engine a serving
+// process holds between an upsert burst and the next compaction.
+func overlayEngine(b *testing.B, ds *dataset.Dataset, cfg core.Config, rows int) (*dataset.Dataset, *solver.Engine) {
+	b.Helper()
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Form(context.Background(), cfg); err != nil { // prime
+		b.Fatal(err)
+	}
+	users := ds.Users()
+	batch := make([]dataset.Rating, rows)
+	for i := range batch {
+		u := users[(i*37)%len(users)]
+		batch[i] = dataset.Rating{User: u, Item: ds.UserRatings(u)[0].Item, Value: float64(1 + i%5)}
+	}
+	dsOv, res, err := ds.Upsert(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err = eng.Advance(dsOv, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dsOv, eng
+}
+
+// BenchmarkRatingUpsert is the ingest path's unit cost at the
+// acceptance scale (n = 10k): derive a successor Dataset with Upsert
+// and a successor Engine with Advance against a warm preference-list
+// cache — the work one POST /datasets/{name}/ratings performs between
+// decode and registry swap. Every iteration starts from the same base
+// snapshot, so the number is a steady per-batch cost, not an
+// accumulating overlay.
+func BenchmarkRatingUpsert(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min}
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Form(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+	users := ds.Users()
+	for _, size := range []int{1, 64} {
+		batch := make([]dataset.Rating, size)
+		for i := range batch {
+			u := users[(i*131)%len(users)]
+			batch[i] = dataset.Rating{User: u, Item: ds.UserRatings(u)[0].Item, Value: float64(1 + i%5)}
+		}
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nds, res, err := ds.Upsert(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Advance(nds, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompaction measures rebuilding the frozen CSR out of an
+// overlay-carrying dataset (the background republish step) at n = 10k
+// with 1024 pending upserts.
+func BenchmarkCompaction(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	users := ds.Users()
+	cur := ds
+	for start := 0; start < 1024; start += 64 {
+		batch := make([]dataset.Rating, 64)
+		for i := range batch {
+			u := users[(start+i*17)%len(users)]
+			batch[i] = dataset.Rating{User: u, Item: ds.UserRatings(u)[0].Item, Value: float64(1 + i%5)}
+		}
+		var err error
+		if cur, _, err = cur.Upsert(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cur.Overlay().Upserts != 1024 {
+		b.Fatalf("overlay holds %d upserts, want 1024", cur.Overlay().Upserts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cur.Compact().NumRatings() != ds.NumRatings() {
+			b.Fatal("compaction changed the rating count")
+		}
 	}
 }
 

@@ -1,14 +1,15 @@
 // Command groupformd serves recommendation-aware group formation
 // over HTTP: it loads one or more datasets into a hot-swappable
 // engine registry and answers /form, /form/batch, /solve,
-// /datasets/{name} uploads and /healthz with the JSON API documented
-// in docs/API.md.
+// /datasets/{name} uploads, /datasets/{name}/ratings live upserts
+// and /healthz with the JSON API documented in docs/API.md.
 //
 // Usage:
 //
 //	groupformd -listen :8080 -dataset main=ratings.csv \
 //	    [-dataset other=more.bin ...] [-workers 0] \
-//	    [-max-inflight 64] [-timeout 30s] [-max-upload 1073741824]
+//	    [-max-inflight 64] [-timeout 30s] [-max-upload 1073741824] \
+//	    [-compact-after 4096]
 //
 // Each -dataset flag is name=path; the file loads through the
 // sniffing loader, so CSV and the compact binary format both work.
@@ -65,11 +66,12 @@ func run(args []string, out io.Writer) error {
 	var datasets datasetFlags
 	fs.Var(&datasets, "dataset", "name=path of a ratings file to serve (repeatable; CSV or binary, sniffed)")
 	var (
-		listen      = fs.String("listen", ":8080", "address to listen on (host:port; :0 picks a free port)")
-		workers     = fs.Int("workers", 0, "default formation worker count per request (0 or 1 = serial zero-alloc path, -1 = all CPUs)")
-		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently served requests; excess get 503 (0 = unlimited)")
-		timeout     = fs.Duration("timeout", 0, "default per-solve deadline for requests without timeout_ms (0 = unbounded)")
-		maxUpload   = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
+		listen       = fs.String("listen", ":8080", "address to listen on (host:port; :0 picks a free port)")
+		workers      = fs.Int("workers", 0, "default formation worker count per request (0 or 1 = serial zero-alloc path, -1 = all CPUs)")
+		maxInflight  = fs.Int("max-inflight", 0, "maximum concurrently served requests; excess get 503 (0 = unlimited)")
+		timeout      = fs.Duration("timeout", 0, "default per-solve deadline for requests without timeout_ms (0 = unbounded)")
+		maxUpload    = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
+		compactAfter = fs.Int("compact-after", 0, "overlay upserts before a dataset is compacted in the background (0 = 4096 default, negative = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		MaxInflight:    *maxInflight,
 		DefaultTimeout: *timeout,
 		MaxUploadBytes: *maxUpload,
+		CompactAfter:   *compactAfter,
 	})
 	for _, spec := range datasets {
 		name, path, _ := strings.Cut(spec, "=")
@@ -113,6 +116,9 @@ func run(args []string, out io.Writer) error {
 	if err := <-done; err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// In-flight requests are drained; let any compaction they
+	// scheduled republish before the registry goes away with us.
+	srv.WaitCompactions()
 	fmt.Fprintln(out, "groupformd: drained, bye")
 	return nil
 }

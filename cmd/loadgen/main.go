@@ -6,13 +6,21 @@
 //
 //	loadgen -target http://127.0.0.1:8080 [-dataset main] \
 //	    [-duration 10s] [-concurrency 8] [-mix form:8,batch:1,solve:1] \
-//	    [-k 5] [-l 10] [-batch 8] [-algo ls] [-seed 1] [-timeout-ms 0]
+//	    [-k 5] [-l 10] [-batch 8] [-upsert-batch 4] [-algo ls] \
+//	    [-seed 1] [-timeout-ms 0]
 //
 // Each worker draws requests from the weighted mix: "form" posts
 // /form with semantics, aggregation and k jittered per request,
-// "batch" posts /form/batch with -batch jittered parameter sets, and
-// "solve" posts /solve with the -algo algorithm. Non-2xx responses
-// count as errors (their latency still recorded).
+// "batch" posts /form/batch with -batch jittered parameter sets,
+// "solve" posts /solve with the -algo algorithm, and "upsert" posts
+// -upsert-batch random rating upserts to /datasets/{name}/ratings —
+// mostly re-ratings of existing users, with ~10% of draws minting a
+// fresh user ID — so a mix like form:8,upsert:2 drives reads and
+// writes concurrently against the live-mutation path. The upsert
+// target's name and sizes come from GET /datasets at startup; the
+// "upsert" kind therefore needs the server to already serve the
+// -dataset name (or exactly one dataset when the flag is empty).
+// Non-2xx responses count as errors (their latency still recorded).
 package main
 
 import (
@@ -28,8 +36,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	gfdataset "groupform/internal/dataset"
 	"groupform/internal/server"
 )
 
@@ -64,9 +74,9 @@ func parseMix(s string) ([]mixEntry, error) {
 			kind, w = name, n
 		}
 		switch kind {
-		case "form", "batch", "solve":
+		case "form", "batch", "solve", "upsert":
 		default:
-			return nil, fmt.Errorf("unknown mix kind %q (want form, batch or solve)", kind)
+			return nil, fmt.Errorf("unknown mix kind %q (want form, batch, solve or upsert)", kind)
 		}
 		if w > 0 {
 			out = append(out, mixEntry{kind: kind, weight: w})
@@ -111,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		k           = fs.Int("k", 5, "maximum recommended list length (jittered 2..k per request)")
 		l           = fs.Int("l", 10, "maximum number of groups")
 		batch       = fs.Int("batch", 8, "parameter sets per /form/batch request")
+		upsertBatch = fs.Int("upsert-batch", 4, "rating upserts per /datasets/{name}/ratings request")
 		algo        = fs.String("algo", "grd", "algorithm for /solve requests (grd is fast everywhere; ls needs a deadline budget at scale)")
 		seed        = fs.Int64("seed", 1, "query-mix seed")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
@@ -138,6 +149,20 @@ func run(args []string, out io.Writer) error {
 		clientTimeout = 5 * time.Second
 	}
 	client := &http.Client{Timeout: clientTimeout}
+
+	// The upsert kind needs a concrete target (the path embeds the
+	// dataset name) and the catalog's sizes to draw plausible IDs, so
+	// resolve both from GET /datasets before the first worker starts.
+	var up *upsertTarget
+	for _, m := range mix {
+		if m.kind == "upsert" {
+			if up, err = discoverUpsertTarget(client, base, *datasetName, *upsertBatch); err != nil {
+				return err
+			}
+			break
+		}
+	}
+
 	deadline := time.Now().Add(*duration)
 	results := make([]workerResult, *concurrency)
 	var wg sync.WaitGroup
@@ -150,7 +175,7 @@ func run(args []string, out io.Writer) error {
 			res := &results[w]
 			for time.Now().Before(deadline) {
 				kind := pick(mix, rng)
-				body, path := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS)
+				body, path := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS, up)
 				t0 := time.Now()
 				ok := post(client, base+path, body)
 				res.latencies = append(res.latencies, time.Since(t0))
@@ -177,11 +202,62 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// upsertTarget is the resolved destination for "upsert" requests:
+// the dataset name the path embeds, its sizes for drawing IDs, and a
+// shared counter that mints fresh user IDs above a high watermark so
+// concurrent workers never reuse one.
+type upsertTarget struct {
+	name         string
+	users, items int
+	batch        int
+	nextUser     atomic.Int64
+}
+
+// freshUserBase offsets minted user IDs; IDs this large are assumed
+// (not guaranteed — a collision just turns the draw into a re-rating
+// or a mid-range rebuild, both valid traffic) to sit above the
+// catalog's real ID range, keeping minted users on the overlay's
+// appendable fast path.
+const freshUserBase = 1 << 28
+
+// discoverUpsertTarget resolves the upsert destination from GET
+// /datasets: the -dataset name must be served (or the server must
+// serve exactly one dataset when the flag is empty).
+func discoverUpsertTarget(client *http.Client, base, name string, batch int) (*upsertTarget, error) {
+	resp, err := client.Get(base + "/datasets")
+	if err != nil {
+		return nil, fmt.Errorf("discover upsert target: %w", err)
+	}
+	defer resp.Body.Close()
+	var infos map[string]server.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("discover upsert target: decode GET /datasets: %w", err)
+	}
+	if name == "" {
+		if len(infos) != 1 {
+			return nil, fmt.Errorf("the upsert mix needs -dataset when the server serves %d datasets", len(infos))
+		}
+		for n := range infos {
+			name = n
+		}
+	}
+	info, ok := infos[name]
+	if !ok {
+		return nil, fmt.Errorf("the upsert mix targets dataset %q, which the server does not serve", name)
+	}
+	if info.Users == 0 || info.Items == 0 {
+		return nil, fmt.Errorf("dataset %q is empty; nothing to upsert against", name)
+	}
+	t := &upsertTarget{name: name, users: info.Users, items: info.Items, batch: batch}
+	t.nextUser.Store(freshUserBase)
+	return t, nil
+}
+
 // buildRequest synthesizes one request of the given kind. k jitters
 // in [2, maxK] and the aggregation cycles through min/max/sum so the
 // server's bucket-key and cache behavior is exercised across the
 // realistic parameter space, not one hot cell.
-func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64) ([]byte, string) {
+func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64, up *upsertTarget) ([]byte, string) {
 	params := func() server.FormParams {
 		k := maxK
 		if maxK > 2 {
@@ -195,6 +271,24 @@ func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch in
 		}
 	}
 	switch kind {
+	case "upsert":
+		// Mostly re-ratings of existing users/items (the dirty-row
+		// invalidation path); ~1 in 10 draws mints a fresh user, which
+		// lands on the overlay's append path server-side.
+		var req server.UpsertRequest
+		for i := 0; i < up.batch; i++ {
+			u := int64(1 + rng.Intn(up.users))
+			if rng.Intn(10) == 0 {
+				u = up.nextUser.Add(1)
+			}
+			req.Ratings = append(req.Ratings, server.RatingJSON{
+				User:  gfdataset.UserID(u),
+				Item:  gfdataset.ItemID(1 + rng.Intn(up.items)),
+				Value: float64(1 + rng.Intn(5)),
+			})
+		}
+		body, _ := json.Marshal(req)
+		return body, "/datasets/" + up.name + "/ratings"
 	case "batch":
 		req := server.BatchRequest{Dataset: dataset, TimeoutMS: timeoutMS}
 		for i := 0; i < batch; i++ {

@@ -300,3 +300,63 @@ func TestEngineFormIntoSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("warm Engine.FormInto allocated %v times per solve, want 0", allocs)
 	}
 }
+
+// TestEngineFormIntoAfterUpsertSteadyStateZeroAlloc pins the mutable-
+// dataset acceptance bar: after an unrelated single-user upsert rides
+// through Engine.Advance, the derived engine keeps the warm cache (no
+// new preference build, exactly one patched row) and a warm serial
+// FormInto still performs zero allocations per solve — ingesting a
+// rating must not knock the serving path off its steady state.
+func TestEngineFormIntoAfterUpsertSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-user dataset")
+	}
+	ds, err := YahooLike(10_000, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 5, L: 10, Semantics: LM, Aggregation: Min}
+	s := NewScratch()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-rate one existing (user, item) pair: one dirty row, no new
+	// users or items, overlay fast path.
+	u := ds.Users()[4321]
+	it := ds.UserRatings(u)[0].Item
+	ds2, res, err := ds.Upsert([]Rating{{User: u, Item: it, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuilt {
+		t.Fatalf("single re-rating took the rebuild fallback: %+v", res)
+	}
+	eng2, err := eng.Advance(ds2, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng2.Stats()
+	if before.PrefBuilds != 1 || before.RowsPatched != 1 || before.RowsReused != 9_999 {
+		t.Fatalf("stats after Advance = %+v, want the carried cache with 1 patched row", before)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng2.FormInto(ctx, cfg, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Engine.FormInto after an upsert allocated %v times per solve, want 0", allocs)
+	}
+	if after := eng2.Stats(); after.PrefBuilds != before.PrefBuilds {
+		t.Fatalf("FormInto after Advance paid a preference build: %+v -> %+v", before, after)
+	}
+}

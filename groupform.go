@@ -92,6 +92,10 @@ type (
 	Dataset = dataset.Dataset
 	// Builder accumulates ratings into a Dataset.
 	Builder = dataset.Builder
+	// UpsertResult summarizes one Dataset.Upsert batch.
+	UpsertResult = dataset.UpsertResult
+	// OverlayStats describes a dataset's pending delta overlay.
+	OverlayStats = dataset.OverlayStats
 
 	// Semantics selects LM or AV group scoring.
 	Semantics = semantics.Semantics

@@ -142,8 +142,10 @@ func (c *bulkCoder) readF64s(r io.Reader, n int, what string, app func(v float64
 }
 
 // WriteBinary serializes the dataset in the current (version 2) CSR
-// format.
+// format. A dataset carrying a delta overlay is compacted first —
+// the format IS the frozen arrays.
 func WriteBinary(w io.Writer, ds *Dataset) error {
+	ds = ds.Compact()
 	bw := bufio.NewWriter(w)
 	var c bulkCoder
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
@@ -356,6 +358,7 @@ func readBinaryV1(br *bufio.Reader) (*Dataset, error) {
 // fallback reader stays covered by round-trip tests; production
 // writes always use the current version.
 func writeBinaryV1(w io.Writer, ds *Dataset) error {
+	ds = ds.Compact()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err

@@ -115,10 +115,16 @@ type Dataset struct {
 
 	itemCount []int32 // ratings per item index
 
-	// dups counts duplicate (user, item) additions collapsed at build
-	// time under the documented last-write-wins policy; see
-	// Builder.Add and Stats.Duplicates.
+	// dups counts duplicate (user, item) additions collapsed under
+	// the documented last-write-wins policy — at build time and by
+	// rating upserts; see Builder.Add, Upsert and Stats.Duplicates.
 	dups int
+
+	// ov, when non-nil, is the delta overlay of a mutated dataset:
+	// the frozen arrays above then describe only the compact
+	// ancestor's rows, and accessors consult the overlay first. See
+	// overlay.go.
+	ov *overlay
 }
 
 // newCSR freezes validated CSR arrays into a Dataset, building the
@@ -194,16 +200,19 @@ func buildFromRows(scale Scale, users []UserID, rows [][]Entry, dups int) *Datas
 	return newCSR(scale, users, items, rowPtr, colIdx, vals, dups)
 }
 
-// Builder accumulates ratings and produces a Dataset.
+// Builder accumulates ratings and produces a Dataset. Internally it
+// is an append-log per user: Add never collapses anything, and Build
+// runs the log through dedupLastWins — the one last-write-wins code
+// path shared with FromUserEntries and the live Upsert overlay merge,
+// so Stats.Duplicates counts identically however ratings arrive.
 type Builder struct {
-	scale  Scale
-	byUser map[UserID]map[ItemID]float64
-	dups   int
+	scale Scale
+	rows  map[UserID][]Entry
 }
 
 // NewBuilder returns a Builder enforcing the given scale.
 func NewBuilder(scale Scale) *Builder {
-	return &Builder{scale: scale, byUser: make(map[UserID]map[ItemID]float64)}
+	return &Builder{scale: scale, rows: make(map[UserID][]Entry)}
 }
 
 // Add records a rating. Values outside the scale are rejected.
@@ -212,22 +221,15 @@ func NewBuilder(scale Scale) *Builder {
 // the LAST write wins — explicit-feedback systems treat a re-rating
 // as a correction, and every loader in this package feeds ratings in
 // input order, so the file's final word stands. Collapsed duplicates
-// are counted and surfaced by Stats.Duplicates so that data-quality
-// problems (a ratings dump with conflicting rows) stay observable.
+// are counted at Build time and surfaced by Stats.Duplicates so that
+// data-quality problems (a ratings dump with conflicting rows) stay
+// observable.
 func (b *Builder) Add(u UserID, i ItemID, v float64) error {
 	if !b.scale.Valid(v) {
 		return fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
 			v, u, i, b.scale.Min, b.scale.Max)
 	}
-	m, ok := b.byUser[u]
-	if !ok {
-		m = make(map[ItemID]float64)
-		b.byUser[u] = m
-	}
-	if _, exists := m[i]; exists {
-		b.dups++
-	}
-	m[i] = v
+	b.rows[u] = append(b.rows[u], Entry{Item: i, Value: v})
 	return nil
 }
 
@@ -242,22 +244,44 @@ func (b *Builder) MustAdd(u UserID, i ItemID, v float64) {
 // Build freezes the accumulated ratings into a Dataset. The Builder
 // may be reused afterwards; Build copies everything.
 func (b *Builder) Build() *Dataset {
-	users := make([]UserID, 0, len(b.byUser))
-	for u := range b.byUser {
+	users := make([]UserID, 0, len(b.rows))
+	for u := range b.rows {
 		users = append(users, u)
 	}
 	sort.Slice(users, func(a, c int) bool { return users[a] < users[c] })
 	rows := make([][]Entry, len(users))
+	dups := 0
 	for r, u := range users {
-		m := b.byUser[u]
-		row := make([]Entry, 0, len(m))
-		for i, v := range m {
-			row = append(row, Entry{Item: i, Value: v})
-		}
-		sort.Sort(byItem(row))
-		rows[r] = row
+		log := b.rows[u]
+		row := make([]Entry, len(log))
+		copy(row, log)
+		sort.Stable(byItem(row))
+		var d int
+		rows[r], d = dedupLastWins(row)
+		dups += d
 	}
-	return buildFromRows(b.scale, users, rows, b.dups)
+	return buildFromRows(b.scale, users, rows, dups)
+}
+
+// dedupLastWins collapses duplicate items in an entry slice that has
+// been STABLY sorted by item, keeping the last occurrence of each
+// item — under a stable sort that is the latest write in input
+// order. It rewrites es in place and returns the collapsed slice
+// plus the number of entries removed. This is the single
+// last-write-wins code path behind Builder.Build, FromUserEntries
+// and the Upsert overlay merge, which keeps Stats.Duplicates
+// consistent across every ingestion route.
+func dedupLastWins(es []Entry) ([]Entry, int) {
+	out := es[:0]
+	dups := 0
+	for i := 0; i < len(es); i++ {
+		if i+1 < len(es) && es[i+1].Item == es[i].Item {
+			dups++
+			continue
+		}
+		out = append(out, es[i])
+	}
+	return out, dups
 }
 
 // FromRatings builds a Dataset directly from a slice of triples,
@@ -348,17 +372,9 @@ func FromUserEntries(scale Scale, perUser map[UserID][]Entry) (*Dataset, error) 
 			}
 		}
 		sort.Stable(byItem(es))
-		// Deduplicate, keeping the last occurrence of each item (the
-		// stable sort preserves insertion order within equal items).
-		out := es[:0]
-		for i := 0; i < len(es); i++ {
-			if i+1 < len(es) && es[i+1].Item == es[i].Item {
-				dups++
-				continue
-			}
-			out = append(out, es[i])
-		}
-		rows[r] = out
+		var d int
+		rows[r], d = dedupLastWins(es)
+		dups += d
 	}
 	return buildFromRows(scale, users, rows, dups), nil
 }
@@ -374,7 +390,12 @@ func (ds *Dataset) NumUsers() int { return len(ds.users) }
 func (ds *Dataset) NumItems() int { return len(ds.items) }
 
 // NumRatings returns the total number of stored ratings.
-func (ds *Dataset) NumRatings() int { return len(ds.vals) }
+func (ds *Dataset) NumRatings() int {
+	if ds.ov != nil {
+		return ds.ov.nratings
+	}
+	return len(ds.vals)
+}
 
 // Users returns the sorted user IDs; Users()[r] is the ID at UserIdx
 // r. The returned slice is shared; do not modify it.
@@ -387,12 +408,18 @@ func (ds *Dataset) Items() []ItemID { return ds.items }
 // UserIdxOf resolves a user ID to its dense index.
 func (ds *Dataset) UserIdxOf(u UserID) (UserIdx, bool) {
 	r, ok := ds.userIdx[u]
+	if !ok && ds.ov != nil && ds.ov.extraUsers != nil {
+		r, ok = ds.ov.extraUsers[u]
+	}
 	return r, ok
 }
 
 // ItemIdxOf resolves an item ID to its dense index.
 func (ds *Dataset) ItemIdxOf(i ItemID) (ItemIdx, bool) {
 	j, ok := ds.itemIdx[i]
+	if !ok && ds.ov != nil && ds.ov.extraItems != nil {
+		j, ok = ds.ov.extraItems[i]
+	}
 	return j, ok
 }
 
@@ -407,6 +434,9 @@ func (ds *Dataset) ItemAt(j ItemIdx) ItemID { return ds.items[j] }
 // modify them. This is the map-free hot-path accessor: callers index
 // dense per-item accumulators directly with the returned indices.
 func (ds *Dataset) RowIdx(r UserIdx) ([]ItemIdx, []float64) {
+	if ds.ov != nil {
+		return ds.overlayRowIdx(r)
+	}
 	lo, hi := ds.rowPtr[r], ds.rowPtr[r+1]
 	return ds.colIdx[lo:hi], ds.vals[lo:hi]
 }
@@ -415,17 +445,19 @@ func (ds *Dataset) RowIdx(r UserIdx) ([]ItemIdx, []float64) {
 // item ID, without the ID->index map lookup UserRatings pays. The
 // slice is shared; do not modify it.
 func (ds *Dataset) RowEntries(r UserIdx) []Entry {
+	if ds.ov != nil {
+		return ds.overlayRowEntries(r)
+	}
 	return ds.entries[ds.rowPtr[r]:ds.rowPtr[r+1]]
 }
 
 // RatingIdx returns the rating at (user index, item index) and
-// whether it exists, by binary search over the user's CSR row.
+// whether it exists, by binary search over the user's row.
 func (ds *Dataset) RatingIdx(r UserIdx, j ItemIdx) (float64, bool) {
-	lo, hi := int(ds.rowPtr[r]), int(ds.rowPtr[r+1])
-	row := ds.colIdx[lo:hi]
-	p := sort.Search(len(row), func(q int) bool { return row[q] >= j })
-	if p < len(row) && row[p] == j {
-		return ds.vals[lo+p], true
+	cols, vals := ds.RowIdx(r)
+	p := sort.Search(len(cols), func(q int) bool { return cols[q] >= j })
+	if p < len(cols) && cols[p] == j {
+		return vals[p], true
 	}
 	return 0, false
 }
@@ -436,11 +468,11 @@ func (ds *Dataset) ItemCountIdx(j ItemIdx) int { return int(ds.itemCount[j]) }
 // Rating returns the rating of item i by user u, and whether it
 // exists.
 func (ds *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
-	r, ok := ds.userIdx[u]
+	r, ok := ds.UserIdxOf(u)
 	if !ok {
 		return 0, false
 	}
-	j, ok := ds.itemIdx[i]
+	j, ok := ds.ItemIdxOf(i)
 	if !ok {
 		return 0, false
 	}
@@ -450,7 +482,7 @@ func (ds *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
 // UserRatings returns user u's ratings sorted by item ID. The slice is
 // shared; do not modify it. Unknown users yield nil.
 func (ds *Dataset) UserRatings(u UserID) []Entry {
-	r, ok := ds.userIdx[u]
+	r, ok := ds.UserIdxOf(u)
 	if !ok {
 		return nil
 	}
@@ -459,7 +491,7 @@ func (ds *Dataset) UserRatings(u UserID) []Entry {
 
 // ItemCount returns how many users rated item i.
 func (ds *Dataset) ItemCount(i ItemID) int {
-	j, ok := ds.itemIdx[i]
+	j, ok := ds.ItemIdxOf(i)
 	if !ok {
 		return 0
 	}
@@ -526,6 +558,7 @@ func (ds *Dataset) filterCSR(rows []UserIdx, keepItem []bool) *Dataset {
 // IDs are ignored; an empty (or fully unknown) selection yields an
 // empty dataset.
 func (ds *Dataset) SubsetUsers(users []UserID) *Dataset {
+	ds = ds.Compact() // filterCSR walks the frozen arrays directly
 	rows := make([]UserIdx, 0, len(users))
 	seen := make([]bool, len(ds.users))
 	for _, u := range users {
@@ -546,7 +579,7 @@ func (ds *Dataset) SubsetUsers(users []UserID) *Dataset {
 // under the threshold and vice versa. Trimming everything away is a
 // legal fixpoint: the result is then the empty dataset.
 func (ds *Dataset) Trim(minUserRatings, minItemRatings int) *Dataset {
-	cur := ds
+	cur := ds.Compact() // the loop below walks the frozen arrays directly
 	for {
 		badUser := false
 		keep := make([]UserIdx, 0, cur.NumUsers())
@@ -585,9 +618,11 @@ type Stats struct {
 	Density  float64 // ratings / (users*items)
 	MeanRate float64 // average rating value
 	// Duplicates counts (user, item) pairs that were rated more than
-	// once in the construction input and collapsed under the
-	// last-write-wins policy (see Builder.Add). Derived datasets
-	// (SubsetUsers, Trim, binary round-trips) report 0.
+	// once — in the construction input or by later rating upserts —
+	// and collapsed under the last-write-wins policy (see
+	// Builder.Add and Upsert; both count through dedupLastWins).
+	// Filtered datasets (SubsetUsers, Trim, binary round-trips)
+	// report 0; Upsert and Compact carry the count forward.
 	Duplicates int
 }
 
@@ -599,8 +634,17 @@ func (ds *Dataset) Describe() Stats {
 	}
 	if st.Ratings > 0 {
 		sum := 0.0
-		for _, v := range ds.vals {
-			sum += v
+		if ds.ov == nil {
+			for _, v := range ds.vals {
+				sum += v
+			}
+		} else {
+			for r := 0; r < st.Users; r++ {
+				_, vals := ds.RowIdx(UserIdx(r))
+				for _, v := range vals {
+					sum += v
+				}
+			}
 		}
 		st.MeanRate = sum / float64(st.Ratings)
 	}

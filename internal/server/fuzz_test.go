@@ -119,6 +119,68 @@ func FuzzDatasetUpload(f *testing.F) {
 	})
 }
 
+// FuzzRatingUpsert fuzzes POST /datasets/{name}/ratings: malformed,
+// duplicate and out-of-range upsert bodies must never 5xx, every
+// decoder- or envelope-level rejection must wrap ErrBadConfig, no
+// scratch lease may leak, and the served dataset must survive every
+// body — including the compaction churn a low CompactAfter provokes
+// on the accepted ones.
+func FuzzRatingUpsert(f *testing.F) {
+	f.Add([]byte(`{"user":1,"item":2,"value":3}`))
+	f.Add([]byte(`{"ratings":[{"user":1,"item":1,"value":5},{"user":1,"item":1,"value":2}]}`))
+	f.Add([]byte(`{"ratings":[{"user":9000,"item":1,"value":4}]}`)) // fresh appendable user
+	f.Add([]byte(`{"ratings":[{"user":0,"item":1,"value":4}]}`))    // mid-range: rebuild fallback
+	f.Add([]byte(`{"user":1,"item":2,"value":3,"ratings":[{"user":1,"item":1,"value":5}]}`))
+	f.Add([]byte(`{"user":1,"value":3}`))
+	f.Add([]byte(`{"ratings":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"user":1,"item":2,"value":99}`))          // off scale
+	f.Add([]byte(`{"user":1,"item":2,"value":-1}`))          // off scale, negative
+	f.Add([]byte(`{"user":99999999999,"item":1,"value":3}`)) // overflows the ID type
+	f.Add([]byte(`{"user":1.5,"item":2,"value":3}`))         // fractional ID
+	f.Add([]byte(`{"user":1,"item":2,"value":3,"bogus":true}`))
+	f.Add([]byte(`{"user":1,"item":2,"value":3}{}`))
+	f.Add([]byte(`{"ratings":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\xff\xfe garbage"))
+
+	srv := New(Config{CompactAfter: 4})
+	if err := srv.AddDataset("main", tinyDS(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.WaitCompactions)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder/envelope contract: any rejection wraps ErrBadConfig.
+		var req UpsertRequest
+		if err := decodeJSON(bytes.NewReader(data), &req); err != nil {
+			if !errors.Is(err, gferr.ErrBadConfig) {
+				t.Fatalf("decode rejection not classified ErrBadConfig: %v", err)
+			}
+		} else if _, err := req.ratings(); err != nil && !errors.Is(err, gferr.ErrBadConfig) {
+			t.Fatalf("envelope rejection not classified ErrBadConfig: %v", err)
+		}
+
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/datasets/main/ratings", bytes.NewReader(data))
+		srv.ServeHTTP(rec, r)
+		switch rec.Code {
+		case 200, 400, 413:
+		default:
+			t.Fatalf("status %d for body %q: %s", rec.Code, data, rec.Body.String())
+		}
+		if n := srv.LeasedScratches(); n != 0 {
+			t.Fatalf("leaked %d scratches on body %q", n, data)
+		}
+		if !contains(srv.Datasets(), "main") {
+			t.Fatalf("dataset vanished after body %q", data)
+		}
+		if rec.Code == 200 && !strings.Contains(rec.Body.String(), `"ratings"`) {
+			t.Fatalf("2xx upsert body %q lacks stats", rec.Body.String())
+		}
+	})
+}
+
 func contains(ss []string, want string) bool {
 	for _, s := range ss {
 		if s == want {

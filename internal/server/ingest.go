@@ -1,0 +1,238 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+)
+
+// Ingest path: POST /datasets/{name}/ratings applies rating upserts
+// to a live dataset without rebuilding it. Each request runs a
+// read-copy-swap under a per-dataset ingest lock — fetch the current
+// engine, derive a successor dataset with dataset.Upsert (a new
+// immutable value layering a delta overlay over the shared frozen
+// CSR arrays), derive a successor engine with Engine.Advance (which
+// re-ranks only dirty rows), and publish through the same atomic
+// registry swap the upload endpoint uses. Readers never block:
+// in-flight solves finish on the snapshot they resolved, and the
+// next request sees the new engine.
+//
+// Overlay growth is bounded by compaction. Once a dataset's overlay
+// holds Config.CompactAfter upserts, the handler schedules a
+// background compaction (rebuild a fresh CSR, Advance with a zero
+// delta — a pure rebind that keeps the warm preference-list cache —
+// and republish). If writers outrun the compactor to 4x the
+// threshold, the handler compacts inline before responding: the
+// slow-down is the backpressure.
+
+// defaultCompactAfter is the overlay-upsert threshold when
+// Config.CompactAfter is 0.
+const defaultCompactAfter = 4096
+
+// compactInlineFactor scales the threshold to the inline
+// (synchronous, backpressure) compaction bound.
+const compactInlineFactor = 4
+
+// ingestState serializes writers for one dataset name. Solve traffic
+// never touches it: reads go straight to the registry.
+type ingestState struct {
+	mu         sync.Mutex
+	compacting atomic.Bool // a background compaction is scheduled or running
+}
+
+func (s *Server) ingestState(name string) *ingestState {
+	v, _ := s.ingest.LoadOrStore(name, &ingestState{})
+	return v.(*ingestState)
+}
+
+// compactAfter resolves the configured threshold: 0 means the
+// default, negative disables compaction entirely.
+func (s *Server) compactAfter() int {
+	switch {
+	case s.cfg.CompactAfter < 0:
+		return 0
+	case s.cfg.CompactAfter == 0:
+		return defaultCompactAfter
+	default:
+		return s.cfg.CompactAfter
+	}
+}
+
+// RatingJSON is one upsert in a request body.
+type RatingJSON struct {
+	User  dataset.UserID `json:"user"`
+	Item  dataset.ItemID `json:"item"`
+	Value float64        `json:"value"`
+}
+
+// UpsertRequest is the body of POST /datasets/{name}/ratings. Either
+// the three inline fields carry a single upsert, or Ratings carries a
+// batch — never both. Inline fields are pointers so a missing field
+// is distinguishable from a zero value under strict decoding.
+type UpsertRequest struct {
+	User    *dataset.UserID `json:"user,omitempty"`
+	Item    *dataset.ItemID `json:"item,omitempty"`
+	Value   *float64        `json:"value,omitempty"`
+	Ratings []RatingJSON    `json:"ratings,omitempty"`
+}
+
+// ratings materializes the request as an upsert batch, enforcing the
+// single-XOR-batch shape. Scale validation happens in
+// dataset.Upsert; this only checks the envelope.
+func (q UpsertRequest) ratings() ([]dataset.Rating, error) {
+	single := q.User != nil || q.Item != nil || q.Value != nil
+	if single && q.Ratings != nil {
+		return nil, gferr.BadConfigf("server: upsert carries both inline fields and a ratings batch")
+	}
+	if single {
+		if q.User == nil || q.Item == nil || q.Value == nil {
+			return nil, gferr.BadConfigf("server: inline upsert needs user, item and value")
+		}
+		return []dataset.Rating{{User: *q.User, Item: *q.Item, Value: *q.Value}}, nil
+	}
+	if len(q.Ratings) == 0 {
+		return nil, gferr.BadConfigf("server: upsert carries no ratings")
+	}
+	out := make([]dataset.Rating, len(q.Ratings))
+	for i, r := range q.Ratings {
+		out[i] = dataset.Rating{User: r.User, Item: r.Item, Value: r.Value}
+	}
+	return out, nil
+}
+
+// UpsertResponse is the body of a successful POST
+// /datasets/{name}/ratings.
+type UpsertResponse struct {
+	Dataset string `json:"dataset"`
+	// Applied/Collapsed/NewUsers/NewItems echo the
+	// dataset.UpsertResult for this batch; Rebuilt reports that the
+	// batch renumbered the index space (mid-range new IDs), which
+	// also dropped the engine's preference-list cache.
+	Applied   int  `json:"applied"`
+	Collapsed int  `json:"collapsed,omitempty"`
+	NewUsers  int  `json:"new_users,omitempty"`
+	NewItems  int  `json:"new_items,omitempty"`
+	Rebuilt   bool `json:"rebuilt,omitempty"`
+	// Users/Items/Ratings are the dataset's sizes after the batch.
+	Users   int `json:"users"`
+	Items   int `json:"items"`
+	Ratings int `json:"ratings"`
+	// OverlayUpserts is the overlay size after this batch (0 right
+	// after a compaction or rebuild); Compacting reports that this
+	// request scheduled or performed a compaction.
+	OverlayUpserts int  `json:"overlay_upserts"`
+	Compacting     bool `json:"compacting,omitempty"`
+}
+
+// handleUpsert serves POST /datasets/{name}/ratings.
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	name := r.PathValue("name")
+	if err := validDatasetName(name); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	var req UpsertRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, maxSolveBodyBytes), &req); err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	rs, err := req.ratings()
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+
+	st := s.ingestState(name)
+	st.mu.Lock()
+	eng, _, ok := s.reg.Get(name)
+	if !ok {
+		st.mu.Unlock()
+		writeError(w, http.StatusNotFound, CodeNotFound, notFoundMsg(name, s.reg.Names()))
+		return
+	}
+	nds, res, err := eng.Dataset().Upsert(rs)
+	if err != nil {
+		st.mu.Unlock()
+		writeSolverError(w, err)
+		return
+	}
+	neng, err := eng.Advance(nds, res)
+	if err != nil {
+		st.mu.Unlock()
+		writeSolverError(w, err)
+		return
+	}
+	s.reg.Swap(name, neng)
+
+	// Compaction policy, evaluated while still holding the ingest
+	// lock so the overlay size cannot race another writer: past the
+	// threshold schedule a background compaction; past the inline
+	// bound, compact right here — the synchronous rebuild is the
+	// backpressure that keeps a write-heavy client from growing the
+	// overlay without bound.
+	ov := nds.Overlay()
+	compacting := false
+	if t := s.compactAfter(); t > 0 && ov.Upserts >= t {
+		compacting = true
+		if ov.Upserts >= compactInlineFactor*t {
+			s.compactLocked(name)
+			ov = dataset.OverlayStats{}
+		} else if st.compacting.CompareAndSwap(false, true) {
+			s.compactWG.Add(1)
+			go func() {
+				defer s.compactWG.Done()
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				defer st.compacting.Store(false)
+				s.compactLocked(name)
+			}()
+		}
+	}
+	st.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, UpsertResponse{
+		Dataset:        name,
+		Applied:        res.Applied,
+		Collapsed:      res.Collapsed,
+		NewUsers:       res.NewUsers,
+		NewItems:       res.NewItems,
+		Rebuilt:        res.Rebuilt,
+		Users:          nds.NumUsers(),
+		Items:          nds.NumItems(),
+		Ratings:        nds.NumRatings(),
+		OverlayUpserts: ov.Upserts,
+		Compacting:     compacting,
+	})
+}
+
+// compactLocked rebuilds name's dataset without its overlay and
+// republishes. The caller holds st.mu, so no upsert can interleave;
+// Advance with a zero delta keeps every cached preference list (a
+// compaction changes no row, only the storage layout).
+func (s *Server) compactLocked(name string) {
+	eng, _, ok := s.reg.Get(name)
+	if !ok {
+		return
+	}
+	ds := eng.Dataset()
+	if ds.Overlay() == (dataset.OverlayStats{}) {
+		return
+	}
+	neng, err := eng.Advance(ds.Compact(), dataset.UpsertResult{})
+	if err != nil {
+		return // the overlay form keeps serving; the next trigger retries
+	}
+	s.reg.Swap(name, neng)
+}
+
+// WaitCompactions blocks until every background compaction scheduled
+// so far has finished. Tests and graceful shutdown use it; serving
+// code never needs to.
+func (s *Server) WaitCompactions() { s.compactWG.Wait() }

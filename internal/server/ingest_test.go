@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"groupform/internal/dataset"
+)
+
+// ratingsOf flattens ds into the replay log the parity oracles
+// rebuild from scratch.
+func ratingsOf(ds *dataset.Dataset) []dataset.Rating {
+	out := make([]dataset.Rating, 0, ds.NumRatings())
+	for _, u := range ds.Users() {
+		for _, e := range ds.UserRatings(u) {
+			out = append(out, dataset.Rating{User: u, Item: e.Item, Value: e.Value})
+		}
+	}
+	return out
+}
+
+// oracleServer builds a fresh Server carrying the from-scratch build
+// of log under the name "main" — the byte-parity reference for a
+// mutated live server.
+func oracleServer(t testing.TB, log []dataset.Rating) *Server {
+	t.Helper()
+	ds, err := dataset.FromRatings(dataset.DefaultScale, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.AddDataset("main", ds); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertFormParity byte-compares a /form response between the live
+// (overlay-mutated) server and a from-scratch oracle.
+func assertFormParity(t *testing.T, tag string, live *Server, log []dataset.Rating) {
+	t.Helper()
+	oracle := oracleServer(t, log)
+	body := FormRequest{FormParams: FormParams{K: 3, L: 7, Semantics: "lm", Aggregation: "min"}}
+	got := doJSON(t, live, "POST", "/form", body)
+	want := doJSON(t, oracle, "POST", "/form", body)
+	wantStatus(t, got, http.StatusOK, "")
+	wantStatus(t, want, http.StatusOK, "")
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatalf("%s: /form response diverged from from-scratch oracle\nlive:   %s\noracle: %s",
+			tag, got.Body.String(), want.Body.String())
+	}
+}
+
+func TestUpsertEndpoint(t *testing.T) {
+	s, ds := newTestServer(t, Config{})
+	log := ratingsOf(ds)
+	u := ds.Users()[3]
+	it := ds.UserRatings(u)[0].Item
+
+	// Inline single upsert: re-rate an existing pair.
+	rec := doJSON(t, s, "POST", "/datasets/main/ratings",
+		map[string]any{"user": u, "item": it, "value": 1})
+	wantStatus(t, rec, http.StatusOK, "")
+	log = append(log, dataset.Rating{User: u, Item: it, Value: 1})
+	resp := decodeAs[UpsertResponse](t, rec)
+	if resp.Dataset != "main" || resp.Applied != 1 || resp.Collapsed != 1 ||
+		resp.NewUsers != 0 || resp.Rebuilt || resp.OverlayUpserts != 1 {
+		t.Fatalf("inline upsert response = %+v", resp)
+	}
+	if resp.Users != ds.NumUsers() || resp.Ratings != ds.NumRatings() {
+		t.Fatalf("re-rating changed sizes: %+v", resp)
+	}
+	assertFormParity(t, "after inline", s, log)
+
+	// Batch upsert minting a fresh user.
+	batch := []RatingJSON{
+		{User: 1 << 20, Item: it, Value: 4},
+		{User: u, Item: it, Value: 3},
+	}
+	rec = doJSON(t, s, "POST", "/datasets/main/ratings", UpsertRequest{Ratings: batch})
+	wantStatus(t, rec, http.StatusOK, "")
+	for _, r := range batch {
+		log = append(log, dataset.Rating{User: r.User, Item: r.Item, Value: r.Value})
+	}
+	resp = decodeAs[UpsertResponse](t, rec)
+	if resp.Applied != 2 || resp.NewUsers != 1 || resp.Users != ds.NumUsers()+1 ||
+		resp.Ratings != ds.NumRatings()+1 || resp.OverlayUpserts != 3 {
+		t.Fatalf("batch upsert response = %+v", resp)
+	}
+	assertFormParity(t, "after batch", s, log)
+
+	// GET /datasets reflects the mutated sizes.
+	infos := decodeAs[map[string]DatasetInfo](t, doJSON(t, s, "GET", "/datasets", nil))
+	if infos["main"].Users != ds.NumUsers()+1 || infos["main"].Ratings != ds.NumRatings()+1 {
+		t.Fatalf("GET /datasets after upserts = %+v", infos["main"])
+	}
+}
+
+func TestUpsertEndpointErrors(t *testing.T) {
+	s, ds := newTestServer(t, Config{})
+	valid := map[string]any{"user": 1, "item": 1, "value": 3}
+
+	cases := []struct {
+		name   string
+		path   string
+		method string
+		body   any
+		status int
+		code   string
+	}{
+		{"unknown dataset", "/datasets/nope/ratings", "POST", valid, http.StatusNotFound, CodeNotFound},
+		{"wrong method", "/datasets/main/ratings", "GET", nil, http.StatusMethodNotAllowed, CodeBadMethod},
+		{"inline and batch", "/datasets/main/ratings", "POST",
+			map[string]any{"user": 1, "item": 1, "value": 3, "ratings": []RatingJSON{{User: 1, Item: 1, Value: 3}}},
+			http.StatusBadRequest, CodeBadConfig},
+		{"incomplete inline", "/datasets/main/ratings", "POST",
+			map[string]any{"user": 1, "value": 3}, http.StatusBadRequest, CodeBadConfig},
+		{"empty batch", "/datasets/main/ratings", "POST",
+			map[string]any{"ratings": []RatingJSON{}}, http.StatusBadRequest, CodeBadConfig},
+		{"no body fields", "/datasets/main/ratings", "POST",
+			map[string]any{}, http.StatusBadRequest, CodeBadConfig},
+		{"value off scale", "/datasets/main/ratings", "POST",
+			map[string]any{"user": 1, "item": 1, "value": 99}, http.StatusBadRequest, CodeBadConfig},
+		{"unknown field", "/datasets/main/ratings", "POST",
+			[]byte(`{"user":1,"item":1,"value":3,"frobnicate":true}`), http.StatusBadRequest, CodeBadConfig},
+		{"trailing garbage", "/datasets/main/ratings", "POST",
+			[]byte(`{"user":1,"item":1,"value":3}{}`), http.StatusBadRequest, CodeBadConfig},
+		{"malformed json", "/datasets/main/ratings", "POST",
+			[]byte(`{"user":`), http.StatusBadRequest, CodeBadConfig},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doJSON(t, s, tc.method, tc.path, tc.body)
+			wantStatus(t, rec, tc.status, tc.code)
+		})
+	}
+
+	// None of the rejects may have mutated the served dataset.
+	infos := decodeAs[map[string]DatasetInfo](t, doJSON(t, s, "GET", "/datasets", nil))
+	if infos["main"].Users != ds.NumUsers() || infos["main"].Ratings != ds.NumRatings() {
+		t.Fatalf("a rejected upsert mutated the dataset: %+v", infos["main"])
+	}
+}
+
+// TestUpsertCompaction drives all three threshold regimes: the
+// background trigger at CompactAfter, the inline backpressure path at
+// 4x, and the negative-config opt-out.
+func TestUpsertCompaction(t *testing.T) {
+	s, ds := newTestServer(t, Config{CompactAfter: 2})
+	log := ratingsOf(ds)
+	served := func() *dataset.Dataset {
+		eng, _, ok := s.reg.Get("main")
+		if !ok {
+			t.Fatal("dataset main vanished")
+		}
+		return eng.Dataset()
+	}
+
+	// One batch of 8 distinct upserts jumps straight past 4x the
+	// threshold: the handler must compact inline, before responding.
+	var batch []RatingJSON
+	for i := 0; i < 8; i++ {
+		u := ds.Users()[10+i]
+		it := ds.UserRatings(u)[0].Item
+		batch = append(batch, RatingJSON{User: u, Item: it, Value: float64(1 + i%5)})
+		log = append(log, dataset.Rating{User: u, Item: it, Value: float64(1 + i%5)})
+	}
+	rec := doJSON(t, s, "POST", "/datasets/main/ratings", UpsertRequest{Ratings: batch})
+	wantStatus(t, rec, http.StatusOK, "")
+	resp := decodeAs[UpsertResponse](t, rec)
+	if !resp.Compacting || resp.OverlayUpserts != 0 {
+		t.Fatalf("8 upserts past 4x threshold: response = %+v, want inline compaction", resp)
+	}
+	if ov := served().Overlay(); ov != (dataset.OverlayStats{}) {
+		t.Fatalf("inline compaction left an overlay: %+v", ov)
+	}
+	assertFormParity(t, "after inline compaction", s, log)
+
+	// Two singles reach the plain threshold: a background compaction
+	// is scheduled and lands by WaitCompactions.
+	for i := 0; i < 2; i++ {
+		u := ds.Users()[30+i]
+		it := ds.UserRatings(u)[0].Item
+		rec = doJSON(t, s, "POST", "/datasets/main/ratings",
+			map[string]any{"user": u, "item": it, "value": 2})
+		wantStatus(t, rec, http.StatusOK, "")
+		log = append(log, dataset.Rating{User: u, Item: it, Value: 2})
+	}
+	resp = decodeAs[UpsertResponse](t, rec)
+	if !resp.Compacting || resp.OverlayUpserts != 2 {
+		t.Fatalf("threshold upsert response = %+v, want a scheduled compaction", resp)
+	}
+	s.WaitCompactions()
+	if ov := served().Overlay(); ov != (dataset.OverlayStats{}) {
+		t.Fatalf("background compaction left an overlay: %+v", ov)
+	}
+	assertFormParity(t, "after background compaction", s, log)
+
+	// Negative CompactAfter disables compaction entirely.
+	s2, ds2 := newTestServer(t, Config{CompactAfter: -1})
+	for i := 0; i < 10; i++ {
+		u := ds2.Users()[i]
+		rec = doJSON(t, s2, "POST", "/datasets/main/ratings",
+			map[string]any{"user": u, "item": ds2.UserRatings(u)[0].Item, "value": 5})
+		wantStatus(t, rec, http.StatusOK, "")
+	}
+	resp = decodeAs[UpsertResponse](t, rec)
+	if resp.Compacting || resp.OverlayUpserts != 10 {
+		t.Fatalf("disabled compaction: response = %+v, want the overlay to just grow", resp)
+	}
+	s2.WaitCompactions()
+}
+
+// TestUpsertSwapUnderTraffic is the swap-under-traffic half of the
+// metamorphic harness, meant for -race: concurrent /form and
+// /form/batch readers ride across a stream of upserts (re-ratings
+// and fresh users) with a low compaction threshold churning registry
+// swaps underneath, and at the end the served dataset must still be
+// byte-equivalent to a from-scratch build of the full history.
+func TestUpsertSwapUnderTraffic(t *testing.T) {
+	s, ds := newTestServer(t, Config{CompactAfter: 8})
+	base := ratingsOf(ds)
+
+	const (
+		readers    = 4
+		writers    = 2
+		iterations = 25
+	)
+	// Each writer owns a disjoint slice of users and upserts every
+	// pair exactly once, so the final dataset content is independent
+	// of the interleaving the scheduler picks.
+	upserts := make([][]dataset.Rating, writers)
+	for w := range upserts {
+		for i := 0; i < iterations; i++ {
+			u := ds.Users()[w*iterations+i]
+			upserts[w] = append(upserts[w], dataset.Rating{
+				User: u, Item: ds.UserRatings(u)[0].Item, Value: float64(1 + (w+i)%5),
+			})
+			// Every 5th tick also mints a fresh user; depending on
+			// the interleaving it lands as an overlay append or a
+			// full rebuild — both must stay invisible to parity.
+			if i%5 == 0 {
+				upserts[w] = append(upserts[w], dataset.Rating{
+					User:  dataset.UserID(1<<20 + w*iterations + i),
+					Item:  ds.UserRatings(u)[0].Item,
+					Value: 3,
+				})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				var rec = doJSON(t, s, "POST", "/form", FormRequest{FormParams: FormParams{
+					K: 3, L: 7, Semantics: []string{"lm", "av"}[i%2], Aggregation: []string{"min", "max", "sum"}[i%3],
+				}})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d it %d: /form status %d: %s", g, i, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, r := range upserts[w] {
+				rec := doJSON(t, s, "POST", "/datasets/main/ratings",
+					map[string]any{"user": r.User, "item": r.Item, "value": r.Value})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: upsert status %d: %s", w, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	s.WaitCompactions()
+	if n := s.LeasedScratches(); n != 0 {
+		t.Fatalf("%d scratch leases leaked across the traffic", n)
+	}
+
+	log := base
+	for _, ws := range upserts {
+		log = append(log, ws...)
+	}
+	assertFormParity(t, "after swap-under-traffic", s, log)
+}

@@ -2,7 +2,9 @@
 // HTTP/JSON facade over the solver Engine that turns the zero-alloc
 // library call of PR 4 into a correct concurrent service. One Server
 // holds a named Registry of engines (hot-swappable via POST
-// /datasets/{name}), a sync.Pool of core.Scratch that keeps the warm
+// /datasets/{name}, incrementally updatable via POST
+// /datasets/{name}/ratings — see ingest.go), a sync.Pool of
+// core.Scratch that keeps the warm
 // serial /form solve section at 0 allocs/op, an optional max-inflight
 // semaphore for backpressure, and per-request cancellation: the
 // client disconnecting or a timeout_ms deadline expiring propagates
@@ -56,6 +58,11 @@ type Config struct {
 	// Scale validates uploaded ratings; the zero value means the
 	// paper's 1-5 default scale.
 	Scale dataset.Scale
+	// CompactAfter is the overlay-upsert count past which an upsert
+	// schedules a background compaction of its dataset; at 4x the
+	// threshold the upsert compacts inline (backpressure). 0 means
+	// the 4096 default; negative disables compaction.
+	CompactAfter int
 }
 
 // defaultMaxUpload is the upload cap when Config.MaxUploadBytes is 0.
@@ -88,6 +95,11 @@ type Server struct {
 
 	inflight  chan struct{} // nil when MaxInflight == 0
 	inflightN atomic.Int64
+
+	// ingest holds one *ingestState per dataset name (see ingest.go);
+	// compactWG tracks background compactions for WaitCompactions.
+	ingest    sync.Map
+	compactWG sync.WaitGroup
 }
 
 // New builds a Server ready to mount. Datasets come later, via
@@ -108,6 +120,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /datasets/{name}", s.handleUpload)
+	s.mux.HandleFunc("POST /datasets/{name}/ratings", s.handleUpsert)
 	s.mux.HandleFunc("POST /form", s.handleForm)
 	s.mux.HandleFunc("POST /form/batch", s.handleFormBatch)
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -120,7 +133,7 @@ func New(cfg Config) *Server {
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			"server: no such route "+r.URL.Path)
 	})
-	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/form", "/form/batch", "/solve"} {
+	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/datasets/{name}/ratings", "/form", "/form/batch", "/solve"} {
 		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusMethodNotAllowed, CodeBadMethod,
 				"server: method "+r.Method+" not allowed on "+r.URL.Path)

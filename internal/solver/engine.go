@@ -36,6 +36,13 @@ type Engine struct {
 
 	prefBuilds atomic.Uint64
 	prefHits   atomic.Uint64
+
+	// Advance accounting; cumulative across the whole Advance chain
+	// (each derived Engine starts from its predecessor's totals).
+	partialInvalidations atomic.Uint64
+	fullInvalidations    atomic.Uint64
+	rowsPatched          atomic.Uint64
+	rowsReused           atomic.Uint64
 }
 
 // prefKey identifies one cached preference-list slice: the lists
@@ -62,6 +69,20 @@ type EngineStats struct {
 	PrefBuilds uint64
 	// PrefHits is the number of solves served from the cache.
 	PrefHits uint64
+
+	// PartialInvalidations counts cache slots carried across an
+	// Advance with at least one row rebuilt (a surgical patch, not a
+	// drop). FullInvalidations counts Advance calls that discarded
+	// the whole cache because the successor dataset renumbered its
+	// index space (UpsertResult.Rebuilt).
+	PartialInvalidations uint64
+	FullInvalidations    uint64
+
+	// RowsPatched / RowsReused break carried slots down by row:
+	// patched rows were re-ranked against the successor dataset,
+	// reused rows are the predecessor's PrefList values verbatim.
+	RowsPatched uint64
+	RowsReused  uint64
 }
 
 // NewEngine binds ds. The dataset must be non-empty; like every
@@ -78,7 +99,110 @@ func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{PrefBuilds: e.prefBuilds.Load(), PrefHits: e.prefHits.Load()}
+	return EngineStats{
+		PrefBuilds:           e.prefBuilds.Load(),
+		PrefHits:             e.prefHits.Load(),
+		PartialInvalidations: e.partialInvalidations.Load(),
+		FullInvalidations:    e.fullInvalidations.Load(),
+		RowsPatched:          e.rowsPatched.Load(),
+		RowsReused:           e.rowsReused.Load(),
+	}
+}
+
+// Advance derives an Engine bound to ds, a successor of the current
+// dataset produced by Upsert or Compact, reusing every cached
+// preference list whose user row the delta left untouched. This is
+// the incremental-invalidation path: instead of the all-or-nothing
+// implicit invalidation of building a fresh Engine, only dirty rows
+// are re-ranked, per cached (K, Missing) slot.
+//
+// A row is dirty when its ratings changed (delta.DirtyUsers), when it
+// did not exist before (appended users), or — per slot — when new
+// items appeared and the row holds fewer than K ratings, because
+// rank.TopK pads short lists with unrated items and a wider catalog
+// changes that padding. Everything else is carried over verbatim:
+// the append-only index-space invariant of dataset.Upsert guarantees
+// untouched rows rank identically under the successor dataset, and
+// dataset.Compact preserves index assignment, so an Advance with a
+// zero delta (the compaction republish) is a pure rebind that keeps
+// the warm cache.
+//
+// If the delta took the rebuild fallback (delta.Rebuilt), indices
+// were renumbered and every cached list is dropped. In-flight builds
+// on the receiver are never carried; they complete against the old
+// dataset for old-engine callers. The receiver itself is unchanged
+// and remains valid. Counters accumulate across the Advance chain.
+func (e *Engine) Advance(ds *dataset.Dataset, delta dataset.UpsertResult) (*Engine, error) {
+	ne, err := NewEngine(ds)
+	if err != nil {
+		return nil, err
+	}
+	ne.prefBuilds.Store(e.prefBuilds.Load())
+	ne.prefHits.Store(e.prefHits.Load())
+	ne.partialInvalidations.Store(e.partialInvalidations.Load())
+	ne.fullInvalidations.Store(e.fullInvalidations.Load())
+	ne.rowsPatched.Store(e.rowsPatched.Load())
+	ne.rowsReused.Store(e.rowsReused.Load())
+
+	if delta.Rebuilt {
+		ne.fullInvalidations.Add(1)
+		return ne, nil
+	}
+
+	// Snapshot completed slots under the lock; builds are never run
+	// while holding it, so this cannot stall old-engine traffic.
+	type snap struct {
+		key   prefKey
+		lists []rank.PrefList
+	}
+	e.mu.Lock()
+	snaps := make([]snap, 0, len(e.prefs))
+	for key, ent := range e.prefs {
+		if ent.lists != nil {
+			snaps = append(snaps, snap{key: key, lists: ent.lists})
+		}
+	}
+	e.mu.Unlock()
+	if len(snaps) == 0 {
+		return ne, nil
+	}
+
+	n := ds.NumUsers()
+	dirty := make([]bool, n)
+	for _, u := range delta.DirtyUsers {
+		if r, ok := ds.UserIdxOf(u); ok {
+			dirty[int(r)] = true
+		}
+	}
+
+	for _, sn := range snaps {
+		out := make([]rank.PrefList, n)
+		patched, reused := 0, 0
+		for r := 0; r < n; r++ {
+			d := r >= len(sn.lists) || dirty[r]
+			if !d && delta.NewItems > 0 && len(ds.RowEntries(dataset.UserIdx(r))) < sn.key.k {
+				d = true
+			}
+			if !d {
+				out[r] = sn.lists[r]
+				reused++
+				continue
+			}
+			pl, err := rank.TopK(ds, ds.UserAt(dataset.UserIdx(r)), sn.key.k, sn.key.missing)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = pl
+			patched++
+		}
+		ne.prefs[sn.key] = &prefEntry{lists: out}
+		if patched > 0 {
+			ne.partialInvalidations.Add(1)
+		}
+		ne.rowsPatched.Add(uint64(patched))
+		ne.rowsReused.Add(uint64(reused))
+	}
+	return ne, nil
 }
 
 // prefLists returns the cached preference lists for (k, missing),
