@@ -1,81 +1,36 @@
 package groupform
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
+
+	"groupform/internal/analysis"
 )
 
-// deprecatedFacadeFuncs are the legacy one-shot entry points kept
-// only for external compatibility. First-party code — the commands,
-// the examples (living documentation) and every internal package —
-// must use the Engine / registry API instead; this guard keeps new
-// call sites from creeping back in. Facade tests still exercise the
-// wrappers on purpose (that is their compatibility contract), so the
-// module root is not scanned.
-var deprecatedFacadeFuncs = map[string]bool{
-	"Form":               true,
-	"FormBaseline":       true,
-	"FormExact":          true,
-	"FormLocalSearch":    true,
-	"FormBranchAndBound": true,
-	"SolveIP":            true,
-}
-
+// TestNoDeprecatedWrapperCalls is a thin wrapper over the nodeprecated
+// analyzer in internal/analysis (also run by `go run ./cmd/gfvet ./...`
+// and in CI). The rule bans the legacy one-shot facade wrappers — Form,
+// FormBaseline, FormExact, FormLocalSearch, FormBranchAndBound, SolveIP
+// — from first-party code: the commands, the examples (living
+// documentation) and every internal package must use the Engine /
+// registry API instead. Facade tests still exercise the wrappers on
+// purpose (that is their compatibility contract), so the module root
+// itself is exempt; the analyzer gates on the import path. Unlike the
+// bespoke AST walk this replaces, the check is type-resolved — aliased
+// or dot-imported facade references cannot slip past a textual match.
 func TestNoDeprecatedWrapperCalls(t *testing.T) {
-	fset := token.NewFileSet()
-	for _, dir := range []string{"cmd", "examples", "internal"} {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return nil
-			}
-			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-			if err != nil {
-				return err
-			}
-			// Find the local name the groupform facade is imported
-			// under, if at all.
-			facade := ""
-			for _, imp := range file.Imports {
-				p, _ := strconv.Unquote(imp.Path.Value)
-				if p != "groupform" {
-					continue
-				}
-				facade = "groupform"
-				if imp.Name != nil {
-					facade = imp.Name.Name
-				}
-			}
-			if facade == "" || facade == "_" {
-				return nil
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || id.Name != facade {
-					return true
-				}
-				if deprecatedFacadeFuncs[sel.Sel.Name] {
-					t.Errorf("%s: calls deprecated groupform.%s — use NewSolver/Engine instead",
-						fset.Position(sel.Pos()), sel.Sel.Name)
-				}
-				return true
-			})
-			return nil
-		})
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
-		}
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load("./cmd/...", "./examples/...", "./internal/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{analysis.NoDeprecated}, pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", loader.Fset.Position(d.Pos), d.Message)
 	}
 }

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxCadence enforces the cancellation contract of the solver tier:
+// an exported function in the solver/rank/core packages that accepts
+// a context must keep honoring it while it loops — a deadline that
+// only fires between calls is no deadline at all once a single call
+// loops over a hundred-thousand-user catalog. The serving tier's 499
+// path, the timeout_ms request field and the daemon's drain all rely
+// on every hot loop noticing ctx within a bounded number of
+// iterations.
+//
+// Mechanics: in internal/{core,rank,solver,opt,baseline,ilp}, every
+// outermost for/range loop inside an exported function that has a
+// context.Context parameter must have a cancellation check reachable
+// from somewhere in its nest: a direct ctx.Err()/ctx.Done() use, a
+// gferr.Ctx call, any call that is passed a context (delegation — the
+// callee inherits the obligation), or a call to a same-package
+// function that transitively performs one of those (e.g. via a
+// context stored in a receiver field), including a local closure
+// that checks (the branch-and-bound recursion pattern). Inner loops
+// are covered by their enclosing nest's cadence — the project idiom
+// is one masked gferr.Ctx check per outer iteration ("every few
+// thousand iterations"), not a check in every innermost loop.
+//
+// Call-free nests are exempt: a conditioned loop whose body makes no
+// function calls (builtins and conversions aside) does bounded pure
+// memory work per iteration — suffix scans, index fills — and cannot
+// block; demanding a check there would be noise, not cadence. Any
+// real call makes the nest opaque and the check mandatory. Remaining
+// edge cases are suppressed with
+// //gfvet:allow ctxcadence -- <why the bound is small>.
+var CtxCadence = &Analyzer{
+	Name: "ctxcadence",
+	Doc:  "exported ctx-accepting solver entry points must check cancellation in every loop",
+	Run:  runCtxCadence,
+}
+
+var ctxCadencePkgs = []string{
+	"internal/core", "internal/rank", "internal/solver",
+	"internal/opt", "internal/baseline", "internal/ilp",
+}
+
+func runCtxCadence(pass *Pass) error {
+	if !pathIn(pass.Path, ctxCadencePkgs...) {
+		return nil
+	}
+	decls := funcDecls(pass)
+
+	// handles[fn] is true when fn's body touches cancellation
+	// directly: a .Err()/.Done() call on a context value, a call that
+	// receives a context argument, or a gferr.Ctx call (covered by
+	// the context-argument case, since gferr.Ctx takes the ctx).
+	handles := map[*types.Func]bool{}
+	calls := map[*types.Func][]*types.Func{} // package-local call graph
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range decls {
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		declOf[fn] = fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCtxTouch(pass.Info, call) {
+				handles[fn] = true
+			}
+			if callee := calleeFunc(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+	// Propagate: a function that calls a handler counts as handling
+	// (the check is reachable through it).
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if handles[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if handles[c] {
+					handles[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		if !fd.Name.IsExported() || !hasCtxParam(pass.Info, fd) {
+			continue
+		}
+		checkLoops(pass, fd.Body, handles, localHandlers(pass, fd.Body))
+	}
+	return nil
+}
+
+// localHandlers finds closures bound to local variables whose bodies
+// directly touch cancellation (the `rec := func(...)` / `rec = func`
+// recursion pattern): a call through such a variable counts as a
+// touchpoint.
+func localHandlers(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := st.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			touches := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isCtxTouch(pass.Info, call) {
+					touches = true
+				}
+				return !touches
+			})
+			if touches {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasCtxParam reports whether fd declares a context.Context
+// parameter.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxTouch reports whether call is a cancellation touchpoint: a
+// .Err()/.Done() call on a context value, or any call that receives
+// a context argument (delegation — gferr.Ctx(ctx), nested solver
+// calls, par.Do-style fan-outs that thread ctx).
+func isCtxTouch(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+			if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops walks body and reports any outermost for/range loop
+// whose nest contains no cancellation touchpoint and is not
+// call-free. Once a loop is seen, its subtree is not descended into:
+// inner loops ride the outer nest's cadence.
+func checkLoops(pass *Pass, body *ast.BlockStmt, handles map[*types.Func]bool, local map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if !loopTouchesCtx(pass, n, handles, local) && !nestIsCallFree(pass, n) {
+			pass.Reportf(n.Pos(),
+				"loop nest in exported ctx-accepting function has no reachable cancellation check; call gferr.Ctx(ctx) (or delegate ctx) in the body, or suppress with a justified //gfvet:allow if the nest is trivially bounded")
+		}
+		return false
+	})
+}
+
+// loopTouchesCtx reports whether the loop contains (at any depth) a
+// cancellation touchpoint.
+func loopTouchesCtx(pass *Pass, loop ast.Node, handles map[*types.Func]bool, local map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found || n == loop {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCtxTouch(pass.Info, call) {
+			found = true
+			return false
+		}
+		if callee := calleeFunc(pass.Info, call); callee != nil && handles[callee] {
+			found = true
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && local[pass.Info.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nestIsCallFree reports whether the loop nest does bounded pure
+// memory work: every loop in it has an exit condition (no bare
+// `for {}`), and the subtree contains no function calls other than
+// builtins and type conversions, no channel operations, and no
+// go/defer/select. Such a nest cannot block and finishes in O(memory
+// touched), so it is exempt from the cadence requirement.
+func nestIsCallFree(pass *Pass, loop ast.Node) bool {
+	pure := true
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			if x.Cond == nil {
+				pure = false
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				switch pass.Info.Uses[id].(type) {
+				case *types.Builtin, *types.TypeName:
+					return true
+				}
+			}
+			if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			pure = false
+		case *ast.GoStmt, *ast.DeferStmt, *ast.SelectStmt, *ast.SendStmt:
+			pure = false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pure = false // channel receive can block
+			}
+		}
+		return pure
+	})
+	return pure
+}

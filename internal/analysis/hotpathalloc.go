@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// zeroAllocDirective marks a function as part of the zero-alloc
+// roster when it appears on its own line in the doc comment.
+const zeroAllocDirective = "//gfvet:zeroalloc"
+
+// HotPathAlloc guards the zero-alloc steady state mechanically. The
+// runtime guards (TestEngineFormIntoSteadyStateZeroAlloc and the
+// bench-regression gate) catch an allocation after it ships; this
+// rule catches the three classic ways one sneaks into a reviewed
+// diff, at compile-review time, on the functions annotated
+// //gfvet:zeroalloc:
+//
+//   - any call into package fmt (every fmt call allocates:
+//     interface boxing of the arguments at minimum);
+//   - an implicit conversion of a non-pointer-shaped value (struct,
+//     string, slice, array, basic) to an interface type at a call
+//     argument, assignment or return — the conversion heap-boxes the
+//     value. Pointer-shaped values (pointers, maps, chans, funcs)
+//     convert without allocating and are exempt, which keeps
+//     heap.Push(h, x) and friends legal;
+//   - a closure that captures enclosing variables and escapes (is
+//     passed to a call, returned, or stored anywhere but a local
+//     variable that is only ever invoked) — an escaping capture
+//     allocates the closure and often the captured variables too.
+//
+// Parallel fan-out branches inside an annotated function allocate
+// their own escaping memory by design; suppress those sites with
+// //gfvet:allow hotpathalloc -- <why>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//gfvet:zeroalloc functions must not call fmt, box values into interfaces, or build escaping closures",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		if !hasZeroAllocDirective(fd) {
+			continue
+		}
+		checkHotBody(pass, fd)
+	}
+	return nil
+}
+
+func hasZeroAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, zeroAllocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Local closures that may stay stack-allocated: funcN := func(){...}
+	// used only as funcN(...). Collect the candidates first, then flag
+	// any use that makes one escape.
+	localClosures := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					localClosures[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkFmtCall(pass, x)
+			checkCallArgs(pass, fd, x)
+		case *ast.AssignStmt:
+			checkAssign(pass, x)
+		case *ast.ReturnStmt:
+			checkReturn(pass, fd, x, stack)
+		case *ast.FuncLit:
+			checkClosure(pass, fd, x, stack, localClosures)
+		case *ast.Ident:
+			// A local closure used as anything but the function
+			// position of a call escapes.
+			obj := info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			if _, ok := localClosures[obj]; !ok {
+				return true
+			}
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == x {
+					return true // direct invocation, non-escaping
+				}
+			}
+			// Re-definition site (the := itself) is not a use.
+			pass.Reportf(x.Pos(),
+				"closure %q escapes here (used as a value, not invoked); escaping closures allocate on the zero-alloc hot path", x.Name)
+		}
+		return true
+	})
+}
+
+// checkFmtCall flags any call into package fmt.
+func checkFmtCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "call to fmt.%s allocates (interface boxing of arguments) on the zero-alloc hot path", fn.Name())
+	}
+}
+
+// boxes reports whether assigning expr to target implicitly converts
+// a non-pointer-shaped concrete value to an interface (a heap-boxing
+// conversion).
+func boxes(info *types.Info, expr ast.Expr, target types.Type) bool {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	src := tv.Type
+	if tv.IsNil() {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // already an interface, or pointer-shaped: no box
+	}
+	return true
+}
+
+func reportBox(pass *Pass, expr ast.Expr, target types.Type, where string) {
+	if boxes(pass.Info, expr, target) {
+		tv := pass.Info.Types[expr]
+		pass.Reportf(expr.Pos(),
+			"%s converts %s to interface %s, heap-boxing the value on the zero-alloc hot path", where, tv.Type, target)
+	}
+}
+
+// checkCallArgs flags arguments implicitly boxed into interface
+// parameters.
+func checkCallArgs(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // builtin or conversion
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element box
+			}
+			target = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			target = params.At(i).Type()
+		}
+		reportBox(pass, arg, target, "call argument")
+	}
+}
+
+// checkAssign flags `lhs = rhs` boxing into an interface-typed
+// location (:= never converts — the new variable takes the concrete
+// type).
+func checkAssign(pass *Pass, st *ast.AssignStmt) {
+	if st.Tok != token.ASSIGN || len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i := range st.Lhs {
+		if tv, ok := pass.Info.Types[st.Lhs[i]]; ok {
+			reportBox(pass, st.Rhs[i], tv.Type, "assignment")
+		}
+	}
+}
+
+// checkReturn flags returns boxing into interface results of the
+// nearest enclosing function (the annotated decl or a nested
+// literal).
+func checkReturn(pass *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt, stack []ast.Node) {
+	var sig *types.Signature
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			if tv, ok := pass.Info.Types[lit]; ok {
+				sig, _ = tv.Type.(*types.Signature)
+			}
+			break
+		}
+	}
+	if sig == nil {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			sig = fn.Signature()
+		}
+	}
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		reportBox(pass, r, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// checkClosure flags func literals that capture enclosing variables
+// and appear in an escaping position. Literals bound to a local
+// variable are handled by the ident walk in checkHotBody; literals
+// invoked in place never escape.
+func checkClosure(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, stack []ast.Node, localClosures map[types.Object]*ast.FuncLit) {
+	if !capturesOuter(pass, fd, lit) {
+		return
+	}
+	// Find the literal's syntactic context (skipping parens).
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == lit {
+			return // immediately invoked: non-escaping
+		}
+		pass.Reportf(lit.Pos(), "closure capturing enclosing variables passed to a call; escaping closures allocate on the zero-alloc hot path")
+	case *ast.AssignStmt:
+		if p.Tok == token.DEFINE {
+			for _, l := range localClosures {
+				if l == lit {
+					return // tracked local; flagged at escaping uses
+				}
+			}
+		}
+		pass.Reportf(lit.Pos(), "closure capturing enclosing variables stored outside a tracked local; escaping closures allocate on the zero-alloc hot path")
+	case *ast.ReturnStmt:
+		pass.Reportf(lit.Pos(), "closure capturing enclosing variables returned; escaping closures allocate on the zero-alloc hot path")
+	case *ast.GoStmt, *ast.DeferStmt:
+		pass.Reportf(lit.Pos(), "closure capturing enclosing variables launched via go/defer; escaping closures allocate on the zero-alloc hot path")
+	default:
+		pass.Reportf(lit.Pos(), "closure capturing enclosing variables in escaping position; escaping closures allocate on the zero-alloc hot path")
+	}
+}
+
+// capturesOuter reports whether lit references any variable declared
+// in fd outside lit (including the receiver and parameters).
+func capturesOuter(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the enclosing decl but outside the literal.
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}

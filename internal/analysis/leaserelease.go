@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeaseRelease enforces the scratch-pool discipline of the serving
+// tier: every core.Scratch leased from the pool must be released on
+// every control-flow path, and the only construct that guarantees
+// that across early returns and panics is a deferred release. A
+// leaked lease pins a scratch's arenas for the life of the process
+// and skews LeasedScratches-based instrumentation; an un-deferred
+// release leaks on any error return added later.
+//
+// Mechanics: inside internal/server, any value obtained from
+// leaseScratch — directly, or through a transfer function that
+// leases and returns the scratch (formOnScratch) — must either be
+// released via `defer ...releaseScratch(sc)` in the same function or
+// be returned to the caller (ownership transfer, which moves the
+// obligation to the call site). Discarding a lease result is always
+// a leak.
+var LeaseRelease = &Analyzer{
+	Name: "leaserelease",
+	Doc:  "scratch-pool leases must be released on every path (defer) or returned",
+	Run:  runLeaseRelease,
+}
+
+func runLeaseRelease(pass *Pass) error {
+	if !pathIn(pass.Path, "internal/server") {
+		return nil
+	}
+	decls := funcDecls(pass)
+
+	// The primary lease source and its dual.
+	var leaseFns, releaseFns []*types.Func
+	var scratchType types.Type
+	for _, fd := range decls {
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		switch fd.Name.Name {
+		case "leaseScratch":
+			leaseFns = append(leaseFns, fn)
+			if res := fn.Signature().Results(); res.Len() == 1 {
+				scratchType = res.At(0).Type()
+			}
+		case "releaseScratch":
+			releaseFns = append(releaseFns, fn)
+		}
+	}
+	if len(leaseFns) == 0 || scratchType == nil {
+		return nil
+	}
+	isLease := func(call *ast.CallExpr) bool {
+		fn := calleeFunc(pass.Info, call)
+		for _, lf := range leaseFns {
+			if fn == lf {
+				return true
+			}
+		}
+		return false
+	}
+	isRelease := func(call *ast.CallExpr) bool {
+		fn := calleeFunc(pass.Info, call)
+		for _, rf := range releaseFns {
+			if fn == rf {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Transfer functions lease a scratch and hand it to their caller
+	// through a result; a call to one is a lease at the call site.
+	transfer := map[*types.Func][]int{} // result indices of scratch type
+	for _, fd := range decls {
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil || fd.Name.Name == "leaseScratch" {
+			continue
+		}
+		leases := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isLease(call) {
+				leases = true
+			}
+			return !leases
+		})
+		if !leases {
+			continue
+		}
+		res := fn.Signature().Results()
+		var idx []int
+		for i := 0; i < res.Len(); i++ {
+			if types.Identical(res.At(i).Type(), scratchType) {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) > 0 {
+			transfer[fn] = idx
+		}
+	}
+	sourceIdx := func(call *ast.CallExpr) ([]int, bool) {
+		if isLease(call) {
+			return []int{0}, true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return nil, false
+		}
+		idx, ok := transfer[fn]
+		return idx, ok
+	}
+
+	for _, fd := range decls {
+		if fd.Name.Name == "leaseScratch" || fd.Name.Name == "releaseScratch" {
+			continue
+		}
+		checkLeases(pass, fd, sourceIdx, isRelease)
+	}
+	return nil
+}
+
+// checkLeases verifies every lease acquisition in fd.
+func checkLeases(pass *Pass, fd *ast.FuncDecl, sourceIdx func(*ast.CallExpr) ([]int, bool), isRelease func(*ast.CallExpr) bool) {
+	// Objects released under defer, and objects that leave fd through
+	// a return statement (or are named results, which a bare return
+	// hands back implicitly).
+	deferred := map[types.Object]bool{}
+	returned := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isRelease(st.Call) {
+				for _, arg := range st.Call.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							deferred[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if _, ok := sourceIdx(call); ok {
+					pass.Reportf(call.Pos(), "scratch lease discarded — the scratch can never be released")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := sourceIdx(call)
+			if !ok {
+				return true
+			}
+			for _, i := range idx {
+				if i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(id.Pos(), "scratch lease assigned to _ — the scratch can never be released")
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !deferred[obj] && !returned[obj] {
+					pass.Reportf(id.Pos(),
+						"scratch lease %q is not released on every path: add `defer ...releaseScratch(%s)` or return it to transfer ownership", id.Name, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deprecatedFacadeFuncs are the legacy one-shot entry points kept on
+// the groupform facade only for external compatibility. First-party
+// code — the commands, the examples (living documentation) and every
+// internal package — must use the Engine / registry API instead; this
+// rule keeps new call sites from creeping back in. The facade package
+// itself (and its tests, which exercise the wrappers on purpose — that
+// is their compatibility contract) is exempt.
+var deprecatedFacadeFuncs = map[string]bool{
+	"Form":               true,
+	"FormBaseline":       true,
+	"FormExact":          true,
+	"FormLocalSearch":    true,
+	"FormBranchAndBound": true,
+	"SolveIP":            true,
+}
+
+// NoDeprecated bans references to the deprecated facade wrappers from
+// every package except the facade itself. It replaces the bespoke AST
+// walk that used to live in deprecated_guard_test.go (which remains
+// as a thin wrapper over this rule).
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc:  "first-party code must not call the deprecated groupform facade wrappers",
+	Run:  runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	if !strings.Contains(pass.Path, "/") {
+		return nil // the facade package itself
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			// The facade is the module root: an import path with no
+			// slash.
+			if strings.Contains(obj.Pkg().Path(), "/") {
+				return true
+			}
+			if deprecatedFacadeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"calls deprecated %s.%s — use NewSolver/Engine instead", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// Analyzers is the full gfvet suite in reporting order.
+var Analyzers = []*Analyzer{
+	SentinelWrap,
+	LeaseRelease,
+	CtxCadence,
+	HotPathAlloc,
+	NoDeprecated,
+}

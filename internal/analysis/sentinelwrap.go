@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// SentinelWrap enforces the module's error taxonomy: code under
+// internal/ must not mint classification-free errors inside function
+// bodies. Every error a solver or the serving tier returns has to be
+// errors.Is-able against one of the gferr sentinels (ErrBadConfig,
+// ErrTooLarge, ErrCanceled) — either built via the gferr helpers or
+// propagated with %w — because the HTTP error envelope, the CLI exit
+// paths and the tests all classify by sentinel, and a naked
+// errors.New/fmt.Errorf silently falls through every errors.Is to
+// the "internal error" bucket.
+//
+// Flagged: calls to errors.New, and calls to fmt.Errorf whose
+// constant format string carries no %w verb, inside any function
+// body of an internal/... package. Package-level sentinel
+// declarations (`var ErrX = ...`) are exempt — that is how new
+// sentinels are born — as is internal/gferr itself, which is the
+// taxonomy's root and necessarily constructs from scratch.
+var SentinelWrap = &Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "internal packages must classify errors by wrapping a gferr sentinel",
+	Run:  runSentinelWrap,
+}
+
+func runSentinelWrap(pass *Pass) error {
+	if !isInternalPkg(pass.Path) || pathIn(pass.Path, "internal/gferr") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeIn(pass.Info, call, "errors", "New") {
+				pass.Reportf(call.Pos(),
+					"errors.New creates an unclassifiable error; wrap a gferr sentinel (gferr.BadConfigf/TooLargef) or declare a package-level sentinel that wraps one")
+				return true
+			}
+			if calleeIn(pass.Info, call, "fmt", "Errorf") && len(call.Args) > 0 {
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf without %%w creates an unclassifiable error; wrap a gferr sentinel (gferr.BadConfigf/TooLargef) or propagate the cause with %%w")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package opt is the ctxcadence fixture: loaded under an import path
+// ending in internal/opt so the rule applies. Exported ctx-accepting
+// functions here exercise every loop disposition the rule knows:
+// missing checks, direct checks, delegation, local-closure handlers,
+// call-free exemptions, and justified allows.
+package opt
+
+import "context"
+
+func work(x int) int { return x * x }
+
+// checkpoint stands in for gferr.Ctx: any call receiving the context
+// is a cancellation touchpoint (the callee inherits the obligation).
+func checkpoint(ctx context.Context) error { return ctx.Err() }
+
+// MissingCheck loops over real work with no reachable cancellation
+// check: the seeded violation.
+func MissingCheck(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // want `no reachable cancellation check`
+		total += work(x)
+	}
+	return total
+}
+
+// DirectCheck polls ctx.Err in the nest.
+func DirectCheck(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(x)
+	}
+	return total, nil
+}
+
+// Delegates threads ctx into a callee; the callee inherits the
+// obligation, so the loop passes.
+func Delegates(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for range xs {
+		if err := checkpoint(ctx); err != nil {
+			return 0, err
+		}
+		total++
+	}
+	return total, nil
+}
+
+// InnerRidesOuter has the project's masked-check shape: the check
+// lives in the outer loop, the inner loop rides its cadence. Only
+// outermost nests are checked, so this passes.
+func InnerRidesOuter(ctx context.Context, xs [][]int) (int, error) {
+	total := 0
+	for i, row := range xs {
+		if i&0xFFF == 0 {
+			if err := checkpoint(ctx); err != nil {
+				return 0, err
+			}
+		}
+		for _, x := range row {
+			total += work(x)
+		}
+	}
+	return total, nil
+}
+
+// LocalRecursion is the branch-and-bound shape: the loop's only
+// touchpoint is a local closure whose body polls ctx.
+func LocalRecursion(ctx context.Context, xs []int) int {
+	var rec func(i int) int
+	rec = func(i int) int {
+		if ctx.Err() != nil {
+			return 0
+		}
+		if i <= 0 {
+			return 1
+		}
+		return rec(i - 1)
+	}
+	total := 0
+	for _, x := range xs {
+		total += rec(x)
+	}
+	return total
+}
+
+// CallFree does bounded pure memory work per iteration: exempt.
+func CallFree(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Allowed demonstrates a justified suppression on a loop that calls
+// but is trivially bounded.
+func Allowed(ctx context.Context, xs []int) int {
+	total := 0
+	//gfvet:allow ctxcadence -- fixture: bounded two-iteration loop
+	for _, x := range xs[:min(2, len(xs))] {
+		total += work(x)
+	}
+	return total
+}
+
+// unexportedLoop is not an exported entry point, so it carries no
+// obligation even though it loops over calls.
+func unexportedLoop(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += work(x)
+	}
+	return total
+}

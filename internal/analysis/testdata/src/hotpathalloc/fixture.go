@@ -1,0 +1,71 @@
+// Package hottest is the hotpathalloc fixture: functions annotated
+// //gfvet:zeroalloc seed each allocation shape the rule catches —
+// fmt calls, interface boxing at call/assign/return, and escaping
+// closures — next to the shapes it must keep legal.
+package hottest
+
+import "fmt"
+
+func eat(v any)        {}
+func iter(f func(int)) { f(0) }
+
+//gfvet:zeroalloc
+func FmtCall(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates` `heap-boxing`
+}
+
+//gfvet:zeroalloc
+func BoxesArg(n int) {
+	eat(n) // want `call argument converts int to interface`
+}
+
+//gfvet:zeroalloc
+func PointerShapedArg(p *int) {
+	eat(p) // pointer-shaped: converts without allocating
+}
+
+//gfvet:zeroalloc
+func BoxesAssign(n int, sink *any) {
+	*sink = n // want `assignment converts int to interface`
+}
+
+//gfvet:zeroalloc
+func BoxesReturn(n int) any {
+	return n // want `return converts int to interface`
+}
+
+//gfvet:zeroalloc
+func EscapesViaReturn(n int) func() int {
+	return func() int { return n } // want `closure capturing enclosing variables returned`
+}
+
+//gfvet:zeroalloc
+func EscapesViaCall(xs []int) int {
+	total := 0
+	iter(func(i int) { total += i }) // want `closure capturing enclosing variables passed to a call`
+	return total
+}
+
+//gfvet:zeroalloc
+func LocalClosureInvokedOnly(n int) int {
+	add := func(x int) int { return x + n }
+	return add(1)
+}
+
+//gfvet:zeroalloc
+func CapturesNothing() func() int {
+	return func() int { return 42 } // captures nothing: no closure allocation to flag
+}
+
+//gfvet:zeroalloc
+func AllowedFanOut(xs []int) int {
+	total := 0
+	//gfvet:allow hotpathalloc -- fixture: parallel branch allocates by design
+	iter(func(i int) { total += i })
+	return total
+}
+
+// Unannotated functions are outside the roster: nothing is flagged.
+func Unannotated(n int) string {
+	return fmt.Sprintf("%d", n)
+}

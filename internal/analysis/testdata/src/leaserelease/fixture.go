@@ -1,0 +1,75 @@
+// Package server is the leaserelease fixture: loaded under an import
+// path ending in internal/server so the rule applies. It models the
+// serving tier's scratch pool — leaseScratch/releaseScratch plus a
+// transfer function that leases on the caller's behalf — and seeds
+// every leak shape the rule catches.
+package server
+
+import "groupform/internal/core"
+
+type pool struct {
+	free []*core.Scratch
+}
+
+func (p *pool) leaseScratch() *core.Scratch {
+	if n := len(p.free); n > 0 {
+		sc := p.free[n-1]
+		p.free = p.free[:n-1]
+		return sc
+	}
+	return new(core.Scratch)
+}
+
+func (p *pool) releaseScratch(sc *core.Scratch) {
+	if sc != nil {
+		p.free = append(p.free, sc)
+	}
+}
+
+// formOnScratch leases and returns the scratch: a transfer function.
+// Its own lease is satisfied by the return (ownership moves to the
+// caller), and calls to it count as leases at the call site.
+func (p *pool) formOnScratch() (*core.Scratch, error) {
+	sc := p.leaseScratch()
+	return sc, nil
+}
+
+func (p *pool) handlerGood() {
+	sc := p.leaseScratch()
+	defer p.releaseScratch(sc)
+	_ = sc
+}
+
+func (p *pool) handlerLeaks() {
+	sc := p.leaseScratch() // want `scratch lease "sc" is not released on every path`
+	_ = sc
+}
+
+func (p *pool) discards() {
+	p.leaseScratch() // want `scratch lease discarded`
+}
+
+func (p *pool) blanks() {
+	_ = p.leaseScratch() // want `scratch lease assigned to _`
+}
+
+func (p *pool) viaTransferGood() error {
+	sc, err := p.formOnScratch()
+	if err != nil {
+		return err
+	}
+	defer p.releaseScratch(sc)
+	return nil
+}
+
+func (p *pool) viaTransferLeaks() {
+	sc, err := p.formOnScratch() // want `scratch lease "sc" is not released on every path`
+	_, _ = sc, err
+}
+
+// namedResult hands its lease back through a named result: a bare
+// return transfers ownership, so this is compliant.
+func (p *pool) namedResult() (sc *core.Scratch, err error) {
+	sc = p.leaseScratch()
+	return
+}

@@ -1,0 +1,22 @@
+// Package nodep is the nodeprecated fixture: a first-party package
+// (import path contains a slash) calling a deprecated facade wrapper,
+// next to the sanctioned Solver path.
+package nodep
+
+import (
+	"context"
+
+	groupform "groupform"
+)
+
+func callsDeprecated(ds *groupform.Dataset, cfg groupform.Config) (*groupform.Result, error) {
+	return groupform.Form(ds, cfg) // want `calls deprecated groupform\.Form`
+}
+
+func callsSanctioned(ctx context.Context, ds *groupform.Dataset, cfg groupform.Config) (*groupform.Result, error) {
+	s, err := groupform.NewSolver("grd")
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx, ds, cfg)
+}

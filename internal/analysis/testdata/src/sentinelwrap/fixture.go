@@ -1,0 +1,45 @@
+// Package swtest is the sentinelwrap fixture: loaded under an
+// internal/ import path so the rule applies, it seeds one violation
+// per flagged construct next to the compliant spellings.
+package swtest
+
+import (
+	"errors"
+	"fmt"
+
+	"groupform/internal/gferr"
+)
+
+// ErrSeed is a package-level sentinel declaration: exempt by design —
+// this is how new sentinels are born.
+var ErrSeed = errors.New("swtest: package-level sentinel")
+
+func nakedNew() error {
+	return errors.New("swtest: naked") // want `errors\.New creates an unclassifiable error`
+}
+
+func nakedErrorf(n int) error {
+	return fmt.Errorf("swtest: bad value %d", n) // want `fmt\.Errorf without %w`
+}
+
+func wrappedSentinel(n int) error {
+	if n < 0 {
+		return gferr.BadConfigf("swtest: n must be non-negative, got %d", n)
+	}
+	return nil
+}
+
+func propagated(err error) error {
+	return fmt.Errorf("swtest: while working: %w", err)
+}
+
+func suppressed() error {
+	//gfvet:allow sentinelwrap -- fixture proving a justified allow suppresses the diagnostic
+	return errors.New("swtest: suppressed on purpose")
+}
+
+//gfvet:allow sentinelwrap // want `malformed //gfvet:allow annotation`
+
+func notSuppressedByMalformedAllow() error {
+	return errors.New("swtest: still flagged") // want `errors\.New creates an unclassifiable error`
+}

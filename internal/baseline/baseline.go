@@ -129,6 +129,9 @@ func Form(ctx context.Context, ds *dataset.Dataset, cfg Config) (*core.Result, e
 		if len(members) == 0 {
 			continue
 		}
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		// This per-cluster pass over the union of member ratings is
 		// the step the paper identifies as the baseline's bottleneck
 		// ("one may have to consider arbitrarily many items in the

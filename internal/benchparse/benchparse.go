@@ -15,6 +15,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"groupform/internal/gferr"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -85,7 +87,7 @@ func Parse(r io.Reader) (*Report, error) {
 func parseLine(line string) (Benchmark, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
-		return Benchmark{}, fmt.Errorf("benchparse: short benchmark line %q", line)
+		return Benchmark{}, gferr.BadConfigf("benchparse: short benchmark line %q", line)
 	}
 	b := Benchmark{Name: fields[0], Procs: 1}
 	// Split the -GOMAXPROCS suffix off the last name segment.
@@ -102,7 +104,7 @@ func parseLine(line string) (Benchmark, error) {
 	b.Iterations = iters
 	rest := fields[2:]
 	if len(rest)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("benchparse: unpaired measurement in %q", line)
+		return Benchmark{}, gferr.BadConfigf("benchparse: unpaired measurement in %q", line)
 	}
 	for i := 0; i < len(rest); i += 2 {
 		v, err := strconv.ParseFloat(rest[i], 64)

@@ -9,12 +9,13 @@
 package cf
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"groupform/internal/dataset"
+
+	"groupform/internal/gferr"
 )
 
 // Predictor estimates a user's rating for an item. Estimates are
@@ -119,10 +120,10 @@ type neighbor struct {
 // NewUserKNN trains a user-kNN model with neighborhood size k.
 func NewUserKNN(ds *dataset.Dataset, k int) (*UserKNN, error) {
 	if ds == nil || ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("cf: empty dataset")
+		return nil, gferr.BadConfigf("cf: empty dataset")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("cf: k must be positive, got %d", k)
+		return nil, gferr.BadConfigf("cf: k must be positive, got %d", k)
 	}
 	model := &UserKNN{
 		ds: ds, k: k, m: computeMeans(ds),
@@ -235,10 +236,10 @@ type itemNeighbor struct {
 // NewItemKNN trains an item-kNN model with neighborhood size k.
 func NewItemKNN(ds *dataset.Dataset, k int) (*ItemKNN, error) {
 	if ds == nil || ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("cf: empty dataset")
+		return nil, gferr.BadConfigf("cf: empty dataset")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("cf: k must be positive, got %d", k)
+		return nil, gferr.BadConfigf("cf: k must be positive, got %d", k)
 	}
 	model := &ItemKNN{ds: ds, k: k, m: computeMeans(ds), sims: make(map[dataset.ItemID][]itemNeighbor)}
 	// Build per-item centered vectors keyed by user.
@@ -349,7 +350,7 @@ type MF struct {
 // NewMF trains a matrix-factorization model with SGD.
 func NewMF(ds *dataset.Dataset, cfg MFConfig) (*MF, error) {
 	if ds == nil || ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("cf: empty dataset")
+		return nil, gferr.BadConfigf("cf: empty dataset")
 	}
 	if cfg.Factors == 0 {
 		cfg.Factors = 16
@@ -364,7 +365,7 @@ func NewMF(ds *dataset.Dataset, cfg MFConfig) (*MF, error) {
 		cfg.Regularization = 0.05
 	}
 	if cfg.Factors < 0 || cfg.Epochs < 0 || cfg.LearningRate <= 0 || cfg.Regularization < 0 {
-		return nil, fmt.Errorf("cf: invalid MF config %+v", cfg)
+		return nil, gferr.BadConfigf("cf: invalid MF config %+v", cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &MF{
@@ -463,14 +464,14 @@ func Densify(ds *dataset.Dataset, p Predictor) (*dataset.Dataset, error) {
 // degrade GRD to singleton buckets plus one merged group.
 func DensifyQuantized(ds *dataset.Dataset, p Predictor, step float64) (*dataset.Dataset, error) {
 	if step < 0 {
-		return nil, fmt.Errorf("cf: negative quantization step %v", step)
+		return nil, gferr.BadConfigf("cf: negative quantization step %v", step)
 	}
 	return densify(ds, p, step)
 }
 
 func densify(ds *dataset.Dataset, p Predictor, step float64) (*dataset.Dataset, error) {
 	if ds == nil || ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("cf: empty dataset")
+		return nil, gferr.BadConfigf("cf: empty dataset")
 	}
 	scale := ds.Scale()
 	perUser := make(map[dataset.UserID][]dataset.Entry, ds.NumUsers())
@@ -501,7 +502,7 @@ func densify(ds *dataset.Dataset, p Predictor, step float64) (*dataset.Dataset, 
 // RMSE evaluates a predictor against held-out ratings.
 func RMSE(p Predictor, heldOut []dataset.Rating) (float64, error) {
 	if len(heldOut) == 0 {
-		return 0, fmt.Errorf("cf: empty held-out set")
+		return 0, gferr.BadConfigf("cf: empty held-out set")
 	}
 	var se float64
 	for _, r := range heldOut {

@@ -6,13 +6,15 @@ import (
 	"math/rand"
 
 	"groupform/internal/dataset"
+
+	"groupform/internal/gferr"
 )
 
 // MAE evaluates a predictor's mean absolute error on held-out
 // ratings.
 func MAE(p Predictor, heldOut []dataset.Rating) (float64, error) {
 	if len(heldOut) == 0 {
-		return 0, fmt.Errorf("cf: empty held-out set")
+		return 0, gferr.BadConfigf("cf: empty held-out set")
 	}
 	var ae float64
 	for _, r := range heldOut {
@@ -42,10 +44,10 @@ type CVResult struct {
 // mentions, applied at the rating level.
 func CrossValidate(ds *dataset.Dataset, folds int, seed int64, train Trainer) (CVResult, error) {
 	if folds < 2 {
-		return CVResult{}, fmt.Errorf("cf: need >= 2 folds, got %d", folds)
+		return CVResult{}, gferr.BadConfigf("cf: need >= 2 folds, got %d", folds)
 	}
 	if ds == nil || ds.NumRatings() < folds {
-		return CVResult{}, fmt.Errorf("cf: too few ratings for %d folds", folds)
+		return CVResult{}, gferr.BadConfigf("cf: too few ratings for %d folds", folds)
 	}
 	var all []dataset.Rating
 	for _, u := range ds.Users() {

@@ -1,9 +1,9 @@
 package cf
 
 import (
-	"fmt"
-
 	"groupform/internal/dataset"
+
+	"groupform/internal/gferr"
 )
 
 // SlopeOne is the weighted Slope One predictor (Lemire & Maclachlan):
@@ -24,7 +24,7 @@ type SlopeOne struct {
 // the paper's trimmed datasets.
 func NewSlopeOne(ds *dataset.Dataset) (*SlopeOne, error) {
 	if ds == nil || ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("cf: empty dataset")
+		return nil, gferr.BadConfigf("cf: empty dataset")
 	}
 	m := &SlopeOne{
 		ds:  ds,

@@ -12,6 +12,8 @@ import (
 
 	"groupform/internal/semantics"
 	"groupform/internal/solver"
+
+	"groupform/internal/gferr"
 )
 
 // AlgoListName is the reserved -algo value that prints the registry.
@@ -25,7 +27,7 @@ func ParseSemantics(s string) (semantics.Semantics, error) {
 	case "av":
 		return semantics.AV, nil
 	}
-	return 0, fmt.Errorf("unknown semantics %q (want lm or av)", s)
+	return 0, gferr.BadConfigf("unknown semantics %q (want lm or av)", s)
 }
 
 // ParseAggregation maps an -agg flag value to the aggregation.
@@ -42,7 +44,7 @@ func ParseAggregation(s string) (semantics.Aggregation, error) {
 	case "wsum-log":
 		return semantics.WeightedSumLog, nil
 	}
-	return 0, fmt.Errorf("unknown aggregation %q (want max, min, sum, wsum-pos or wsum-log)", s)
+	return 0, gferr.BadConfigf("unknown aggregation %q (want max, min, sum, wsum-pos or wsum-log)", s)
 }
 
 // ResolveAlgo maps an -algo flag value (canonical name or alias,

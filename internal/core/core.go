@@ -249,6 +249,8 @@ func FormWithPrefs(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs [
 // be shared between goroutines. In steady state — same dataset, same
 // configuration shape, warm preference lists — a serial FormInto
 // performs no allocations; this is the Engine's serving path.
+//
+//gfvet:zeroalloc
 func FormInto(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList, s *Scratch) (*Result, error) {
 	if s == nil {
 		return nil, gferr.BadConfigf("core: FormInto requires a non-nil Scratch")
@@ -265,6 +267,8 @@ func (s *Scratch) form(ctx context.Context, ds *dataset.Dataset, cfg Config, pre
 }
 
 // run executes the greedy framework on the (already begun) scratch.
+//
+//gfvet:zeroalloc
 func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*Result, error) {
 	if err := cfg.Validate(ds); err != nil {
 		return nil, err
@@ -288,9 +292,11 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 		// — are cheap to catch and would otherwise form wrong groups
 		// silently.
 		if len(prefs) != ds.NumUsers() {
+			//gfvet:allow hotpathalloc -- cold validation path; boxing only happens when the config is already wrong
 			return nil, gferr.BadConfigf("core: prefs has %d lists for %d users", len(prefs), ds.NumUsers())
 		}
 		if len(prefs[0].Items) != cfg.K {
+			//gfvet:allow hotpathalloc -- cold validation path; boxing only happens when the config is already wrong
 			return nil, gferr.BadConfigf("core: prefs built for K=%d, cfg.K=%d", len(prefs[0].Items), cfg.K)
 		}
 	}
@@ -342,6 +348,7 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 		errs := s.errSlice(len(popped))
 		bucketScorer := nestedScorer(scorer, len(popped), workers)
 		if par.Enabled(workers) {
+			//gfvet:allow hotpathalloc -- parallel fan-out allocates its own escaping memory by design; the zero-alloc contract is serial
 			par.Do(len(popped), workers, func(i int) {
 				if err := gferr.Ctx(ctx); err != nil {
 					errs[i] = err
@@ -404,6 +411,8 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 // full bucket satisfaction, so this maximizes the objective over all
 // ways to spend the budget; under AV the per-piece satisfactions
 // always sum to the bucket's, so splitting is harmless either way.
+//
+//gfvet:zeroalloc
 func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, error) {
 	h := newBucketHeapInto(&s.heap, buckets, cfg.Aggregation)
 	ordered := slices.Grow(s.popped[:0], len(buckets))
@@ -490,6 +499,7 @@ func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer 
 	if par.Enabled(workers) {
 		// Fan-out tasks must not share the scratch's single top-k
 		// buffer and arenas; they allocate their own escaping memory.
+		//gfvet:allow hotpathalloc -- parallel fan-out allocates its own escaping memory by design; the zero-alloc contract is serial
 		par.Do(len(tasks), workers, func(i int) { materialize(i, nil) })
 	} else {
 		for i := range tasks {
@@ -615,6 +625,8 @@ func bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
 // flat array, score positions are carved from the score arena, and all
 // member slices are carved from one shared arena sized by a counting
 // pass. A warm scratch runs this whole step without allocating.
+//
+//gfvet:zeroalloc
 func (s *Scratch) bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) []*bucket {
 	// A cold scratch pre-sizes the intern-side arrays to the worst
 	// case (every list a distinct bucket): three exact allocations
@@ -673,6 +685,8 @@ func (s *Scratch) bucketize(prefs []rank.PrefList, cfg Config, ownedPrefs bool) 
 // backing array. The offset/cursor/pointer bookkeeping is
 // scratch-transient; the member arena itself follows the scratch's
 // ownership mode (it escapes into the Result's Groups).
+//
+//gfvet:zeroalloc
 func (s *Scratch) fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32, assign []int32) []*bucket {
 	arena := s.memberSlice(len(prefs))
 	if cap(s.offs) < len(bs)+1 {
@@ -708,6 +722,8 @@ func (s *Scratch) fillMembers(prefs []rank.PrefList, bs []bucket, counts []int32
 // arena when a scratch is available, heap-allocated from the parallel
 // fan-outs that must not share the scratch (the same nil convention
 // pieceScores and finalizeBucket use).
+//
+//gfvet:zeroalloc
 func (s *Scratch) takeScores(n int) []float64 {
 	if s == nil {
 		return make([]float64, n)
@@ -727,6 +743,8 @@ func (s *Scratch) takeScores(n int) []float64 {
 // scores. AV always folds weighted copies and never aliases the pref
 // list. With a scratch, copies are carved from the score arena and
 // cost no allocation once warm.
+//
+//gfvet:zeroalloc
 func (s *Scratch) seedBucket(p rank.PrefList, cfg Config, copyScores bool) ([]dataset.ItemID, []float64) {
 	items, scores := p.Items, p.Scores
 	if cfg.Semantics == semantics.LM && cfg.Aggregation == semantics.Max {

@@ -201,6 +201,8 @@ func clearFull[T any](s []T) {
 
 // memberSlice returns the length-n backing for this run's bucket
 // member arena: scratch-owned in owned mode, escaping-fresh otherwise.
+//
+//gfvet:zeroalloc
 func (s *Scratch) memberSlice(n int) []dataset.UserID {
 	if !s.owned {
 		return make([]dataset.UserID, n)
@@ -213,6 +215,8 @@ func (s *Scratch) memberSlice(n int) []dataset.UserID {
 
 // groupSlice returns the length-n Groups backing (same ownership split
 // as memberSlice).
+//
+//gfvet:zeroalloc
 func (s *Scratch) groupSlice(n int) []Group {
 	if !s.owned {
 		return make([]Group, n)
@@ -226,6 +230,8 @@ func (s *Scratch) groupSlice(n int) []Group {
 
 // errSlice returns a nil-cleared length-n error slice (always
 // transient).
+//
+//gfvet:zeroalloc
 func (s *Scratch) errSlice(n int) []error {
 	if cap(s.errs) < n {
 		s.errs = make([]error, n)
@@ -239,6 +245,8 @@ func (s *Scratch) errSlice(n int) []error {
 
 // newResult returns this run's Result: the scratch's own in owned
 // mode, a fresh one otherwise.
+//
+//gfvet:zeroalloc
 func (s *Scratch) newResult() *Result {
 	if !s.owned {
 		return &Result{}

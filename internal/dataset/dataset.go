@@ -37,6 +37,8 @@ package dataset
 import (
 	"fmt"
 	"sort"
+
+	"groupform/internal/gferr"
 )
 
 // UserID identifies a user. IDs are application-assigned and need not
@@ -226,7 +228,7 @@ func NewBuilder(scale Scale) *Builder {
 // observable.
 func (b *Builder) Add(u UserID, i ItemID, v float64) error {
 	if !b.scale.Valid(v) {
-		return fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+		return gferr.BadConfigf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
 			v, u, i, b.scale.Min, b.scale.Max)
 	}
 	b.rows[u] = append(b.rows[u], Entry{Item: i, Value: v})
@@ -304,7 +306,7 @@ func FromRatings(scale Scale, rs []Rating) (*Dataset, error) {
 // directly — a dense table needs no sorting or deduplication.
 func FromDense(scale Scale, rows [][]float64) (*Dataset, error) {
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: no rows")
+		return nil, gferr.BadConfigf("dataset: no rows")
 	}
 	m := len(rows[0])
 	n := len(rows)
@@ -319,13 +321,13 @@ func FromDense(scale Scale, rows [][]float64) (*Dataset, error) {
 	p := 0
 	for u, row := range rows {
 		if len(row) != m {
-			return nil, fmt.Errorf("dataset: row %d has %d items, want %d", u, len(row), m)
+			return nil, gferr.BadConfigf("dataset: row %d has %d items, want %d", u, len(row), m)
 		}
 		users[u] = UserID(u)
 		rowPtr[u] = int32(p)
 		for i, v := range row {
 			if !scale.Valid(v) {
-				return nil, fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+				return nil, gferr.BadConfigf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
 					v, u, i, scale.Min, scale.Max)
 			}
 			colIdx[p] = ItemIdx(i)
@@ -367,7 +369,7 @@ func FromUserEntries(scale Scale, perUser map[UserID][]Entry) (*Dataset, error) 
 		copy(es, entries)
 		for _, e := range es {
 			if !scale.Valid(e.Value) {
-				return nil, fmt.Errorf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
+				return nil, gferr.BadConfigf("dataset: rating %v for user %d item %d outside scale [%v,%v]",
 					e.Value, u, e.Item, scale.Min, scale.Max)
 			}
 		}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"groupform/internal/gferr"
 )
 
 // Load reads a dataset from r, auto-detecting the container: a
@@ -53,7 +55,7 @@ func loadDelimited(r io.Reader, scale Scale, sep string, headerOK bool) (*Datase
 		}
 		parts := strings.Split(line, sep)
 		if len(parts) < 3 {
-			return nil, fmt.Errorf("dataset: line %d: want >=3 fields separated by %q, got %d", lineNo, sep, len(parts))
+			return nil, gferr.BadConfigf("dataset: line %d: want >=3 fields separated by %q, got %d", lineNo, sep, len(parts))
 		}
 		u, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
 		i, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 32)
@@ -62,7 +64,7 @@ func loadDelimited(r io.Reader, scale Scale, sep string, headerOK bool) (*Datase
 			if headerOK && lineNo == 1 {
 				continue // header row
 			}
-			return nil, fmt.Errorf("dataset: line %d: cannot parse %q", lineNo, line)
+			return nil, gferr.BadConfigf("dataset: line %d: cannot parse %q", lineNo, line)
 		}
 		if err := b.Add(UserID(u), ItemID(i), v); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
@@ -73,7 +75,7 @@ func loadDelimited(r io.Reader, scale Scale, sep string, headerOK bool) (*Datase
 	}
 	ds := b.Build()
 	if ds.NumRatings() == 0 {
-		return nil, fmt.Errorf("dataset: no ratings found")
+		return nil, gferr.BadConfigf("dataset: no ratings found")
 	}
 	return ds, nil
 }

@@ -6,13 +6,13 @@
 package eval
 
 import (
-	"fmt"
-
 	"groupform/internal/core"
 	"groupform/internal/dataset"
 	"groupform/internal/rank"
 	"groupform/internal/semantics"
 	"groupform/internal/stats"
+
+	"groupform/internal/gferr"
 )
 
 // AvgGroupSatisfaction is the paper's quality metric
@@ -24,7 +24,7 @@ import (
 // attached to each group. l is the number of formed groups.
 func AvgGroupSatisfaction(res *core.Result) (float64, error) {
 	if res == nil || len(res.Groups) == 0 {
-		return 0, fmt.Errorf("eval: no groups")
+		return 0, gferr.BadConfigf("eval: no groups")
 	}
 	total := 0.0
 	for _, g := range res.Groups {
@@ -44,7 +44,7 @@ func AvgGroupSatisfaction(res *core.Result) (float64, error) {
 // scale — which only holds for the per-member average).
 func AvgGroupSatisfactionPerMember(res *core.Result) (float64, error) {
 	if res == nil || len(res.Groups) == 0 {
-		return 0, fmt.Errorf("eval: no groups")
+		return 0, gferr.BadConfigf("eval: no groups")
 	}
 	total := 0.0
 	for _, g := range res.Groups {
@@ -71,7 +71,7 @@ func GroupSizes(res *core.Result) []int {
 func SizeSummary(res *core.Result) (stats.FivePoint, error) {
 	sizes := GroupSizes(res)
 	if len(sizes) == 0 {
-		return stats.FivePoint{}, fmt.Errorf("eval: no groups")
+		return stats.FivePoint{}, gferr.BadConfigf("eval: no groups")
 	}
 	return stats.Summarize(stats.Ints(sizes))
 }
@@ -95,7 +95,7 @@ func Singletons(res *core.Result) int {
 // simulated.
 func UserSatisfaction(ds *dataset.Dataset, u dataset.UserID, items []dataset.ItemID, missing float64) (float64, error) {
 	if len(items) == 0 {
-		return 0, fmt.Errorf("eval: empty item list")
+		return 0, gferr.BadConfigf("eval: empty item list")
 	}
 	total := 0.0
 	for _, it := range items {
@@ -129,7 +129,7 @@ func PerUserSatisfaction(ds *dataset.Dataset, res *core.Result, missing float64)
 // scorer's missing-rating policy.
 func MeanNDCG(ds *dataset.Dataset, res *core.Result, missing float64) (float64, error) {
 	if res == nil || len(res.Groups) == 0 {
-		return 0, fmt.Errorf("eval: no groups")
+		return 0, gferr.BadConfigf("eval: no groups")
 	}
 	sc := semantics.Scorer{DS: ds, Missing: missing}
 	total, n := 0.0, 0

@@ -9,12 +9,13 @@ package hardness
 
 import (
 	"context"
-	"fmt"
 
 	"groupform/internal/core"
 	"groupform/internal/dataset"
 	"groupform/internal/opt"
 	"groupform/internal/semantics"
+
+	"groupform/internal/gferr"
 )
 
 // X3C is an instance of Exact Cover by 3-Sets: a ground set
@@ -28,16 +29,16 @@ type X3C struct {
 // Validate checks element ranges and set distinctness within a set.
 func (x X3C) Validate() error {
 	if x.Q <= 0 {
-		return fmt.Errorf("hardness: Q must be positive, got %d", x.Q)
+		return gferr.BadConfigf("hardness: Q must be positive, got %d", x.Q)
 	}
 	for i, s := range x.Sets {
 		for _, e := range s {
 			if e < 0 || e >= 3*x.Q {
-				return fmt.Errorf("hardness: set %d element %d outside ground set of size %d", i, e, 3*x.Q)
+				return gferr.BadConfigf("hardness: set %d element %d outside ground set of size %d", i, e, 3*x.Q)
 			}
 		}
 		if s[0] == s[1] || s[1] == s[2] || s[0] == s[2] {
-			return fmt.Errorf("hardness: set %d has duplicate elements", i)
+			return gferr.BadConfigf("hardness: set %d has duplicate elements", i)
 		}
 	}
 	return nil
@@ -113,12 +114,12 @@ func X3CToPECS(x X3C) (PECS, error) {
 func SolvePECS(p PECS) (bool, error) {
 	n := len(p.Vectors)
 	if n == 0 || p.K <= 0 || p.K > n {
-		return false, fmt.Errorf("hardness: PECS needs 0 < K <= |V|, got K=%d |V|=%d", p.K, n)
+		return false, gferr.BadConfigf("hardness: PECS needs 0 < K <= |V|, got K=%d |V|=%d", p.K, n)
 	}
 	m := len(p.Vectors[0])
 	for i, v := range p.Vectors {
 		if len(v) != m {
-			return false, fmt.Errorf("hardness: vector %d has dimension %d, want %d", i, len(v), m)
+			return false, gferr.BadConfigf("hardness: vector %d has dimension %d, want %d", i, len(v), m)
 		}
 	}
 	assign := make([]int, n)
@@ -173,7 +174,7 @@ func SolvePECS(p PECS) (bool, error) {
 func PECSToGF(p PECS) (*dataset.Dataset, int, error) {
 	n := len(p.Vectors)
 	if n == 0 {
-		return nil, 0, fmt.Errorf("hardness: empty PECS instance")
+		return nil, 0, gferr.BadConfigf("hardness: empty PECS instance")
 	}
 	scale := dataset.Scale{Min: 0, Max: 1}
 	b := dataset.NewBuilder(scale)

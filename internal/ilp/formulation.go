@@ -244,7 +244,7 @@ func SolveGF(ctx context.Context, ds *dataset.Dataset, l int, sem semantics.Sema
 		return nil, 0, err
 	}
 	if sol.Status != lp.Optimal {
-		return nil, 0, fmt.Errorf("ilp: GF solve status %v", sol.Status)
+		return nil, 0, gferr.BadConfigf("ilp: GF solve status %v", sol.Status)
 	}
 	return f.Decode(sol.X), math.Round(sol.Objective*1e6) / 1e6, nil
 }
@@ -278,6 +278,9 @@ func Form(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts Option
 		Algorithm: fmt.Sprintf("OPT-IP-%s-%s", cfg.Semantics, cfg.Aggregation),
 	}
 	for _, members := range groups {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
 		if err != nil {
 			return nil, err

@@ -49,6 +49,7 @@ func Solve(ctx context.Context, p *lp.Problem, binaries []int, opts Options) (So
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	//gfvet:allow ctxcadence -- O(len(binaries)) validation, two comparisons per iteration; nothing blocks
 	for _, b := range binaries {
 		if b < 0 || b >= p.NumVars {
 			return Solution{}, gferr.BadConfigf("ilp: binary index %d out of range [0,%d)", b, p.NumVars)
@@ -149,7 +150,7 @@ func (s *search) branch(fixed map[int]float64) error {
 	case lp.Unbounded:
 		// With all binaries bounded this means the continuous part
 		// is unbounded; surface it as an error.
-		return fmt.Errorf("ilp: relaxation unbounded")
+		return gferr.BadConfigf("ilp: relaxation unbounded")
 	}
 	relaxObj := s.sign * sol.Objective
 	if relaxObj <= s.bestObj+1e-9 {

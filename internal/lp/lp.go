@@ -18,6 +18,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"groupform/internal/gferr"
 )
 
 // Sense is the relational operator of a constraint.
@@ -64,25 +66,25 @@ type Problem struct {
 // Validate checks structural consistency.
 func (p *Problem) Validate() error {
 	if p.NumVars <= 0 {
-		return fmt.Errorf("lp: NumVars must be positive, got %d", p.NumVars)
+		return gferr.BadConfigf("lp: NumVars must be positive, got %d", p.NumVars)
 	}
 	if len(p.Objective) > p.NumVars {
-		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+		return gferr.BadConfigf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
 	}
 	for r, c := range p.Constraints {
 		if len(c.Coeffs) > p.NumVars {
-			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", r, len(c.Coeffs), p.NumVars)
+			return gferr.BadConfigf("lp: constraint %d has %d coefficients for %d variables", r, len(c.Coeffs), p.NumVars)
 		}
 		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
-			return fmt.Errorf("lp: constraint %d has invalid sense %d", r, int(c.Sense))
+			return gferr.BadConfigf("lp: constraint %d has invalid sense %d", r, int(c.Sense))
 		}
 		for _, v := range c.Coeffs {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("lp: constraint %d has non-finite coefficient", r)
+				return gferr.BadConfigf("lp: constraint %d has non-finite coefficient", r)
 			}
 		}
 		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
-			return fmt.Errorf("lp: constraint %d has non-finite RHS", r)
+			return gferr.BadConfigf("lp: constraint %d has non-finite RHS", r)
 		}
 	}
 	return nil

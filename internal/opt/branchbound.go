@@ -88,6 +88,9 @@ func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, o
 	}
 	aggFactor := cfg.Aggregation.Aggregate(ones)
 	for i, u := range users {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		s, err := scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, []dataset.UserID{u}, cfg.K)
 		if err != nil {
 			return nil, err
@@ -210,6 +213,9 @@ func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, o
 		members := byBlock[b]
 		if len(members) == 0 {
 			continue
+		}
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
 		}
 		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
 		if err != nil {

@@ -135,6 +135,9 @@ func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Res
 	mask := full
 	j := l
 	for mask != 0 {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		// choice[j][mask] is the block of the lowest set bit in an
 		// optimal <=j-group partition of mask (propagated from j-1
 		// when using fewer groups is at least as good), so peeling

@@ -120,6 +120,7 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 			if r == 0 {
 				copy(assign, greedyAssign)
 			} else {
+				//gfvet:allow ctxcadence -- O(n) seed fill, no blocking calls; ctx was checked at restart entry and runSearch re-checks immediately after
 				for i := range assign {
 					assign[i] = rng.Intn(cfg.L)
 				}
@@ -166,6 +167,9 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 	for _, members := range groups {
 		if len(members) == 0 {
 			continue
+		}
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
 		}
 		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
 		if err != nil {

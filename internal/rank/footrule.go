@@ -1,8 +1,9 @@
 package rank
 
 import (
-	"fmt"
 	"sort"
+
+	"groupform/internal/gferr"
 )
 
 // SpearmanFootrule returns the normalized Spearman footrule distance
@@ -18,7 +19,7 @@ import (
 // the paper's choice, footrule is provided for sensitivity analysis.
 func SpearmanFootrule(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("rank: footrule inputs differ in length: %d vs %d", len(a), len(b))
+		return 0, gferr.BadConfigf("rank: footrule inputs differ in length: %d vs %d", len(a), len(b))
 	}
 	m := len(a)
 	if m < 2 {
@@ -71,10 +72,10 @@ func fractionalRanks(xs []float64) []float64 {
 // if either vector contains ties.
 func UnnormalizedKendallAndFootrule(a, b []float64) (kendall, footrule float64, err error) {
 	if len(a) != len(b) {
-		return 0, 0, fmt.Errorf("rank: inputs differ in length")
+		return 0, 0, gferr.BadConfigf("rank: inputs differ in length")
 	}
 	if hasTies(a) || hasTies(b) {
-		return 0, 0, fmt.Errorf("rank: strict rankings required")
+		return 0, 0, gferr.BadConfigf("rank: strict rankings required")
 	}
 	m := len(a)
 	kd, err := KendallTau(a, b)

@@ -1,8 +1,9 @@
 package rank
 
 import (
-	"fmt"
 	"sort"
+
+	"groupform/internal/gferr"
 )
 
 // KendallTau returns the normalized, tie-aware Kendall-Tau distance
@@ -21,7 +22,7 @@ import (
 // of the b sequence.
 func KendallTau(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
+		return 0, gferr.BadConfigf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
 	}
 	m := len(a)
 	if m < 2 {
@@ -138,7 +139,7 @@ func countInversions(xs []float64) int64 {
 // short vectors of the user study.
 func KendallTauNaive(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
+		return 0, gferr.BadConfigf("rank: kendall inputs differ in length: %d vs %d", len(a), len(b))
 	}
 	m := len(a)
 	if m < 2 {

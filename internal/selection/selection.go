@@ -51,6 +51,8 @@ const (
 // whatever the input permutation and whichever internal strategy runs.
 // With genuine ties, which equivalent elements survive the cut is
 // unspecified, but the sorted sequence of keys is still deterministic.
+//
+//gfvet:zeroalloc
 func TopK[T any](data []T, k int, less func(a, b T) bool) int {
 	n := len(data)
 	if k > n {
@@ -78,6 +80,8 @@ func TopK[T any](data []T, k int, less func(a, b T) bool) int {
 // candidate either loses one comparison against the current worst or
 // replaces it. Ties keep the incumbent, which is irrelevant under a
 // total order and harmless otherwise.
+//
+//gfvet:zeroalloc
 func heapSelect[T any](data []T, k int, less func(a, b T) bool) {
 	heapify(data[:k], less)
 	for i := k; i < len(data); i++ {
@@ -129,6 +133,8 @@ func sortHeap[T any](heap []T, less func(a, b T) bool) {
 // so an all-tied input advances one slot per round): when it runs out,
 // the remaining selection falls back to heapSelect, keeping the worst
 // case O(n log k).
+//
+//gfvet:zeroalloc
 func quickSelect[T any](data []T, k int, less func(a, b T) bool) {
 	lo, hi := 0, len(data)
 	limit := 2 * bits.Len(uint(len(data)))

@@ -1,9 +1,9 @@
 package semantics
 
 import (
-	"fmt"
-
 	"groupform/internal/dataset"
+
+	"groupform/internal/gferr"
 )
 
 // PseudoUserTopK implements the *other* dominant group-recommendation
@@ -23,13 +23,13 @@ import (
 // as Scorer.TopK (wsum/wraters/count; min is unused here).
 func (sc Scorer) PseudoUserTopK(members []dataset.UserID, k, minRaters int) ([]dataset.ItemID, []float64, error) {
 	if k <= 0 {
-		return nil, nil, fmt.Errorf("semantics: k must be positive, got %d", k)
+		return nil, nil, gferr.BadConfigf("semantics: k must be positive, got %d", k)
 	}
 	if k > sc.DS.NumItems() {
-		return nil, nil, fmt.Errorf("semantics: k=%d exceeds item count %d", k, sc.DS.NumItems())
+		return nil, nil, gferr.BadConfigf("semantics: k=%d exceeds item count %d", k, sc.DS.NumItems())
 	}
 	if len(members) == 0 {
-		return nil, nil, fmt.Errorf("semantics: empty group")
+		return nil, nil, gferr.BadConfigf("semantics: empty group")
 	}
 	if minRaters <= 0 {
 		minRaters = 1

@@ -347,11 +347,15 @@ func (sc Scorer) TopK(sem Semantics, members []dataset.UserID, k int) ([]dataset
 // slices alias s and stay valid only until the next call that uses s.
 // With a long-lived scratch the serial path performs no allocations
 // once the buffers have grown to the workload's high-water mark.
+//
+//gfvet:zeroalloc
 func (sc Scorer) TopKInto(sem Semantics, members []dataset.UserID, k int, s *TopKScratch) ([]dataset.ItemID, []float64, error) {
 	if k <= 0 {
+		//gfvet:allow hotpathalloc -- cold validation path; boxing only happens when the config is already wrong
 		return nil, nil, gferr.BadConfigf("semantics: K must be positive, got %d", k)
 	}
 	if k > sc.DS.NumItems() {
+		//gfvet:allow hotpathalloc -- cold validation path; boxing only happens when the config is already wrong
 		return nil, nil, gferr.BadConfigf("semantics: K=%d exceeds item count %d", k, sc.DS.NumItems())
 	}
 	if len(members) == 0 {
@@ -397,6 +401,8 @@ func selectScored(all []scoredItem, k int) []scoredItem {
 // topKDense is the index-space TopK backend: candidates accumulate in
 // pooled dense arrays and padding reads the untouched-slot markers
 // directly — no map from the first rating probe to the returned list.
+//
+//gfvet:zeroalloc
 func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, totalW float64, s *TopKScratch) ([]dataset.ItemID, []float64) {
 	m := sc.DS.NumItems()
 	var da *denseAcc
@@ -447,6 +453,8 @@ func (sc Scorer) topKDense(sem Semantics, members []dataset.UserID, k int, total
 
 // topKMap is the legacy map-accumulation backend, kept bit-compatible
 // with topKDense as the parity reference.
+//
+//gfvet:zeroalloc
 func (sc Scorer) topKMap(sem Semantics, members []dataset.UserID, k int, totalW float64, s *TopKScratch) ([]dataset.ItemID, []float64) {
 	var cand map[dataset.ItemID]*acc
 	if sc.Workers >= 2 && len(members) > topkChunk {

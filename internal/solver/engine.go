@@ -282,6 +282,8 @@ func (e *Engine) Form(ctx context.Context, cfg core.Config) (*core.Result, error
 // only until s's next use; callers that need to retain a Result across
 // calls must copy it or use Form. The formed groups are byte-identical
 // to Form's.
+//
+//gfvet:zeroalloc
 func (e *Engine) FormInto(ctx context.Context, cfg core.Config, s *core.Scratch) (*core.Result, error) {
 	if err := cfg.Validate(e.ds); err != nil {
 		return nil, err

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"groupform/internal/gferr"
 )
 
 // ErrEmpty is returned by functions that cannot operate on empty input.
@@ -52,7 +54,7 @@ func Sum(xs []float64) float64 {
 // (denominator n-1). It requires at least two observations.
 func Variance(xs []float64) (float64, error) {
 	if len(xs) < 2 {
-		return 0, fmt.Errorf("stats: variance needs >= 2 observations, got %d", len(xs))
+		return 0, gferr.BadConfigf("stats: variance needs >= 2 observations, got %d", len(xs))
 	}
 	m := MustMean(xs)
 	ss := 0.0
@@ -91,7 +93,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 		return 0, ErrEmpty
 	}
 	if q < 0 || q > 1 || math.IsNaN(q) {
-		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+		return 0, gferr.BadConfigf("stats: quantile %v out of [0,1]", q)
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)

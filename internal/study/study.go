@@ -28,6 +28,8 @@ import (
 	"groupform/internal/semantics"
 	"groupform/internal/stats"
 	"groupform/internal/synth"
+
+	"groupform/internal/gferr"
 )
 
 // SampleKind identifies the three Phase-1 user samples.
@@ -143,7 +145,7 @@ type list struct {
 func topList(ds *dataset.Dataset, u dataset.UserID, k int) (list, error) {
 	entries := ds.UserRatings(u)
 	if len(entries) < k {
-		return list{}, fmt.Errorf("study: user %d has %d ratings, need %d", u, len(entries), k)
+		return list{}, gferr.BadConfigf("study: user %d has %d ratings, need %d", u, len(entries), k)
 	}
 	es := make([]dataset.Entry, len(entries))
 	copy(es, entries)
@@ -166,7 +168,7 @@ func topList(ds *dataset.Dataset, u dataset.UserID, k int) (list, error) {
 func SelectSample(ds *dataset.Dataset, kind SampleKind, size int, seed int64) ([]dataset.UserID, error) {
 	users := ds.Users()
 	if len(users) < size {
-		return nil, fmt.Errorf("study: population %d smaller than sample %d", len(users), size)
+		return nil, gferr.BadConfigf("study: population %d smaller than sample %d", len(users), size)
 	}
 	k := ds.NumItems()
 	rng := rand.New(rand.NewSource(seed))
@@ -216,7 +218,7 @@ func SelectSample(ds *dataset.Dataset, kind SampleKind, size int, seed int64) ([
 		sortUsers(sample)
 		return sample, nil
 	}
-	return nil, fmt.Errorf("study: invalid sample kind %d", int(kind))
+	return nil, gferr.BadConfigf("study: invalid sample kind %d", int(kind))
 }
 
 func sortUsers(us []dataset.UserID) {

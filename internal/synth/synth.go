@@ -15,10 +15,11 @@
 package synth
 
 import (
-	"fmt"
 	"math/rand"
 
 	"groupform/internal/dataset"
+
+	"groupform/internal/gferr"
 )
 
 // Config parameterizes generation.
@@ -58,7 +59,7 @@ type Config struct {
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Users <= 0 || c.Items <= 0 {
-		return c, fmt.Errorf("synth: Users and Items must be positive, got %d and %d", c.Users, c.Items)
+		return c, gferr.BadConfigf("synth: Users and Items must be positive, got %d and %d", c.Users, c.Items)
 	}
 	if c.Clusters <= 0 {
 		c.Clusters = 1
@@ -67,22 +68,22 @@ func (c Config) withDefaults() (Config, error) {
 		c.RatingsPerUser = c.Items
 	}
 	if c.ExploreFrac < 0 || c.ExploreFrac > 1 {
-		return c, fmt.Errorf("synth: ExploreFrac %v outside [0,1]", c.ExploreFrac)
+		return c, gferr.BadConfigf("synth: ExploreFrac %v outside [0,1]", c.ExploreFrac)
 	}
 	if c.NoiseRate < 0 || c.NoiseRate > 1 {
-		return c, fmt.Errorf("synth: NoiseRate %v outside [0,1]", c.NoiseRate)
+		return c, gferr.BadConfigf("synth: NoiseRate %v outside [0,1]", c.NoiseRate)
 	}
 	if c.OrderCorrelation < 0 || c.OrderCorrelation > 1 {
-		return c, fmt.Errorf("synth: OrderCorrelation %v outside [0,1]", c.OrderCorrelation)
+		return c, gferr.BadConfigf("synth: OrderCorrelation %v outside [0,1]", c.OrderCorrelation)
 	}
 	if c.Skew < 0 || c.Skew >= 1 {
-		return c, fmt.Errorf("synth: Skew %v outside [0,1)", c.Skew)
+		return c, gferr.BadConfigf("synth: Skew %v outside [0,1)", c.Skew)
 	}
 	if c.Scale == (dataset.Scale{}) {
 		c.Scale = dataset.DefaultScale
 	}
 	if c.Scale.Min >= c.Scale.Max {
-		return c, fmt.Errorf("synth: invalid scale [%v,%v]", c.Scale.Min, c.Scale.Max)
+		return c, gferr.BadConfigf("synth: invalid scale [%v,%v]", c.Scale.Min, c.Scale.Max)
 	}
 	return c, nil
 }
