@@ -13,22 +13,27 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"sort"
 	"testing"
+	"time"
 
 	"groupform/internal/baseline"
 	"groupform/internal/core"
 	"groupform/internal/dataset"
 	"groupform/internal/experiments"
 	"groupform/internal/ilp"
+	"groupform/internal/metrics"
 	"groupform/internal/opt"
 	"groupform/internal/rank"
 	"groupform/internal/selection"
 	"groupform/internal/semantics"
 	"groupform/internal/solver"
 	"groupform/internal/synth"
+	"groupform/internal/wire"
 )
 
 // benchExhibit runs one experiments harness per iteration.
@@ -603,5 +608,79 @@ func BenchmarkServerForm(b *testing.B) {
 		if code := do(); code != 200 {
 			b.Fatalf("status %d", code)
 		}
+	}
+}
+
+// benchRecorder is a reusable http.ResponseWriter: the header map and
+// body buffer persist across requests so allocs/op measures the
+// server, not the recorder.
+type benchRecorder struct {
+	hdr  http.Header
+	body []byte
+	code int
+}
+
+func (r *benchRecorder) Header() http.Header { return r.hdr }
+func (r *benchRecorder) WriteHeader(c int)   { r.code = c }
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+
+// BenchmarkServerFormBinary is BenchmarkServerForm's zero-copy
+// counterpart: the same solve through the binary wire path —
+// application/x-groupform-binary in and out, pooled body buffer,
+// aliasing decode, arena-backed encode. allocs/op is the headline
+// column; the zero-alloc guard pins it at <= 5 and the bench
+// regression gate keeps both columns from creeping. Compare ns/op and
+// B/op against BenchmarkServerForm for the envelope's price.
+func BenchmarkServerFormBinary(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	srv := NewServer(ServerConfig{})
+	if err := srv.AddDataset("main", ds); err != nil {
+		b.Fatal(err)
+	}
+	frame := wire.AppendFormRequest(nil, wire.FormRequest{
+		Dataset: []byte("main"), K: 5, L: 10,
+		Semantics: semantics.LM, Aggregation: semantics.Min,
+	})
+	body := bytes.NewReader(frame)
+	req := httptest.NewRequest("POST", "/form", body)
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	rec := &benchRecorder{hdr: make(http.Header)}
+	do := func() {
+		if _, err := body.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		rec.body, rec.code = rec.body[:0], 0
+		srv.ServeHTTP(rec, req)
+		if rec.code != 200 {
+			b.Fatalf("status %d (%s)", rec.code, rec.body)
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the pref cache and both pools
+		do()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+}
+
+// BenchmarkMetricsObserve is the per-request price of the
+// observability layer's hot call: one histogram observation — a
+// bucket index computation and two atomic adds — which the
+// instrumented handler pays once per request. Must stay allocation-
+// free and a few nanoseconds, or it has no business on the wire path.
+func BenchmarkMetricsObserve(b *testing.B) {
+	var h metrics.Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
 	}
 }

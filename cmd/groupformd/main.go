@@ -1,21 +1,28 @@
 // Command groupformd serves recommendation-aware group formation
 // over HTTP: it loads one or more datasets into a hot-swappable
-// engine registry and answers /form, /form/batch, /solve,
-// /datasets/{name} uploads, /datasets/{name}/ratings live upserts
-// and /healthz with the JSON API documented in docs/API.md.
+// engine registry and answers /form (JSON or the binary wire
+// format, negotiated per direction via application/x-groupform-binary),
+// /form/batch, /solve, /datasets/{name} uploads,
+// /datasets/{name}/ratings live upserts, /healthz and Prometheus
+// text metrics on GET /metrics, with the API documented in
+// docs/API.md.
 //
 // Usage:
 //
 //	groupformd -listen :8080 -dataset main=ratings.csv \
 //	    [-dataset other=more.bin ...] [-workers 0] \
-//	    [-max-inflight 64] [-timeout 30s] [-max-upload 1073741824] \
-//	    [-compact-after 4096]
+//	    [-max-inflight 64|auto] [-target-p99 250ms] [-timeout 30s] \
+//	    [-max-upload 1073741824] [-compact-after 4096]
 //
 // Each -dataset flag is name=path; the file loads through the
 // sniffing loader, so CSV and the compact binary format both work.
 // Starting with no -dataset flags is allowed: datasets can be
-// uploaded later with POST /datasets/{name}. -listen accepts :0 to
-// pick a free port; the bound address is printed on one line
+// uploaded later with POST /datasets/{name}. -max-inflight takes a
+// fixed cap, 0 (unlimited), or "auto": adaptive admission that walks
+// the cap to keep the observed solve p99 at the -target-p99 SLO
+// (default 250ms when auto; setting -target-p99 alongside a fixed
+// cap uses that cap as the walk's starting point). -listen accepts
+// :0 to pick a free port; the bound address is printed on one line
 // ("groupformd: listening on http://...") so scripts and tests can
 // scrape it. SIGINT/SIGTERM drain in-flight requests and exit.
 package main
@@ -29,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,7 +76,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		listen       = fs.String("listen", ":8080", "address to listen on (host:port; :0 picks a free port)")
 		workers      = fs.Int("workers", 0, "default formation worker count per request (0 or 1 = serial zero-alloc path, -1 = all CPUs)")
-		maxInflight  = fs.Int("max-inflight", 0, "maximum concurrently served requests; excess get 503 (0 = unlimited)")
+		maxInflight  = fs.String("max-inflight", "0", "maximum concurrently served requests; excess get 503 (0 = unlimited, auto = adapt to -target-p99)")
+		targetP99    = fs.Duration("target-p99", 0, "solve-latency p99 SLO for adaptive admission (0 = off; -max-inflight=auto defaults this to 250ms)")
 		timeout      = fs.Duration("timeout", 0, "default per-solve deadline for requests without timeout_ms (0 = unbounded)")
 		maxUpload    = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
 		compactAfter = fs.Int("compact-after", 0, "overlay upserts before a dataset is compacted in the background (0 = 4096 default, negative = never)")
@@ -76,10 +85,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	inflight, p99, err := admissionFlags(*maxInflight, *targetP99)
+	if err != nil {
+		return err
+	}
 
 	srv := groupform.NewServer(groupform.ServerConfig{
 		Workers:        *workers,
-		MaxInflight:    *maxInflight,
+		MaxInflight:    inflight,
+		TargetP99:      p99,
 		DefaultTimeout: *timeout,
 		MaxUploadBytes: *maxUpload,
 		CompactAfter:   *compactAfter,
@@ -121,6 +135,31 @@ func run(args []string, out io.Writer) error {
 	srv.WaitCompactions()
 	fmt.Fprintln(out, "groupformd: drained, bye")
 	return nil
+}
+
+// defaultTargetP99 is the SLO -max-inflight=auto assumes when
+// -target-p99 is not given.
+const defaultTargetP99 = 250 * time.Millisecond
+
+// admissionFlags resolves -max-inflight (a count or "auto") and
+// -target-p99 into the server's admission config. "auto" turns on
+// adaptation and defaults the SLO; a fixed count with an explicit
+// -target-p99 also adapts, using the count as the starting point.
+func admissionFlags(maxInflight string, targetP99 time.Duration) (int, time.Duration, error) {
+	if targetP99 < 0 {
+		return 0, 0, fmt.Errorf("-target-p99 must be non-negative, got %v", targetP99)
+	}
+	if maxInflight == "auto" {
+		if targetP99 == 0 {
+			targetP99 = defaultTargetP99
+		}
+		return 0, targetP99, nil
+	}
+	n, err := strconv.Atoi(maxInflight)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("-max-inflight wants a non-negative count or \"auto\", got %q", maxInflight)
+	}
+	return n, targetP99, nil
 }
 
 // loadInto reads one -dataset spec into the server's registry.

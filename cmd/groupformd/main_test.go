@@ -64,7 +64,7 @@ func TestServeAndShutdown(t *testing.T) {
 	out := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-listen", "127.0.0.1:0", "-dataset", "main=" + path, "-max-inflight", "16"}, out)
+		done <- run([]string{"-listen", "127.0.0.1:0", "-dataset", "main=" + path, "-max-inflight", "auto"}, out)
 	}()
 
 	var base string
@@ -114,6 +114,18 @@ func TestServeAndShutdown(t *testing.T) {
 		t.Fatalf("/form body %s (err %v)", body, err)
 	}
 
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 ||
+		!strings.Contains(string(scrape), `groupform_requests_total{endpoint="form"} 1`) ||
+		!strings.Contains(string(scrape), "groupform_inflight_limit") {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, scrape)
+	}
+
 	shutdown <- os.Interrupt
 	select {
 	case err := <-done:
@@ -133,10 +145,45 @@ func TestBadFlags(t *testing.T) {
 		{"-dataset", "missing-equals"},
 		{"-dataset", "x=/does/not/exist.csv", "-listen", "127.0.0.1:0"},
 		{"-listen", "not-an-address"},
+		{"-max-inflight", "bogus"},
+		{"-max-inflight", "-1"},
+		{"-target-p99", "-1s"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestAdmissionFlags pins how -max-inflight and -target-p99 resolve
+// into the server's admission config.
+func TestAdmissionFlags(t *testing.T) {
+	cases := []struct {
+		inflight string
+		p99      time.Duration
+		wantN    int
+		wantP99  time.Duration
+		wantErr  bool
+	}{
+		{"0", 0, 0, 0, false},
+		{"16", 0, 16, 0, false},
+		{"auto", 0, 0, defaultTargetP99, false},
+		{"auto", 100 * time.Millisecond, 0, 100 * time.Millisecond, false},
+		{"16", 100 * time.Millisecond, 16, 100 * time.Millisecond, false},
+		{"-3", 0, 0, 0, true},
+		{"sixteen", 0, 0, 0, true},
+		{"16", -time.Second, 0, 0, true},
+	}
+	for _, c := range cases {
+		n, p99, err := admissionFlags(c.inflight, c.p99)
+		if (err != nil) != c.wantErr {
+			t.Errorf("admissionFlags(%q, %v) err = %v, wantErr %v", c.inflight, c.p99, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && (n != c.wantN || p99 != c.wantP99) {
+			t.Errorf("admissionFlags(%q, %v) = (%d, %v), want (%d, %v)",
+				c.inflight, c.p99, n, p99, c.wantN, c.wantP99)
 		}
 	}
 }

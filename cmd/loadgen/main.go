@@ -6,8 +6,8 @@
 //
 //	loadgen -target http://127.0.0.1:8080 [-dataset main] \
 //	    [-duration 10s] [-concurrency 8] [-mix form:8,batch:1,solve:1] \
-//	    [-k 5] [-l 10] [-batch 8] [-upsert-batch 4] [-algo ls] \
-//	    [-seed 1] [-timeout-ms 0]
+//	    [-wire json|binary] [-k 5] [-l 10] [-batch 8] \
+//	    [-upsert-batch 4] [-algo ls] [-seed 1] [-timeout-ms 0]
 //
 // Each worker draws requests from the weighted mix: "form" posts
 // /form with semantics, aggregation and k jittered per request,
@@ -21,6 +21,14 @@
 // "upsert" kind therefore needs the server to already serve the
 // -dataset name (or exactly one dataset when the flag is empty).
 // Non-2xx responses count as errors (their latency still recorded).
+//
+// -wire binary speaks the zero-copy application/x-groupform-binary
+// format on "form" requests (both directions); the other kinds stay
+// JSON, which is exactly what the negotiation supports. After the
+// run, loadgen scrapes GET /metrics and prints the server-reported
+// /form latency quantiles beside the client-observed ones, so
+// client-versus-server skew (queueing, the network) is visible in
+// one place; daemons without /metrics just skip the line.
 package main
 
 import (
@@ -40,7 +48,10 @@ import (
 	"time"
 
 	gfdataset "groupform/internal/dataset"
+	"groupform/internal/metrics"
+	"groupform/internal/semantics"
 	"groupform/internal/server"
+	"groupform/internal/wire"
 )
 
 func main() {
@@ -118,6 +129,7 @@ func run(args []string, out io.Writer) error {
 		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
 		concurrency = fs.Int("concurrency", 8, "concurrent client connections")
 		mixFlag     = fs.String("mix", "form:8,batch:1,solve:1", "weighted endpoint mix")
+		wireFlag    = fs.String("wire", "json", "wire format for form requests: json or binary")
 		k           = fs.Int("k", 5, "maximum recommended list length (jittered 2..k per request)")
 		l           = fs.Int("l", 10, "maximum number of groups")
 		batch       = fs.Int("batch", 8, "parameter sets per /form/batch request")
@@ -138,6 +150,14 @@ func run(args []string, out io.Writer) error {
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
+	}
+	var binaryWire bool
+	switch *wireFlag {
+	case "json":
+	case "binary":
+		binaryWire = true
+	default:
+		return fmt.Errorf("-wire must be json or binary, got %q", *wireFlag)
 	}
 
 	base := strings.TrimRight(*target, "/")
@@ -175,9 +195,9 @@ func run(args []string, out io.Writer) error {
 			res := &results[w]
 			for time.Now().Before(deadline) {
 				kind := pick(mix, rng)
-				body, path := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS, up)
+				body, path, binary := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS, binaryWire, up)
 				t0 := time.Now()
-				ok := post(client, base+path, body)
+				ok := post(client, base+path, body, binary)
 				res.latencies = append(res.latencies, time.Since(t0))
 				if !ok {
 					res.errors++
@@ -199,6 +219,7 @@ func run(args []string, out io.Writer) error {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	report(out, all, errors, elapsed, *mixFlag, *concurrency)
+	scrapeServerReport(client, base, out)
 	return nil
 }
 
@@ -253,11 +274,13 @@ func discoverUpsertTarget(client *http.Client, base, name string, batch int) (*u
 	return t, nil
 }
 
-// buildRequest synthesizes one request of the given kind. k jitters
-// in [2, maxK] and the aggregation cycles through min/max/sum so the
-// server's bucket-key and cache behavior is exercised across the
-// realistic parameter space, not one hot cell.
-func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64, up *upsertTarget) ([]byte, string) {
+// buildRequest synthesizes one request of the given kind; binary
+// reports whether the body is a binary wire frame (form kind under
+// -wire binary) rather than JSON. k jitters in [2, maxK] and the
+// aggregation cycles through min/max/sum so the server's bucket-key
+// and cache behavior is exercised across the realistic parameter
+// space, not one hot cell.
+func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64, binaryWire bool, up *upsertTarget) (body []byte, path string, binary bool) {
 	params := func() server.FormParams {
 		k := maxK
 		if maxK > 2 {
@@ -288,35 +311,109 @@ func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch in
 			})
 		}
 		body, _ := json.Marshal(req)
-		return body, "/datasets/" + up.name + "/ratings"
+		return body, "/datasets/" + up.name + "/ratings", false
 	case "batch":
 		req := server.BatchRequest{Dataset: dataset, TimeoutMS: timeoutMS}
 		for i := 0; i < batch; i++ {
 			req.Requests = append(req.Requests, params())
 		}
 		body, _ := json.Marshal(req)
-		return body, "/form/batch"
+		return body, "/form/batch", false
 	case "solve":
 		req := server.SolveRequest{Dataset: dataset, Algo: algo, Seed: rng.Int63(), TimeoutMS: timeoutMS, FormParams: params()}
 		body, _ := json.Marshal(req)
-		return body, "/solve"
+		return body, "/solve", false
 	default:
+		if binaryWire {
+			// The binary frame carries the same jittered parameter
+			// space as the JSON path, just as enums instead of strings.
+			k := maxK
+			if maxK > 2 {
+				k = 2 + rng.Intn(maxK-1)
+			}
+			frame := wire.AppendFormRequest(nil, wire.FormRequest{
+				Dataset:   []byte(dataset),
+				K:         k,
+				L:         l,
+				Semantics: []semantics.Semantics{semantics.LM, semantics.AV}[rng.Intn(2)],
+				Aggregation: []semantics.Aggregation{
+					semantics.Min, semantics.Max, semantics.Sum,
+				}[rng.Intn(3)],
+				TimeoutMS: timeoutMS,
+			})
+			return frame, "/form", true
+		}
 		req := server.FormRequest{Dataset: dataset, TimeoutMS: timeoutMS, FormParams: params()}
 		body, _ := json.Marshal(req)
-		return body, "/form"
+		return body, "/form", false
 	}
 }
 
 // post sends one request, draining the body so connections get
-// reused; ok reports a 2xx status.
-func post(client *http.Client, url string, body []byte) bool {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+// reused; ok reports a 2xx status. Binary frames negotiate the wire
+// format in both directions; everything else is plain JSON.
+func post(client *http.Client, url string, body []byte, binary bool) bool {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	if binary {
+		req.Header.Set("Content-Type", wire.ContentType)
+		req.Header.Set("Accept", wire.ContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return false
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// scrapeServerReport fetches GET /metrics after the run and prints
+// the server's own view of /form latency beside the client-observed
+// report, plus the shed and binary-response counters. Best effort: a
+// daemon without /metrics (or an unparsable scrape) just skips the
+// line rather than failing a finished run.
+func scrapeServerReport(client *http.Client, base string, out io.Writer) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	text := string(raw)
+	h, err := metrics.ParseHistogram(text, "groupform_request_duration_seconds", `endpoint="form"`)
+	if err != nil || h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(out, "server: /form p50=%v p95=%v p99=%v count=%d shed=%d binary=%d\n",
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Count,
+		scalarValue(text, "groupform_shed_total"),
+		scalarValue(text, "groupform_binary_responses_total"))
+}
+
+// scalarValue pulls one unlabeled counter/gauge sample out of a
+// Prometheus text scrape; -1 means the metric was not found.
+func scalarValue(text, name string) int64 {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), name+" ")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64); err == nil {
+			return n
+		}
+	}
+	return -1
 }
 
 // report prints throughput, the latency quantiles and a power-of-two

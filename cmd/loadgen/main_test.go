@@ -67,10 +67,34 @@ func TestLoadgenAgainstServer(t *testing.T) {
 		t.Fatalf("%v (output: %s)", err, out.String())
 	}
 	s := out.String()
-	for _, want := range []string{"throughput=", "p50=", "p95=", "p99=", "errors=0", "histogram:"} {
+	for _, want := range []string{"throughput=", "p50=", "p95=", "p99=", "errors=0", "histogram:",
+		"server: /form"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("report missing %q:\n%s", want, s)
 		}
+	}
+
+	// The binary wire path: every form request speaks
+	// application/x-groupform-binary in both directions, the run stays
+	// error-free, and the server's scrape confirms binary responses
+	// actually happened.
+	out.Reset()
+	err = run([]string{
+		"-target", ts.URL, "-dataset", "main",
+		"-duration", "300ms", "-concurrency", "2",
+		"-mix", "form", "-wire", "binary", "-k", "4", "-l", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("binary run: %v (output: %s)", err, out.String())
+	}
+	s = out.String()
+	for _, want := range []string{"errors=0", "server: /form"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("binary report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "binary=0") || strings.Contains(s, "binary=-1") {
+		t.Fatalf("binary run produced no binary responses:\n%s", s)
 	}
 
 	// -k 1 must not panic the k jitter (regression: Intn(maxK-1) ran
@@ -94,6 +118,7 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		{}, // missing target
 		{"-target", "x", "-mix", "delete:1"},
 		{"-target", "x", "-concurrency", "0"},
+		{"-target", "x", "-wire", "protobuf"},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

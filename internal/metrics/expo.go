@@ -1,0 +1,202 @@
+// Prometheus text exposition (version 0.0.4) for the metrics types,
+// plus the inverse parser cmd/loadgen uses to close the loop: after a
+// run it scrapes GET /metrics and reports the server-observed latency
+// quantiles next to its own client-observed ones.
+//
+// Everything here is cold-path code — it runs once per scrape — and
+// allocates freely.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"groupform/internal/gferr"
+)
+
+// formatSeconds renders a duration bound the way Prometheus
+// expects le= values: seconds, shortest round-trippable float.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WriteHeader emits the # HELP / # TYPE preamble for a metric.
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteCounter emits one counter sample. labels is the rendered label
+// set without braces ("" for none), e.g. `endpoint="form"`.
+func WriteCounter(w io.Writer, name, labels string, v int64) {
+	writeSample(w, name, labels, strconv.FormatInt(v, 10))
+}
+
+// WriteGauge emits one gauge sample.
+func WriteGauge(w io.Writer, name, labels string, v int64) {
+	writeSample(w, name, labels, strconv.FormatInt(v, 10))
+}
+
+func writeSample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+}
+
+// WriteHistogram emits a snapshot as a Prometheus histogram:
+// cumulative _bucket{le=...} lines in seconds, then _sum and _count.
+// Empty trailing buckets are still written — Prometheus clients
+// expect a stable bucket schema across scrapes.
+func WriteHistogram(w io.Writer, name, labels string, s HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatSeconds(Upper(i)), cum)
+	}
+	cum += s.Counts[NumBuckets]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	writeSample(w, name+"_sum", labels, strconv.FormatFloat(float64(s.SumNS)/1e9, 'g', -1, 64))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(cum, 10))
+}
+
+// TextHistogram is a histogram read back from exposition text. Bounds
+// are upper bucket bounds in seconds (ascending, +Inf excluded) and
+// Cumulative the matching cumulative counts; Count includes the +Inf
+// overflow.
+type TextHistogram struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	SumSeconds float64
+}
+
+// Quantile estimates the q-quantile of a parsed histogram the same
+// way HistSnapshot.Quantile does: linear interpolation inside the
+// target bucket, saturating at the last finite bound for overflow
+// ranks. Returns 0 for an empty histogram.
+func (h TextHistogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var prevCum int64
+	lo := 0.0
+	for i, cum := range h.Cumulative {
+		if rank < cum {
+			n := cum - prevCum
+			frac := (float64(rank-prevCum) + 0.5) / float64(n)
+			hi := h.Bounds[i]
+			return time.Duration((lo + frac*(hi-lo)) * 1e9)
+		}
+		prevCum = cum
+		lo = h.Bounds[i]
+	}
+	// Rank fell in the +Inf bucket: saturate at the last finite bound.
+	if len(h.Bounds) > 0 {
+		return time.Duration(h.Bounds[len(h.Bounds)-1] * 1e9)
+	}
+	return 0
+}
+
+// ParseHistogram extracts one histogram from exposition text by
+// metric name and an exact label-set match (labels as rendered by
+// WriteHistogram, without the le pair; "" matches an unlabeled
+// histogram). The parser is deliberately narrow — it reads what
+// WriteHistogram writes, not the whole exposition grammar.
+func ParseHistogram(text, name, labels string) (TextHistogram, error) {
+	var h TextHistogram
+	type bound struct {
+		le  float64
+		cum int64
+	}
+	var bounds []bound
+	var infCum int64
+	seen := false
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, value, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		base, labelStr := metric, ""
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			if !strings.HasSuffix(metric, "}") {
+				continue
+			}
+			base, labelStr = metric[:i], metric[i+1:len(metric)-1]
+		}
+		switch base {
+		case name + "_bucket":
+			le, rest, ok := splitLE(labelStr)
+			if !ok || rest != labels {
+				continue
+			}
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return h, gferr.BadConfigf("metrics: bucket count %q is not an integer", value)
+			}
+			seen = true
+			if le == "+Inf" {
+				infCum = cum
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return h, gferr.BadConfigf("metrics: le bound %q is not a float", le)
+			}
+			bounds = append(bounds, bound{le: f, cum: cum})
+		case name + "_sum":
+			if labelStr != labels {
+				continue
+			}
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return h, gferr.BadConfigf("metrics: sum %q is not a float", value)
+			}
+			h.SumSeconds = f
+		}
+	}
+	if !seen {
+		return h, gferr.BadConfigf("metrics: no histogram %s{%s} in scrape", name, labels)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+	for _, b := range bounds {
+		h.Bounds = append(h.Bounds, b.le)
+		h.Cumulative = append(h.Cumulative, b.cum)
+	}
+	h.Count = infCum
+	if h.Count == 0 && len(h.Cumulative) > 0 {
+		h.Count = h.Cumulative[len(h.Cumulative)-1]
+	}
+	return h, nil
+}
+
+// splitLE removes the le="..." pair from a rendered label set,
+// returning the bound value and the remaining labels.
+func splitLE(labelStr string) (le, rest string, ok bool) {
+	var parts []string
+	for _, p := range strings.Split(labelStr, ",") {
+		if v, found := strings.CutPrefix(p, "le="); found {
+			le = strings.Trim(v, `"`)
+			ok = true
+			continue
+		}
+		parts = append(parts, p)
+	}
+	return le, strings.Join(parts, ","), ok
+}

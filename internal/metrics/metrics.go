@@ -1,0 +1,181 @@
+// Package metrics is the stdlib-only observability substrate of the
+// serving tier: atomic counters and gauges, plus fixed-bucket
+// power-of-two latency histograms that mirror cmd/loadgen's
+// p50/p95/p99 view of the world, so the client-observed and
+// server-reported pictures of a load run can be compared directly.
+//
+// Everything on the observation side is a handful of atomic adds —
+// Observe is safe for concurrent use and performs zero allocations,
+// so the serving hot path can record itself without perturbing the
+// zero-alloc budget it is recording. Rendering (Prometheus text
+// exposition, see expo.go) and quantile extraction work on immutable
+// snapshots and are free to allocate: they run on the cold /metrics
+// scrape path.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+//
+//gfvet:zeroalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the Prometheus contract;
+// this is not enforced on the hot path).
+//
+//gfvet:zeroalloc
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the level.
+//
+//gfvet:zeroalloc
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+//
+//gfvet:zeroalloc
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumBuckets is the number of finite histogram buckets. Bucket i
+// holds observations in (Upper(i-1), Upper(i)] with Upper(i) =
+// 1µs·2^i, so the range runs 1µs .. ~134s; anything slower lands in
+// the +Inf overflow bucket. 28 fixed buckets keep a Histogram at a
+// couple of cache lines and Observe at two atomic adds.
+const NumBuckets = 28
+
+// Histogram is a fixed-bucket log2 latency histogram. The zero value
+// is ready to use and safe for concurrent observation.
+type Histogram struct {
+	// counts[i] is the number of observations in bucket i; index
+	// NumBuckets is the +Inf overflow bucket.
+	counts [NumBuckets + 1]atomic.Int64
+	// sumNS accumulates total observed time in nanoseconds.
+	sumNS atomic.Int64
+}
+
+// Upper returns bucket i's inclusive upper bound.
+func Upper(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// bucketOf maps a duration to its bucket index. Non-positive
+// durations count in bucket 0.
+func bucketOf(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	b := bits.Len64((uint64(d) - 1) / 1000)
+	if b > NumBuckets {
+		return NumBuckets
+	}
+	return b
+}
+
+// Observe records one duration: two atomic adds, no allocation.
+//
+//gfvet:zeroalloc
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes
+// may land between bucket reads; each bucket is individually exact
+// and the snapshot is monotone with respect to earlier snapshots,
+// which is all the windowed controller and the text exposition need.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram.
+type HistSnapshot struct {
+	Counts [NumBuckets + 1]int64
+	SumNS  int64
+}
+
+// Count returns the total number of observations.
+func (s HistSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Sub returns the window s - prev: the observations recorded between
+// the two snapshots. prev must be an earlier snapshot of the same
+// histogram.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	out.SumNS = s.SumNS - prev.SumNS
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank. An empty
+// snapshot reports 0; ranks falling in the +Inf bucket saturate at
+// the last finite bound.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			if i >= NumBuckets {
+				return Upper(NumBuckets - 1)
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = Upper(i - 1)
+			}
+			hi := Upper(i)
+			// Position of the rank within this bucket, interpolated.
+			frac := (float64(rank-seen) + 0.5) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return Upper(NumBuckets - 1)
+}
+
+// Mean returns the average observed duration, 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / n)
+}

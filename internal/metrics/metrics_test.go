@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groupform/internal/gferr"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{200 * time.Second, NumBuckets},
+		{time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite bucket's upper bound must land in its own bucket.
+	for i := 0; i < NumBuckets; i++ {
+		if got := bucketOf(Upper(i)); got != i {
+			t.Errorf("bucketOf(Upper(%d)) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow: p50 must sit in the fast bucket,
+	// p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if n := s.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+	if p50 < 64*time.Microsecond || p50 > 128*time.Microsecond {
+		t.Errorf("p50 = %v, want within the (64µs, 128µs] bucket", p50)
+	}
+	if p99 < 32*time.Millisecond || p99 > 64*time.Millisecond {
+		t.Errorf("p99 = %v, want within the (32ms, 64ms] bucket", p99)
+	}
+	if got := s.Mean(); got <= 0 {
+		t.Errorf("mean = %v, want > 0", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		h.Observe(time.Duration(rng.Intn(int(2 * time.Second))))
+	}
+	s := h.Snapshot()
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v -> %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(30 * time.Second)
+	win := h.Snapshot().Sub(before)
+	if n := win.Count(); n != 1 {
+		t.Fatalf("window count = %d, want 1", n)
+	}
+	// The windowed p99 sees only the slow observation.
+	if p := win.Quantile(0.99); p < 16*time.Second {
+		t.Fatalf("window p99 = %v, want in the slow bucket", p)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := h.Snapshot().Count(); n != goroutines*per {
+		t.Fatalf("count = %d, want %d", n, goroutines*per)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if v := c.Value(); v != 5 {
+		t.Fatalf("counter = %d, want 5", v)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if v := g.Value(); v != 4 {
+		t.Fatalf("gauge = %d, want 4", v)
+	}
+}
+
+// TestExpositionRoundTrip pins the closed loop loadgen relies on:
+// WriteHistogram's text parses back to the same counts and a
+// quantile that matches the snapshot's own.
+func TestExpositionRoundTrip(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Intn(int(300 * time.Millisecond))))
+	}
+	h.Observe(time.Hour) // exercise the +Inf bucket
+	s := h.Snapshot()
+
+	var sb strings.Builder
+	WriteHeader(&sb, "x_seconds", "histogram", "test histogram")
+	WriteHistogram(&sb, "x_seconds", `endpoint="form"`, s)
+	WriteCounter(&sb, "x_total", "", 3)
+	WriteGauge(&sb, "x_level", `dataset="main"`, -2)
+
+	parsed, err := ParseHistogram(sb.String(), "x_seconds", `endpoint="form"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count != s.Count() {
+		t.Fatalf("parsed count = %d, want %d", parsed.Count, s.Count())
+	}
+	if len(parsed.Bounds) != NumBuckets {
+		t.Fatalf("parsed %d bounds, want %d", len(parsed.Bounds), NumBuckets)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want, got := s.Quantile(q), parsed.Quantile(q)
+		// The snapshot path interpolates in integer nanoseconds, the
+		// parsed path in float seconds; allow the ulp-level skew.
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > want/1000+time.Nanosecond {
+			t.Errorf("q=%v: parsed %v, snapshot %v", q, got, want)
+		}
+	}
+	// Wrong label set: classified reject, no panic.
+	if _, err := ParseHistogram(sb.String(), "x_seconds", `endpoint="nope"`); !errors.Is(err, gferr.ErrBadConfig) {
+		t.Fatalf("missing-histogram error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestParseHistogramUnlabeled(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	var sb strings.Builder
+	WriteHistogram(&sb, "y_seconds", "", h.Snapshot())
+	parsed, err := ParseHistogram(sb.String(), "y_seconds", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count != 1 {
+		t.Fatalf("count = %d, want 1", parsed.Count)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(3 * time.Millisecond)
+		c.Inc()
+		g.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("observe allocated %v times, want 0", allocs)
+	}
+}

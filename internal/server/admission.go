@@ -1,0 +1,128 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"groupform/internal/metrics"
+)
+
+// Admission control. PR 5's channel semaphore is replaced by a pair
+// of atomics — an inflight counter and a limit — so the gate costs
+// two uncontended atomic ops on the hot path and, crucially, the
+// limit can move while the server runs. With Config.TargetP99 set
+// the limit becomes a control loop: every admissionEpoch completed
+// solve requests, the controller compares the windowed p99 against
+// the SLO and walks the limit with an AIMD-shaped step — multiplicative
+// backoff when latency blows the target (queueing compounds, so back
+// off hard), gentle additive-ish probing upward when there is
+// headroom. The controller runs inline on the request that closes an
+// epoch; there is no background goroutine to leak or to wake an idle
+// server.
+
+const (
+	// admissionEpoch is how many completed solve requests separate
+	// controller steps. 64 is small enough to react within a second
+	// under real load and large enough for a meaningful p99 window.
+	admissionEpoch = 64
+	// minInflightLimit / maxInflightLimit bound the adaptive walk: the
+	// floor keeps the server from strangling itself to a single lane
+	// on a latency spike, the ceiling keeps a too-generous SLO from
+	// minting unbounded concurrency.
+	minInflightLimit = 2
+	maxInflightLimit = 1 << 14
+)
+
+// admissionState is the controller's mutable half. The histogram and
+// completion counter are written lock-free by every solve request;
+// mu guards only the epoch-boundary snapshot arithmetic.
+type admissionState struct {
+	latency     metrics.Histogram
+	completions atomic.Int64
+
+	mu   sync.Mutex
+	prev metrics.HistSnapshot // snapshot at the last controller step
+}
+
+// acquire claims an inflight slot, reporting false when the server
+// is saturated. Admission never blocks: shedding at the door keeps
+// the failure mode crisp (an immediate 503 the load balancer can act
+// on) instead of a queue of requests aging toward their deadlines.
+//
+//gfvet:zeroalloc
+func (s *Server) acquire() bool {
+	n := s.inflightN.Add(1)
+	if lim := s.limit.Load(); lim > 0 && n > lim {
+		s.inflightN.Add(-1)
+		return false
+	}
+	return true
+}
+
+//gfvet:zeroalloc
+func (s *Server) release() {
+	s.inflightN.Add(-1)
+}
+
+// InflightLimit reports the current admission limit (0 = unlimited).
+// Under adaptive admission this moves at runtime.
+func (s *Server) InflightLimit() int64 { return s.limit.Load() }
+
+// observeAdmission feeds one completed solve request into the
+// adaptive controller; a no-op unless Config.TargetP99 is set. Every
+// admissionEpoch-th completion pays for the controller step inline.
+//
+//gfvet:zeroalloc
+func (s *Server) observeAdmission(d time.Duration) {
+	if s.cfg.TargetP99 <= 0 {
+		return
+	}
+	s.adm.latency.Observe(d)
+	if s.adm.completions.Add(1)%admissionEpoch == 0 {
+		s.adaptLimit()
+	}
+}
+
+// adaptLimit runs one controller step: diff the latency histogram
+// against the previous step's snapshot, and walk the limit by the
+// window's p99. Windows thinner than half an epoch are skipped
+// (leftover completions racing in after a snapshot) — the window
+// stays open and the next epoch decides on the merged evidence.
+func (s *Server) adaptLimit() {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	snap := s.adm.latency.Snapshot()
+	win := snap.Sub(s.adm.prev)
+	if win.Count() < admissionEpoch/2 {
+		return
+	}
+	s.adm.prev = snap
+	cur := s.limit.Load()
+	if next := nextLimit(cur, win.Quantile(0.99), s.cfg.TargetP99); next != cur {
+		s.limit.Store(next)
+	}
+}
+
+// nextLimit is the pure controller step, separated so tests can pin
+// its shape: over target backs off by a quarter, comfortably under
+// (≤ 3/4 of target) probes up by an eighth, the band between holds
+// steady so the limit does not oscillate on a met SLO.
+func nextLimit(cur int64, p99, target time.Duration) int64 {
+	switch {
+	case p99 > target:
+		cur -= max(int64(1), cur/4)
+	case p99 <= target-target/4:
+		cur += max(int64(1), cur/8)
+	}
+	return min(max(cur, minInflightLimit), maxInflightLimit)
+}
+
+// defaultAdaptiveLimit seeds the adaptive walk when Config gives a
+// target but no starting MaxInflight: twice the CPU count — enough
+// parallelism to saturate the solver, close enough to react down
+// from within a few epochs.
+func defaultAdaptiveLimit() int64 {
+	return max(int64(2*runtime.GOMAXPROCS(0)), minInflightLimit)
+}

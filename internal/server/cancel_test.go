@@ -189,8 +189,11 @@ func TestSolveCancelAdversarialBB(t *testing.T) {
 }
 
 // TestBatchSharedDeadline: one expiring deadline cancels the rest of
-// a batch, reporting every unfinished item canceled — and the single
-// scratch lease comes back.
+// a batch. The response is 499 — the cut is surfaced on the status
+// line, not buried in the items — while the body still carries the
+// partial outcomes with every unfinished item canceled, each item
+// holds exactly one of result/error, and the single scratch lease
+// comes back.
 func TestBatchSharedDeadline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mid-solve cancellation needs a deliberately slow instance")
@@ -202,10 +205,18 @@ func TestBatchSharedDeadline(t *testing.T) {
 	p := FormParams{K: 5, L: 10, Semantics: "lm", Aggregation: "min"}
 	rec := doJSON(t, s, "POST", "/form/batch", BatchRequest{Dataset: "big", TimeoutMS: 5,
 		Requests: []FormParams{p, p, p}})
-	wantStatus(t, rec, http.StatusOK, "")
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d (%s), want %d", rec.Code, rec.Body.String(), StatusClientClosedRequest)
+	}
 	br := decodeAs[BatchResponse](t, rec)
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results, want all 3 (partial outcomes)", len(br.Results))
+	}
 	sawCanceled := false
-	for _, item := range br.Results {
+	for i, item := range br.Results {
+		if (item.Error != nil) == (item.Result != nil) {
+			t.Fatalf("item %d does not hold exactly one of result/error: %+v", i, item)
+		}
 		if item.Error != nil && item.Error.Code == CodeCanceled {
 			sawCanceled = true
 		}

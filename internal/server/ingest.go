@@ -151,12 +151,13 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 
 	st := s.ingestState(name)
 	st.mu.Lock()
-	eng, _, ok := s.reg.Get(name)
+	ent, eng, _, ok := s.reg.entry(name)
 	if !ok {
 		st.mu.Unlock()
 		writeError(w, http.StatusNotFound, CodeNotFound, notFoundMsg(name, s.reg.Names()))
 		return
 	}
+	ent.requests.Inc()
 	nds, res, err := eng.Dataset().Upsert(rs)
 	if err != nil {
 		st.mu.Unlock()

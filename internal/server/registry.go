@@ -6,8 +6,22 @@ import (
 	"sync"
 
 	"groupform/internal/dataset"
+	"groupform/internal/metrics"
 	"groupform/internal/solver"
 )
+
+// dsEntry is one registry slot: the engine currently serving a
+// dataset name plus the per-name instrumentation. The entry — and
+// with it the request counter — survives engine hot-swaps: the
+// counter belongs to the dataset name, not to any one engine
+// generation, so GET /metrics reports continuous per-dataset traffic
+// across uploads, upserts and compactions.
+type dsEntry struct {
+	eng *solver.Engine // guarded by Registry.mu; the counter is atomic
+	// requests counts solve/upsert requests resolved against this
+	// name, exported as groupform_dataset_requests_total.
+	requests metrics.Counter
+}
 
 // Registry maps dataset names to the Engine serving them, with
 // atomic hot-swap: Swap publishes a fresh Engine under the write
@@ -21,42 +35,84 @@ import (
 // does not un-serve them mid-traffic.
 type Registry struct {
 	mu      sync.RWMutex
-	engines map[string]*solver.Engine
+	entries map[string]*dsEntry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{engines: make(map[string]*solver.Engine)}
+	return &Registry{entries: make(map[string]*dsEntry)}
 }
 
-// Get resolves name to its current engine. The empty name is a
-// convenience that resolves iff exactly one dataset is loaded, so
-// single-catalog deployments can omit the field entirely. Unknown
-// names report ok = false with the resolved name echoed back.
-func (r *Registry) Get(name string) (eng *solver.Engine, resolved string, ok bool) {
+// entry resolves name to its registry slot and the engine currently
+// published there (read under one lock hold, so the pair is
+// consistent). The empty name is a convenience that resolves iff
+// exactly one dataset is loaded, so single-catalog deployments can
+// omit the field entirely. Unknown names report ok = false with the
+// resolved name echoed back.
+func (r *Registry) entry(name string) (e *dsEntry, eng *solver.Engine, resolved string, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if name == "" {
-		if len(r.engines) != 1 {
-			return nil, "", false
+		if len(r.entries) != 1 {
+			return nil, nil, "", false
 		}
-		for n, e := range r.engines {
-			return e, n, true
+		for n, e := range r.entries {
+			return e, e.eng, n, true
 		}
 	}
-	eng, ok = r.engines[name]
-	return eng, name, ok
+	e, ok = r.entries[name]
+	if !ok {
+		return nil, nil, name, false
+	}
+	return e, e.eng, name, true
+}
+
+// entryWire is entry's allocation-free twin for the binary wire
+// path: the name arrives as bytes aliasing the request frame, and
+// the compiler turns the m[string(name)] lookup into a no-copy
+// probe. resolved is non-empty only when the empty-name convenience
+// picked the dataset — for a named lookup the caller already holds
+// the bytes.
+//
+//gfvet:zeroalloc
+func (r *Registry) entryWire(name []byte) (e *dsEntry, eng *solver.Engine, resolved string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(name) == 0 {
+		if len(r.entries) != 1 {
+			return nil, nil, "", false
+		}
+		for n, e := range r.entries {
+			return e, e.eng, n, true
+		}
+	}
+	e, ok = r.entries[string(name)]
+	if !ok {
+		return nil, nil, "", false
+	}
+	return e, e.eng, "", true
+}
+
+// Get resolves name to its current engine (see entry for the
+// empty-name convenience).
+func (r *Registry) Get(name string) (eng *solver.Engine, resolved string, ok bool) {
+	_, eng, resolved, ok = r.entry(name)
+	return eng, resolved, ok
 }
 
 // Swap atomically publishes eng as the engine for name, returning
 // whether an earlier engine was replaced. Requests already holding
-// the old engine finish on it; every later Get sees the new one.
+// the old engine finish on it; every later Get sees the new one. The
+// slot's request counter carries across the swap.
 func (r *Registry) Swap(name string, eng *solver.Engine) (replaced bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, replaced = r.engines[name]
-	r.engines[name] = eng
-	return replaced
+	if e, ok := r.entries[name]; ok {
+		e.eng = eng
+		return true
+	}
+	r.entries[name] = &dsEntry{eng: eng}
+	return false
 }
 
 // Add builds an engine for ds and publishes it under name; the
@@ -76,8 +132,8 @@ func (r *Registry) Add(name string, ds *dataset.Dataset) error {
 // Names returns the loaded dataset names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
-	out := make([]string, 0, len(r.engines))
-	for n := range r.engines {
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
 		out = append(out, n)
 	}
 	r.mu.RUnlock()
@@ -89,11 +145,30 @@ func (r *Registry) Names() []string {
 func (r *Registry) Infos() map[string]DatasetInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]DatasetInfo, len(r.engines))
-	for n, e := range r.engines {
-		ds := e.Dataset()
+	out := make(map[string]DatasetInfo, len(r.entries))
+	for n, e := range r.entries {
+		ds := e.eng.Dataset()
 		out[n] = DatasetInfo{Users: ds.NumUsers(), Items: ds.NumItems(), Ratings: ds.NumRatings()}
 	}
+	return out
+}
+
+// datasetCount is one per-dataset request count for GET /metrics.
+type datasetCount struct {
+	name     string
+	requests int64
+}
+
+// requestCounts snapshots the per-dataset request counters, sorted
+// by name for stable exposition output.
+func (r *Registry) requestCounts() []datasetCount {
+	r.mu.RLock()
+	out := make([]datasetCount, 0, len(r.entries))
+	for n, e := range r.entries {
+		out = append(out, datasetCount{name: n, requests: e.requests.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 

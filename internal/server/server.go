@@ -18,6 +18,17 @@
 // for unknown datasets, 503 overloaded when the inflight semaphore is
 // saturated, and 500 internal for anything unclassified.
 //
+// PR 8 adds the zero-copy binary wire path and first-class
+// observability. POST /form negotiates the binary frame format of
+// internal/wire per direction (Content-Type
+// application/x-groupform-binary for requests, Accept for
+// responses); the fully binary round trip serves a warm solve in
+// ≤ 5 allocs/op (see wire.go). Every solve and ingest endpoint runs
+// behind per-endpoint counters and latency histograms exposed in
+// Prometheus text format at GET /metrics, and with Config.TargetP99
+// set the inflight limit adapts to the observed p99 (see
+// admission.go).
+//
 // cmd/groupformd wraps this package as a daemon; the facade
 // re-exports it as groupform.Server.
 package server
@@ -47,8 +58,15 @@ type Config struct {
 	// MaxInflight caps concurrently served solve/upload requests;
 	// excess requests are rejected immediately with 503 rather than
 	// queued, so load sheds at the door instead of as timeouts deep
-	// in the solver. 0 means unlimited.
+	// in the solver. 0 means unlimited (or, with TargetP99 set, an
+	// adaptive starting point of twice the CPU count).
 	MaxInflight int
+	// TargetP99 turns on adaptive admission: the inflight limit
+	// walks up and down (see admission.go) to keep the observed
+	// p99 latency of the solve endpoints at or under this SLO.
+	// MaxInflight, when also set, is only the starting point of the
+	// walk. 0 disables adaptation.
+	TargetP99 time.Duration
 	// DefaultTimeout bounds every solve that does not carry its own
 	// timeout_ms. 0 means unbounded.
 	DefaultTimeout time.Duration
@@ -93,8 +111,20 @@ type Server struct {
 	scratch sync.Pool
 	leased  atomic.Int64
 
-	inflight  chan struct{} // nil when MaxInflight == 0
+	// inflightN counts admitted requests; limit is the admission cap
+	// (0 = unlimited), atomic so the adaptive controller can move it
+	// under live traffic. adm is that controller's state.
 	inflightN atomic.Int64
+	limit     atomic.Int64
+	adm       admissionState
+
+	// met is the observability state behind GET /metrics; swPool
+	// recycles the statusWriter decorator the instrument wrapper
+	// puts on every request, and wireBufs the binary path's
+	// request/response buffer pairs.
+	met      serverMetrics
+	swPool   sync.Pool
+	wireBufs sync.Pool
 
 	// ingest holds one *ingestState per dataset name (see ingest.go);
 	// compactWG tracks background compactions for WaitCompactions.
@@ -113,17 +143,27 @@ func New(cfg Config) *Server {
 		cfg.Scale = dataset.DefaultScale
 	}
 	s := &Server{cfg: cfg, reg: NewRegistry(), mux: http.NewServeMux()}
-	s.scratch.New = func() any { return core.NewScratch() }
-	if cfg.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	s.met.init()
+	s.scratch.New = func() any {
+		s.met.scratchCreated.Inc()
+		return core.NewScratch()
+	}
+	s.swPool.New = func() any { return new(statusWriter) }
+	s.wireBufs.New = func() any { return new(wireBuf) }
+	switch {
+	case cfg.MaxInflight > 0:
+		s.limit.Store(int64(cfg.MaxInflight))
+	case cfg.TargetP99 > 0:
+		s.limit.Store(defaultAdaptiveLimit())
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /datasets/{name}", s.handleUpload)
-	s.mux.HandleFunc("POST /datasets/{name}/ratings", s.handleUpsert)
-	s.mux.HandleFunc("POST /form", s.handleForm)
-	s.mux.HandleFunc("POST /form/batch", s.handleFormBatch)
-	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /datasets/{name}", s.instrument(&s.met.upload, false, s.handleUpload))
+	s.mux.HandleFunc("POST /datasets/{name}/ratings", s.instrument(&s.met.upsert, false, s.handleUpsert))
+	s.mux.HandleFunc("POST /form", s.instrument(&s.met.form, true, s.handleForm))
+	s.mux.HandleFunc("POST /form/batch", s.instrument(&s.met.batch, true, s.handleFormBatch))
+	s.mux.HandleFunc("POST /solve", s.instrument(&s.met.solve, true, s.handleSolve))
 	// Routing failures must keep the JSON error contract, which
 	// ServeMux's plain-text defaults would break: "/" catches unknown
 	// paths (404), and a methodless registration per route outranks
@@ -133,7 +173,7 @@ func New(cfg Config) *Server {
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			"server: no such route "+r.URL.Path)
 	})
-	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/datasets/{name}/ratings", "/form", "/form/batch", "/solve"} {
+	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/datasets/{name}/ratings", "/form", "/form/batch", "/solve", "/metrics"} {
 		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusMethodNotAllowed, CodeBadMethod,
 				"server: method "+r.Method+" not allowed on "+r.URL.Path)
@@ -161,29 +201,6 @@ func (s *Server) LeasedScratches() int64 { return s.leased.Load() }
 
 // Inflight reports the requests currently inside the semaphore.
 func (s *Server) Inflight() int64 { return s.inflightN.Load() }
-
-// acquire claims an inflight slot, reporting false when the server is
-// saturated. Admission never blocks: shedding at the door keeps the
-// failure mode crisp (an immediate 503 the load balancer can act on)
-// instead of a queue of requests aging toward their deadlines.
-func (s *Server) acquire() bool {
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			return false
-		}
-	}
-	s.inflightN.Add(1)
-	return true
-}
-
-func (s *Server) release() {
-	s.inflightN.Add(-1)
-	if s.inflight != nil {
-		<-s.inflight
-	}
-}
 
 // leaseScratch takes a scratch from the pool. Every lease must be
 // returned via releaseScratch exactly once, after the response bytes
@@ -231,20 +248,22 @@ func (s *Server) solveCtx(r *http.Request, timeoutMS int64) (context.Context, co
 	return ctx, cancel, nil
 }
 
-// resolve maps a request's dataset name to its engine or writes the
-// 404 error body.
+// resolve maps a request's dataset name to its engine (counting the
+// request against the dataset) or writes the 404 error body.
 func (s *Server) resolve(w http.ResponseWriter, name string) (*solver.Engine, string, bool) {
-	eng, resolved, ok := s.reg.Get(name)
+	ent, eng, resolved, ok := s.reg.entry(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, notFoundMsg(name, s.reg.Names()))
 		return nil, "", false
 	}
+	ent.requests.Inc()
 	return eng, resolved, true
 }
 
 // admit claims an inflight slot or writes the 503 error body.
 func (s *Server) admit(w http.ResponseWriter) bool {
 	if !s.acquire() {
+		s.met.shed.Inc()
 		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
 			"server: max-inflight requests already being served")
 		return false
@@ -272,6 +291,10 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	if binReq, binResp := isBinaryRequest(r), wantsBinary(r); binReq || binResp {
+		s.handleFormWire(w, r, binReq, binResp)
+		return
+	}
 	var req FormRequest
 	if err := decodeJSON(http.MaxBytesReader(w, r.Body, maxSolveBodyBytes), &req); err != nil {
 		writeSolverError(w, err)
@@ -334,7 +357,20 @@ func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
 	sc := s.leaseScratch()
 	defer s.releaseScratch(sc)
 	items := make([]BatchItem, len(req.Requests))
+	status := http.StatusOK
 	for i, p := range req.Requests {
+		// Between items is the cheap place to notice the shared
+		// deadline (or the client) is gone: stop before burning the
+		// next solve, not partway into it.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			canceled := &ErrorBody{Code: CodeCanceled,
+				Error: "server: batch canceled before this item: " + ctxErr.Error()}
+			for j := i; j < len(items); j++ {
+				items[j] = BatchItem{Error: canceled}
+			}
+			status = StatusClientClosedRequest
+			break
+		}
 		cfg, err := p.config(s.cfg.Workers)
 		if err == nil {
 			var res *core.Result
@@ -343,18 +379,22 @@ func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 		}
-		status, code := errorStatus(err)
+		st, code := errorStatus(err)
 		items[i] = BatchItem{Error: &ErrorBody{Code: code, Error: err.Error()}}
-		if status == StatusClientClosedRequest {
+		if st == StatusClientClosedRequest {
 			// The shared deadline is gone; every later item would
 			// fail identically, so report them canceled and stop.
 			for j := i + 1; j < len(items); j++ {
 				items[j] = items[i]
 			}
+			status = StatusClientClosedRequest
 			break
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Dataset: name, Results: items})
+	// A batch cut short by cancellation keeps its partial outcomes in
+	// the body but surfaces the cut on the status line: 499, the same
+	// classification a single canceled solve gets.
+	writeJSON(w, status, BatchResponse{Dataset: name, Results: items})
 }
 
 // handleSolve serves POST /solve: any registry algorithm. No scratch

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/semantics"
+)
+
+// FuzzWireDecode drives both decoders with arbitrary bytes: neither
+// may panic, every rejection must wrap gferr.ErrBadConfig (so the
+// serving tier classifies it 400, never 500), and any frame a
+// decoder accepts must re-encode to the identical bytes — the codec
+// is bijective on its valid set.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magic, Version, kindFormRequest, 0})
+	f.Add(AppendFormRequest(nil, FormRequest{
+		Dataset: []byte("main"), K: 5, L: 10,
+		Semantics: semantics.LM, Aggregation: semantics.Min,
+	}))
+	f.Add(AppendFormResponse(nil, &core.Result{
+		Algorithm: "grd", Objective: 1.5, Buckets: 2,
+		Groups: []core.Group{{
+			Members: []dataset.UserID{1, 2}, Items: []dataset.ItemID{3},
+			ItemScores: []float64{4}, Satisfaction: 4,
+		}},
+	}))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if req, err := ParseFormRequest(frame); err == nil {
+			again := AppendFormRequest(nil, req)
+			if string(again) != string(frame) {
+				t.Fatalf("request re-encode diverged:\n in %x\nout %x", frame, again)
+			}
+		} else if !errors.Is(err, gferr.ErrBadConfig) {
+			t.Fatalf("request reject not classified: %v", err)
+		}
+		if res, err := ParseFormResponse(frame); err == nil {
+			cr := &core.Result{Algorithm: res.Algorithm, Objective: res.Objective, Buckets: res.Buckets}
+			for _, g := range res.Groups {
+				cr.Groups = append(cr.Groups, core.Group{
+					Members: g.Members, Items: g.Items, ItemScores: g.ItemScores,
+					Satisfaction: g.Satisfaction, Merged: g.Merged,
+				})
+			}
+			again := AppendFormResponse(nil, cr)
+			if string(again) != string(frame) {
+				t.Fatalf("response re-encode diverged:\n in %x\nout %x", frame, again)
+			}
+		} else if !errors.Is(err, gferr.ErrBadConfig) {
+			t.Fatalf("response reject not classified: %v", err)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/semantics"
+)
+
+func sampleRequest() FormRequest {
+	return FormRequest{
+		Dataset:     []byte("main"),
+		K:           5,
+		L:           10,
+		Semantics:   semantics.AV,
+		Aggregation: semantics.Sum,
+		Missing:     2.5,
+		Workers:     -1,
+		TimeoutMS:   1500,
+	}
+}
+
+func TestFormRequestRoundTrip(t *testing.T) {
+	cases := []FormRequest{
+		sampleRequest(),
+		{Dataset: nil, K: 0, L: 0, Semantics: semantics.LM, Aggregation: semantics.Max},
+		{Dataset: []byte("x"), K: 1 << 20, L: 3, Semantics: semantics.LM,
+			Aggregation: semantics.WeightedSumLog, Missing: math.Inf(-1), Workers: 64, TimeoutMS: 0},
+	}
+	for _, want := range cases {
+		frame := AppendFormRequest(nil, want)
+		got, err := ParseFormRequest(frame)
+		if err != nil {
+			t.Fatalf("parse %+v: %v", want, err)
+		}
+		// Normalize the nil/empty alias distinction.
+		if len(got.Dataset) == 0 {
+			got.Dataset = nil
+		}
+		if len(want.Dataset) == 0 {
+			want.Dataset = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestParseFormRequestRejects(t *testing.T) {
+	ok := AppendFormRequest(nil, sampleRequest())
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), ok...)
+		return f(b)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short", ok[:10]},
+		{"truncated name", ok[:len(ok)-2]},
+		{"trailing", append(append([]byte(nil), ok...), 0xff)},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"bad version", mutate(func(b []byte) []byte { b[1] = 9; return b })},
+		{"response kind", mutate(func(b []byte) []byte { b[2] = kindFormResponse; return b })},
+		{"reserved header", mutate(func(b []byte) []byte { b[3] = 1; return b })},
+		{"reserved body", mutate(func(b []byte) []byte { b[6] = 1; return b })},
+		{"bad semantics", mutate(func(b []byte) []byte { b[4] = 7; return b })},
+		{"bad aggregation", mutate(func(b []byte) []byte { b[5] = 9; return b })},
+		{"name too long", mutate(func(b []byte) []byte { b[36], b[37] = 0xff, 0xff; return b })},
+	}
+	for _, c := range cases {
+		if _, err := ParseFormRequest(c.frame); !errors.Is(err, gferr.ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", c.name, err)
+		}
+	}
+}
+
+func sampleResult() *core.Result {
+	return &core.Result{
+		Algorithm: "grd",
+		Objective: 12.75,
+		Buckets:   4,
+		Groups: []core.Group{
+			{
+				Members:      []dataset.UserID{1, 2, 9},
+				Items:        []dataset.ItemID{7, 3},
+				ItemScores:   []float64{4.5, 3.25},
+				Satisfaction: 3.25,
+			},
+			{
+				Members:      []dataset.UserID{4},
+				Items:        []dataset.ItemID{1},
+				ItemScores:   []float64{5},
+				Satisfaction: 5,
+				Merged:       true,
+			},
+		},
+	}
+}
+
+func TestFormResponseRoundTrip(t *testing.T) {
+	res := sampleResult()
+	frame := AppendFormResponse(nil, res)
+	got, err := ParseFormResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != res.Algorithm || got.Objective != res.Objective || got.Buckets != res.Buckets {
+		t.Fatalf("scalar mismatch: %+v vs %+v", got, res)
+	}
+	if len(got.Groups) != len(res.Groups) {
+		t.Fatalf("group count %d, want %d", len(got.Groups), len(res.Groups))
+	}
+	for i, g := range got.Groups {
+		want := res.Groups[i]
+		if !reflect.DeepEqual(g.Members, want.Members) ||
+			!reflect.DeepEqual(g.Items, want.Items) ||
+			!reflect.DeepEqual(g.ItemScores, want.ItemScores) ||
+			g.Satisfaction != want.Satisfaction || g.Merged != want.Merged {
+			t.Fatalf("group %d = %+v, want %+v", i, g, want)
+		}
+	}
+}
+
+func TestFormResponseEmpty(t *testing.T) {
+	frame := AppendFormResponse(nil, &core.Result{Algorithm: "grd"})
+	got, err := ParseFormResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 0 || got.Objective != 0 {
+		t.Fatalf("empty result decoded as %+v", got)
+	}
+}
+
+func TestParseFormResponseRejects(t *testing.T) {
+	ok := AppendFormResponse(nil, sampleResult())
+	truncations := 0
+	for n := 0; n < len(ok); n++ {
+		if _, err := ParseFormResponse(ok[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes parsed cleanly", n)
+		} else if !errors.Is(err, gferr.ErrBadConfig) {
+			t.Fatalf("prefix %d: err = %v, want ErrBadConfig", n, err)
+		} else {
+			truncations++
+		}
+	}
+	if truncations != len(ok) {
+		t.Fatalf("expected every strict prefix to fail, got %d/%d", truncations, len(ok))
+	}
+	if _, err := ParseFormResponse(append(append([]byte(nil), ok...), 0)); !errors.Is(err, gferr.ErrBadConfig) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadConfig", err)
+	}
+	// A huge group count must be rejected by the size guard, not
+	// attempted as an allocation.
+	b := append([]byte(nil), ok...)
+	b[4+1+3+8+4] = 0xff // low byte of the group-count field (alg "grd")
+	b[4+1+3+8+4+3] = 0xff
+	if _, err := ParseFormResponse(b); !errors.Is(err, gferr.ErrBadConfig) {
+		t.Fatalf("hostile group count: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestAppendZeroAlloc pins the wire path's reason to exist: encoding
+// into a warm buffer and decoding a request do not allocate.
+func TestAppendZeroAlloc(t *testing.T) {
+	res := sampleResult()
+	req := sampleRequest()
+	respBuf := AppendFormResponse(nil, res)
+	reqBuf := AppendFormRequest(nil, req)
+	allocs := testing.AllocsPerRun(100, func() {
+		respBuf = AppendFormResponse(respBuf[:0], res)
+		reqBuf = AppendFormRequest(reqBuf[:0], req)
+		if _, err := ParseFormRequest(reqBuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm encode+decode allocated %v times, want 0", allocs)
+	}
+}

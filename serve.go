@@ -4,24 +4,32 @@ import (
 	"groupform/internal/server"
 )
 
-// Server is the HTTP/JSON serving layer: a named registry of Engines
-// with atomic hot-swap (POST /datasets/{name}), pooled zero-alloc
-// formation (POST /form, POST /form/batch), any registry algorithm
-// over HTTP (POST /solve), health and listing endpoints, per-request
-// cancellation (client disconnect and timeout_ms), and max-inflight
-// backpressure. Mount it anywhere an http.Handler goes:
+// Server is the HTTP serving layer: a named registry of Engines with
+// atomic hot-swap (POST /datasets/{name}), pooled zero-alloc
+// formation (POST /form — JSON, or the zero-copy binary wire format
+// negotiated per direction via application/x-groupform-binary; POST
+// /form/batch), any registry algorithm over HTTP (POST /solve),
+// health and listing endpoints, Prometheus text metrics (GET
+// /metrics: per-endpoint latency histograms, per-dataset counters,
+// scratch-pool gauges), per-request cancellation (client disconnect
+// and timeout_ms), and max-inflight backpressure — a fixed cap, or
+// adaptive against a TargetP99 SLO. Mount it anywhere an
+// http.Handler goes:
 //
 //	srv := groupform.NewServer(groupform.ServerConfig{MaxInflight: 64})
 //	err := srv.AddDataset("main", ds)
 //	http.ListenAndServe(":8080", srv)
 //
 // cmd/groupformd wraps this as a daemon; see docs/API.md ("The
-// serving layer") for the endpoint and error-code contract.
+// serving layer", "The binary wire format") for the endpoint,
+// wire-format and error-code contract.
 type Server = server.Server
 
 // ServerConfig parameterizes a Server; the zero value serves with no
 // inflight cap, no default deadline, serial solves and a 1 GiB
-// upload cap.
+// upload cap. Setting TargetP99 turns the inflight cap adaptive:
+// the server walks it to hold the observed full-handler p99 at the
+// SLO (MaxInflight, if also set, seeds the walk).
 type ServerConfig = server.Config
 
 // NewServer builds a Server ready to mount. Load datasets with
