@@ -1,0 +1,294 @@
+package groupform
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tripCtx is a deterministic fault-injection context: it reports
+// itself live for the first `remaining` Err calls and canceled from
+// then on. Sweeping `remaining` over 0..exhaustion therefore visits
+// every gferr.Ctx touchpoint a serial solve passes through — a
+// cancellation-point fault injector with no goroutines, timers or
+// race windows. Done returns a nil channel (never ready), so the
+// injector only reaches code that polls Err, which is exactly the
+// solvers' cancellation cadence contract; it is not safe for
+// concurrent use, so sweeps must run serial configurations.
+type tripCtx struct {
+	remaining int
+	tripped   bool
+}
+
+func (c *tripCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *tripCtx) Done() <-chan struct{}       { return nil }
+func (c *tripCtx) Value(key any) any           { return nil }
+
+func (c *tripCtx) Err() error {
+	if c.tripped || c.remaining == 0 {
+		c.tripped = true
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// calls reports how many live Err polls the context served.
+func (c *tripCtx) calls(start int) int { return start - c.remaining }
+
+// checkIncumbent asserts the anytime feasibility contract on a
+// returned result: groups are disjoint over known users, within the
+// group budget, carry consistent top-k lists, and the objective is
+// the sum of group satisfactions. fullCover additionally requires a
+// complete partition of the population (the reference solvers'
+// incumbents are whole assignments; GRD's is a prefix of finalized
+// groups). A non-nil Partial must be an internally consistent
+// certificate whose bound dominates the oracle optimum.
+func checkIncumbent(t *testing.T, ds *Dataset, cfg Config, res *Result, fullCover bool, oracleObj float64) {
+	t.Helper()
+	if len(res.Groups) == 0 {
+		t.Fatalf("incumbent has no groups")
+	}
+	if len(res.Groups) > cfg.L {
+		t.Errorf("incumbent has %d groups, budget is %d", len(res.Groups), cfg.L)
+	}
+	seen := make(map[UserID]bool)
+	sum := 0.0
+	for gi, g := range res.Groups {
+		if len(g.Members) == 0 {
+			t.Fatalf("group %d is empty", gi)
+		}
+		for _, u := range g.Members {
+			if seen[u] {
+				t.Fatalf("user %d appears in two groups", u)
+			}
+			seen[u] = true
+			if _, ok := ds.UserIdxOf(u); !ok {
+				t.Fatalf("group %d contains unknown user %d", gi, u)
+			}
+		}
+		if len(g.Items) == 0 || len(g.Items) > cfg.K {
+			t.Errorf("group %d has %d items, want 1..%d", gi, len(g.Items), cfg.K)
+		}
+		if len(g.ItemScores) != len(g.Items) {
+			t.Errorf("group %d has %d scores for %d items", gi, len(g.ItemScores), len(g.Items))
+		}
+		sum += g.Satisfaction
+	}
+	if fullCover && len(seen) != ds.NumUsers() {
+		t.Errorf("incumbent covers %d of %d users", len(seen), ds.NumUsers())
+	}
+	if math.Abs(sum-res.Objective) > 1e-6 {
+		t.Errorf("objective %v != sum of satisfactions %v", res.Objective, sum)
+	}
+	if p := res.Partial; p != nil {
+		if math.Abs(p.Gap-(p.Bound-res.Objective)) > 1e-6 {
+			t.Errorf("certificate gap %v != bound %v - objective %v", p.Gap, p.Bound, res.Objective)
+		}
+		if p.Bound < res.Objective-1e-9 {
+			t.Errorf("certificate bound %v below own objective %v", p.Bound, res.Objective)
+		}
+		if p.Bound < oracleObj-1e-9 {
+			t.Errorf("certificate bound %v below true optimum %v — unsound", p.Bound, oracleObj)
+		}
+		if p.Completed < 0 || p.Total <= 0 {
+			t.Errorf("certificate progress %d/%d is malformed", p.Completed, p.Total)
+		}
+	}
+}
+
+// tripPoints selects which cancellation points to inject for a solve
+// that polls the context `calls` times: every point when the count is
+// small, a dense prefix plus a geometric tail otherwise, always
+// including calls-1 and calls (the exhaustion run).
+func tripPoints(calls int) []int {
+	if calls <= 192 {
+		pts := make([]int, 0, calls+1)
+		for n := 0; n <= calls; n++ {
+			pts = append(pts, n)
+		}
+		return pts
+	}
+	var pts []int
+	for n := 0; n < 128; n++ {
+		pts = append(pts, n)
+	}
+	for n := 128; n < calls-1; n = n*5/4 + 1 {
+		pts = append(pts, n)
+	}
+	return append(pts, calls-1, calls)
+}
+
+// TestAnytimeCancellationSweep is the cancellation-point
+// fault-injection harness pinning the anytime contract: for every
+// anytime-capable solver, semantics and aggregation, a deterministic
+// context is tripped at the N-th cancellation touchpoint for N = 0 up
+// to exhaustion. Every outcome must be either a clean
+// ErrCanceled-wrapping error (nothing feasible yet) or a feasible
+// incumbent whose certificate bound dominates the exact optimum;
+// results are byte-stable across identical injections, a trip always
+// yields a certificate (Partial set if and only if work was cut), and
+// the exhaustion run reproduces the untripped result exactly.
+func TestAnytimeCancellationSweep(t *testing.T) {
+	clustered, err := Generate(SynthConfig{
+		Users: 13, Items: 8, Clusters: 4, RatingsPerUser: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dense unclustered lattice defeats branch-and-bound's pruning
+	// (every user disagrees with every other), forcing the search deep
+	// enough that its in-loop cancellation points are actually swept;
+	// on the clustered instance LM prunes the whole search away before
+	// the first in-loop check.
+	rows := make([][]float64, 13)
+	for i := range rows {
+		rows[i] = make([]float64, 8)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*31+j*17+i*i*j)%9)/2 + 1
+		}
+	}
+	adversarial, err := FromDense(DefaultScale, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := []struct {
+		name string
+		ds   *Dataset
+	}{{"clustered", clustered}, {"adversarial", adversarial}}
+	solvers := []struct {
+		name      string
+		opts      []SolverOption
+		fullCover bool
+	}{
+		// GRD's incumbent is the finalized-group prefix; the reference
+		// solvers return whole assignments.
+		{name: "grd", fullCover: false},
+		{name: "exact", fullCover: true},
+		// The node cap keeps the sweep bounded; exhausting it under
+		// Anytime is itself a degrade path worth sweeping through.
+		{name: "bb", opts: []SolverOption{WithBBOptions(BBOptions{MaxNodes: 8000})}, fullCover: true},
+		{name: "ls", opts: []SolverOption{WithLSOptions(LSOptions{Restarts: 3, Seed: 1})}, fullCover: true},
+	}
+	configs := []Config{
+		{K: 2, L: 3, Semantics: LM, Aggregation: Min, Anytime: true},
+		{K: 2, L: 3, Semantics: LM, Aggregation: Sum, Anytime: true},
+		{K: 2, L: 3, Semantics: AV, Aggregation: Min, Anytime: true},
+		{K: 2, L: 3, Semantics: AV, Aggregation: Sum, Anytime: true},
+		// A quality target adds the third stop reason (target met) to
+		// the deadline and budget paths the other configs sweep.
+		{K: 2, L: 3, Semantics: LM, Aggregation: Sum, Anytime: true, QualityTarget: 0.5},
+	}
+
+	const maxCalls = 1 << 20
+	for _, dsc := range datasets {
+		ds := dsc.ds
+		// True optima from the exact DP, run to completion.
+		oracle := make([]float64, len(configs))
+		for i, cfg := range configs {
+			ocfg := cfg
+			ocfg.Anytime = false
+			ocfg.QualityTarget = 0
+			s, err := NewSolver("exact")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Solve(context.Background(), ds, ocfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle[i] = res.Objective
+		}
+
+		for _, sc := range solvers {
+			for ci, cfg := range configs {
+				name := dsc.name + "/" + sc.name + "/" + cfg.Semantics.String() + "-" + cfg.Aggregation.String()
+				if cfg.QualityTarget > 0 {
+					name += "-target"
+				}
+				t.Run(name, func(t *testing.T) {
+					s, err := NewSolver(sc.name, sc.opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Untripped reference run, counting the touchpoints.
+					probe := &tripCtx{remaining: maxCalls}
+					want, err := s.Solve(probe, ds, cfg)
+					if err != nil {
+						t.Fatalf("untripped solve failed: %v", err)
+					}
+					if probe.tripped {
+						t.Fatalf("untripped solve exceeded %d touchpoints", maxCalls)
+					}
+					calls := probe.calls(maxCalls)
+					checkIncumbent(t, ds, cfg, want, sc.fullCover, oracle[ci])
+
+					for _, n := range tripPoints(calls) {
+						res, err := s.Solve(&tripCtx{remaining: n}, ds, cfg)
+						res2, err2 := s.Solve(&tripCtx{remaining: n}, ds, cfg)
+						if (err == nil) != (err2 == nil) || !reflect.DeepEqual(res, res2) {
+							t.Fatalf("trip %d: two identical injections diverged: (%+v, %v) vs (%+v, %v)",
+								n, res, err, res2, err2)
+						}
+						if err != nil {
+							if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+								t.Fatalf("trip %d: err = %v, want ErrCanceled wrapping context.Canceled", n, err)
+							}
+							continue
+						}
+						checkIncumbent(t, ds, cfg, res, sc.fullCover, oracle[ci])
+						if n < calls && res.Partial == nil {
+							t.Fatalf("trip %d (< %d touchpoints): complete result with no certificate", n, calls)
+						}
+						if res.Partial == nil && !reflect.DeepEqual(res, want) {
+							t.Fatalf("trip %d: complete result differs from untripped run", n)
+						}
+						if n >= calls && !reflect.DeepEqual(res, want) {
+							t.Fatalf("trip %d (>= exhaustion %d): result differs from untripped run", n, calls)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAnytimeOffPreservesErrors pins the compatibility half of the
+// contract: without Config.Anytime, a tripped solve returns the
+// ErrCanceled-wrapping error it always has — never a partial result.
+func TestAnytimeOffPreservesErrors(t *testing.T) {
+	ds, err := Generate(SynthConfig{
+		Users: 13, Items: 8, Clusters: 4, RatingsPerUser: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 2, L: 3, Semantics: LM, Aggregation: Min}
+	opts := map[string][]SolverOption{
+		"bb": {WithBBOptions(BBOptions{MaxNodes: 8000})},
+		"ls": {WithLSOptions(LSOptions{Restarts: 3, Seed: 1})},
+	}
+	for _, name := range []string{"grd", "exact", "bb", "ls"} {
+		s, err := NewSolver(name, opts[name]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := &tripCtx{remaining: 1 << 20}
+		if _, err := s.Solve(probe, ds, cfg); err != nil {
+			t.Fatalf("%s: untripped solve failed: %v", name, err)
+		}
+		calls := probe.calls(1 << 20)
+		for n := 0; n < calls; n++ {
+			res, err := s.Solve(&tripCtx{remaining: n}, ds, cfg)
+			if err == nil {
+				t.Fatalf("%s: trip %d returned a result (%+v) without Anytime", name, n, res)
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("%s: trip %d: err = %v, want ErrCanceled", name, n, err)
+			}
+		}
+	}
+}

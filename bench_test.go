@@ -534,6 +534,83 @@ func BenchmarkEngineFormSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkAnytimeEngineFormSteadyState measures what arming
+// Config.Anytime costs a solve that is never cut: the answer must be
+// nothing — same warm steady state as BenchmarkEngineFormSteadyState,
+// allocs/op still 0 (asserted by TestEngineFormIntoAnytime-
+// SteadyStateZeroAlloc).
+func BenchmarkAnytimeEngineFormSteadyState(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min, Anytime: true}
+	s := core.NewScratch()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnytimeDegradedForm measures the degrade path itself: a
+// warm solve whose context trips at the last cancellation touchpoint,
+// so every iteration assembles a best-so-far incumbent plus its
+// quality certificate instead of finishing. The delta against
+// BenchmarkAnytimeEngineFormSteadyState is the price of returning
+// early with a certificate.
+func BenchmarkAnytimeDegradedForm(b *testing.B) {
+	ds := benchDataset(b, 10_000, 1_000)
+	eng, err := solver.NewEngine(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{K: 5, L: 10, Semantics: semantics.LM, Aggregation: semantics.Min, Anytime: true}
+	s := core.NewScratch()
+	for i := 0; i < 3; i++ {
+		if _, err := eng.FormInto(context.Background(), cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Count the warm solve's touchpoints, then pick the latest trip
+	// point that actually degrades.
+	probe := &tripCtx{remaining: 1 << 20}
+	if _, err := eng.FormInto(probe, cfg, s); err != nil {
+		b.Fatal(err)
+	}
+	trip := -1
+	for n := probe.calls(1<<20) - 1; n >= 0; n-- {
+		res, err := eng.FormInto(&tripCtx{remaining: n}, cfg, s)
+		if err == nil && res.Partial != nil {
+			trip = n
+			break
+		}
+	}
+	if trip < 0 {
+		b.Fatal("no trip point degrades the warm solve")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.FormInto(&tripCtx{remaining: trip}, cfg, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Partial == nil {
+			b.Fatal("degraded solve returned no certificate")
+		}
+	}
+}
+
 // BenchmarkTopKSelect pits the k-bounded selection kernel against the
 // historical full sort + truncate on the pipeline's candidate shape,
 // at m candidates and list length k. The kernel's win is the point of

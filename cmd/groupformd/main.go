@@ -12,7 +12,8 @@
 //	groupformd -listen :8080 -dataset main=ratings.csv \
 //	    [-dataset other=more.bin ...] [-workers 0] \
 //	    [-max-inflight 64|auto] [-target-p99 250ms] [-timeout 30s] \
-//	    [-max-upload 1073741824] [-compact-after 4096]
+//	    [-max-upload 1073741824] [-compact-after 4096] \
+//	    [-drain-timeout 30s]
 //
 // Each -dataset flag is name=path; the file loads through the
 // sniffing loader, so CSV and the compact binary format both work.
@@ -24,7 +25,13 @@
 // cap uses that cap as the walk's starting point). -listen accepts
 // :0 to pick a free port; the bound address is printed on one line
 // ("groupformd: listening on http://...") so scripts and tests can
-// scrape it. SIGINT/SIGTERM drain in-flight requests and exit.
+// scrape it. SIGINT/SIGTERM drain in-flight requests and exit;
+// -drain-timeout (default 30s, 0 = default) bounds the drain so a
+// hung solve cannot wedge shutdown — when it expires, remaining
+// connections are dropped and the daemon still exits cleanly. The
+// drain start is logged on one structured line
+// ("groupformd: draining inflight=N timeout=T") so operators can see
+// how much work the signal interrupted.
 package main
 
 import (
@@ -81,11 +88,16 @@ func run(args []string, out io.Writer) error {
 		timeout      = fs.Duration("timeout", 0, "default per-solve deadline for requests without timeout_ms (0 = unbounded)")
 		maxUpload    = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
 		compactAfter = fs.Int("compact-after", 0, "overlay upserts before a dataset is compacted in the background (0 = 4096 default, negative = never)")
+		drainFlag    = fs.Duration("drain-timeout", defaultDrainTimeout, "maximum time to drain in-flight requests on SIGINT/SIGTERM before dropping them (0 = 30s default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	inflight, p99, err := admissionFlags(*maxInflight, *targetP99)
+	if err != nil {
+		return err
+	}
+	drain, err := drainTimeout(*drainFlag)
 	if err != nil {
 		return err
 	}
@@ -120,7 +132,8 @@ func run(args []string, out io.Writer) error {
 	done := make(chan error, 1)
 	go func() {
 		<-shutdown
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(out, "groupformd: draining inflight=%d timeout=%v\n", srv.Inflight(), drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		done <- hs.Shutdown(ctx)
 	}()
@@ -128,7 +141,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if err := <-done; err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		// The drain deadline expired with requests still running;
+		// Shutdown already closed their connections, so report it but
+		// still exit cleanly — a bounded drain is the whole point.
+		fmt.Fprintf(out, "groupformd: drain timeout after %v: %v\n", drain, err)
 	}
 	// In-flight requests are drained; let any compaction they
 	// scheduled republish before the registry goes away with us.
@@ -140,6 +156,25 @@ func run(args []string, out io.Writer) error {
 // defaultTargetP99 is the SLO -max-inflight=auto assumes when
 // -target-p99 is not given.
 const defaultTargetP99 = 250 * time.Millisecond
+
+// defaultDrainTimeout bounds the SIGINT/SIGTERM drain when
+// -drain-timeout is not given: long enough for any sane solve
+// deadline, short enough that a wedged handler cannot hold the
+// process hostage.
+const defaultDrainTimeout = 30 * time.Second
+
+// drainTimeout resolves the -drain-timeout flag: 0 means the default,
+// negative is an error (an instant drop is spelled as a very small
+// positive duration, not a negative one).
+func drainTimeout(d time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("-drain-timeout must be non-negative, got %v", d)
+	}
+	if d == 0 {
+		return defaultDrainTimeout, nil
+	}
+	return d, nil
+}
 
 // admissionFlags resolves -max-inflight (a count or "auto") and
 // -target-p99 into the server's admission config. "auto" turns on

@@ -148,6 +148,7 @@ func TestBadFlags(t *testing.T) {
 		{"-max-inflight", "bogus"},
 		{"-max-inflight", "-1"},
 		{"-target-p99", "-1s"},
+		{"-drain-timeout", "-5s", "-listen", "127.0.0.1:0"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {
@@ -184,6 +185,31 @@ func TestAdmissionFlags(t *testing.T) {
 		if !c.wantErr && (n != c.wantN || p99 != c.wantP99) {
 			t.Errorf("admissionFlags(%q, %v) = (%d, %v), want (%d, %v)",
 				c.inflight, c.p99, n, p99, c.wantN, c.wantP99)
+		}
+	}
+}
+
+// TestDrainTimeoutFlag pins how -drain-timeout resolves: 0 means the
+// 30s default, positive values pass through, negative is an error.
+func TestDrainTimeoutFlag(t *testing.T) {
+	cases := []struct {
+		in      time.Duration
+		want    time.Duration
+		wantErr bool
+	}{
+		{0, defaultDrainTimeout, false},
+		{time.Second, time.Second, false},
+		{5 * time.Minute, 5 * time.Minute, false},
+		{-time.Second, 0, true},
+	}
+	for _, c := range cases {
+		got, err := drainTimeout(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("drainTimeout(%v) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("drainTimeout(%v) = %v, want %v", c.in, got, c.want)
 		}
 	}
 }

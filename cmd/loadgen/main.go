@@ -7,7 +7,8 @@
 //	loadgen -target http://127.0.0.1:8080 [-dataset main] \
 //	    [-duration 10s] [-concurrency 8] [-mix form:8,batch:1,solve:1] \
 //	    [-wire json|binary] [-k 5] [-l 10] [-batch 8] \
-//	    [-upsert-batch 4] [-algo ls] [-seed 1] [-timeout-ms 0]
+//	    [-upsert-batch 4] [-algo ls] [-seed 1] [-timeout-ms 0] \
+//	    [-anytime] [-quality-target 0]
 //
 // Each worker draws requests from the weighted mix: "form" posts
 // /form with semantics, aggregation and k jittered per request,
@@ -20,7 +21,16 @@
 // target's name and sizes come from GET /datasets at startup; the
 // "upsert" kind therefore needs the server to already serve the
 // -dataset name (or exactly one dataset when the flag is empty).
-// Non-2xx responses count as errors (their latency still recorded).
+//
+// -anytime opts every solve request into graceful degradation and
+// -quality-target sets the early-stop bound fraction (implying
+// -anytime). The end-of-run report then splits outcomes into four
+// columns: errors (non-2xx other than 499), canceled (499 — the
+// deadline cut a solve that had nothing feasible), degraded (200
+// whose body carried degraded:true and a quality certificate), and
+// plain successes; latencies of all four are recorded. Without the
+// anytime flags, 499s still count in the canceled column rather than
+// being lumped into errors.
 //
 // -wire binary speaks the zero-copy application/x-groupform-binary
 // format on "form" requests (both directions); the other kinds stay
@@ -117,7 +127,9 @@ func pick(mix []mixEntry, rng *rand.Rand) string {
 // workerResult is one goroutine's share of the run.
 type workerResult struct {
 	latencies []time.Duration
-	errors    int
+	errors    int // non-2xx other than 499
+	canceled  int // 499: cancellation with no feasible incumbent
+	degraded  int // 200 carrying degraded:true (anytime incumbent)
 }
 
 func run(args []string, out io.Writer) error {
@@ -137,6 +149,8 @@ func run(args []string, out io.Writer) error {
 		algo        = fs.String("algo", "grd", "algorithm for /solve requests (grd is fast everywhere; ls needs a deadline budget at scale)")
 		seed        = fs.Int64("seed", 1, "query-mix seed")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
+		anytime     = fs.Bool("anytime", false, "opt solve requests into graceful degradation (200-degraded instead of 499 when an incumbent exists)")
+		qTarget     = fs.Float64("quality-target", 0, "anytime early-stop fraction in (0, 1]: stop once the bound proves the incumbent is within this fraction of optimal (implies -anytime; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +160,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *concurrency < 1 {
 		return fmt.Errorf("-concurrency must be >= 1")
+	}
+	if *qTarget < 0 || *qTarget > 1 {
+		return fmt.Errorf("-quality-target must be in [0, 1], got %v", *qTarget)
+	}
+	if *qTarget > 0 {
+		*anytime = true
 	}
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
@@ -195,12 +215,17 @@ func run(args []string, out io.Writer) error {
 			res := &results[w]
 			for time.Now().Before(deadline) {
 				kind := pick(mix, rng)
-				body, path, binary := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS, binaryWire, up)
+				body, path, binary := buildRequest(kind, rng, *datasetName, *k, *l, *batch, *algo, *timeoutMS, binaryWire, *anytime, *qTarget, up)
 				t0 := time.Now()
-				ok := post(client, base+path, body, binary)
+				outcome := post(client, base+path, body, binary)
 				res.latencies = append(res.latencies, time.Since(t0))
-				if !ok {
+				switch {
+				case outcome.status == server.StatusClientClosedRequest:
+					res.canceled++
+				case outcome.status < 200 || outcome.status >= 300:
 					res.errors++
+				case outcome.degraded:
+					res.degraded++
 				}
 			}
 		}(w)
@@ -209,16 +234,18 @@ func run(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	errors := 0
+	errors, canceled, degraded := 0, 0, 0
 	for _, r := range results {
 		all = append(all, r.latencies...)
 		errors += r.errors
+		canceled += r.canceled
+		degraded += r.degraded
 	}
 	if len(all) == 0 {
 		return fmt.Errorf("no requests completed within %v", *duration)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	report(out, all, errors, elapsed, *mixFlag, *concurrency)
+	report(out, all, errors, canceled, degraded, elapsed, *mixFlag, *concurrency)
 	scrapeServerReport(client, base, out)
 	return nil
 }
@@ -280,17 +307,19 @@ func discoverUpsertTarget(client *http.Client, base, name string, batch int) (*u
 // aggregation cycles through min/max/sum so the server's bucket-key
 // and cache behavior is exercised across the realistic parameter
 // space, not one hot cell.
-func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64, binaryWire bool, up *upsertTarget) (body []byte, path string, binary bool) {
+func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch int, algo string, timeoutMS int64, binaryWire, anytime bool, qTarget float64, up *upsertTarget) (body []byte, path string, binary bool) {
 	params := func() server.FormParams {
 		k := maxK
 		if maxK > 2 {
 			k = 2 + rng.Intn(maxK-1)
 		}
 		return server.FormParams{
-			K:           k,
-			L:           l,
-			Semantics:   []string{"lm", "av"}[rng.Intn(2)],
-			Aggregation: []string{"min", "max", "sum"}[rng.Intn(3)],
+			K:             k,
+			L:             l,
+			Semantics:     []string{"lm", "av"}[rng.Intn(2)],
+			Aggregation:   []string{"min", "max", "sum"}[rng.Intn(3)],
+			Anytime:       anytime,
+			QualityTarget: qTarget,
 		}
 	}
 	switch kind {
@@ -339,7 +368,9 @@ func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch in
 				Aggregation: []semantics.Aggregation{
 					semantics.Min, semantics.Max, semantics.Sum,
 				}[rng.Intn(3)],
-				TimeoutMS: timeoutMS,
+				TimeoutMS:     timeoutMS,
+				Anytime:       anytime,
+				QualityTarget: qTarget,
 			})
 			return frame, "/form", true
 		}
@@ -349,13 +380,23 @@ func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch in
 	}
 }
 
-// post sends one request, draining the body so connections get
-// reused; ok reports a 2xx status. Binary frames negotiate the wire
-// format in both directions; everything else is plain JSON.
-func post(client *http.Client, url string, body []byte, binary bool) bool {
+// postResult classifies one request's outcome: the HTTP status (0 on
+// a transport error) and whether a 2xx response carried a degraded
+// anytime result.
+type postResult struct {
+	status   int
+	degraded bool
+}
+
+// post sends one request, reading the full body so connections get
+// reused. Binary frames negotiate the wire format in both directions;
+// everything else is plain JSON. Degraded detection is cheap and
+// shape-specific: a binary response flags it in the header's flags
+// byte, a JSON response carries "degraded":true in the envelope.
+func post(client *http.Client, url string, body []byte, binary bool) postResult {
 	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
 	if err != nil {
-		return false
+		return postResult{}
 	}
 	if binary {
 		req.Header.Set("Content-Type", wire.ContentType)
@@ -365,11 +406,23 @@ func post(client *http.Client, url string, body []byte, binary bool) bool {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return postResult{}
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return postResult{}
+	}
+	out := postResult{status: resp.StatusCode}
+	if out.status < 200 || out.status >= 300 {
+		return out
+	}
+	if resp.Header.Get("Content-Type") == wire.ContentType {
+		out.degraded = len(respBody) >= 4 && respBody[3]&wire.FlagDegraded != 0
+	} else {
+		out.degraded = bytes.Contains(respBody, []byte(`"degraded":true`))
+	}
+	return out
 }
 
 // scrapeServerReport fetches GET /metrics after the run and prints
@@ -392,13 +445,47 @@ func scrapeServerReport(client *http.Client, base string, out io.Writer) {
 	if err != nil || h.Count == 0 {
 		return
 	}
-	fmt.Fprintf(out, "server: /form p50=%v p95=%v p99=%v count=%d shed=%d binary=%d\n",
+	fmt.Fprintf(out, "server: /form p50=%v p95=%v p99=%v count=%d shed=%d binary=%d degraded=%d\n",
 		h.Quantile(0.50).Round(time.Microsecond),
 		h.Quantile(0.95).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond),
 		h.Count,
 		scalarValue(text, "groupform_shed_total"),
-		scalarValue(text, "groupform_binary_responses_total"))
+		scalarValue(text, "groupform_binary_responses_total"),
+		degradedTotal(text))
+}
+
+// degradedTotal sums the groupform_degraded_total counter over the
+// solve endpoints; -1 means the metric family was absent (an older
+// daemon).
+func degradedTotal(text string) int64 {
+	total, found := int64(0), false
+	for _, ep := range []string{"form", "form_batch", "solve"} {
+		if v := labeledValue(text, "groupform_degraded_total", `endpoint="`+ep+`"`); v >= 0 {
+			total += v
+			found = true
+		}
+	}
+	if !found {
+		return -1
+	}
+	return total
+}
+
+// labeledValue pulls one labeled counter/gauge sample out of a
+// Prometheus text scrape by exact label-set match; -1 means the
+// sample was not found.
+func labeledValue(text, name, labels string) int64 {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), name+"{"+labels+"} ")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64); err == nil {
+			return n
+		}
+	}
+	return -1
 }
 
 // scalarValue pulls one unlabeled counter/gauge sample out of a
@@ -417,8 +504,9 @@ func scalarValue(text, name string) int64 {
 }
 
 // report prints throughput, the latency quantiles and a power-of-two
-// histogram.
-func report(out io.Writer, sorted []time.Duration, errors int, elapsed time.Duration, mix string, concurrency int) {
+// histogram. Outcomes print as separate columns: errors (non-2xx
+// other than 499), canceled (499), degraded (200 with a certificate).
+func report(out io.Writer, sorted []time.Duration, errors, canceled, degraded int, elapsed time.Duration, mix string, concurrency int) {
 	q := func(p float64) time.Duration {
 		i := int(p * float64(len(sorted)-1))
 		return sorted[i]
@@ -429,7 +517,8 @@ func report(out io.Writer, sorted []time.Duration, errors int, elapsed time.Dura
 	}
 	n := len(sorted)
 	fmt.Fprintf(out, "loadgen: mix=%s concurrency=%d elapsed=%v\n", mix, concurrency, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(out, "requests=%d errors=%d throughput=%.1f req/s\n", n, errors, float64(n)/elapsed.Seconds())
+	fmt.Fprintf(out, "requests=%d errors=%d canceled=%d degraded=%d throughput=%.1f req/s\n",
+		n, errors, canceled, degraded, float64(n)/elapsed.Seconds())
 	fmt.Fprintf(out, "latency: p50=%v p95=%v p99=%v mean=%v max=%v\n",
 		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
 		(sum / time.Duration(n)).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))

@@ -301,6 +301,45 @@ func TestEngineFormIntoSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEngineFormIntoAnytimeSteadyStateZeroAlloc pins the graceful-
+// degradation acceptance bar: turning on Config.Anytime must not cost
+// the warm serving path anything — a steady-state serial FormInto that
+// runs to completion with the anytime machinery armed still performs
+// zero allocations per solve.
+func TestEngineFormIntoAnytimeSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-user dataset")
+	}
+	ds, err := YahooLike(10_000, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 5, L: 10, Semantics: LM, Aggregation: Min, Anytime: true}
+	s := NewScratch()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := eng.FormInto(ctx, cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Partial != nil {
+			t.Fatalf("uncanceled anytime solve returned a certificate: %+v", res.Partial)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.FormInto(ctx, cfg, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm anytime Engine.FormInto allocated %v times per solve, want 0", allocs)
+	}
+}
+
 // TestEngineFormIntoAfterUpsertSteadyStateZeroAlloc pins the mutable-
 // dataset acceptance bar: after an unrelated single-user upsert rides
 // through Engine.Advance, the derived engine keeps the warm cache (no

@@ -115,3 +115,21 @@ func unexportedLoop(ctx context.Context, xs []int) int {
 	}
 	return total
 }
+
+// BestSoFar is the anytime shape introduced by graceful degradation:
+// the loop's touchpoint consumes the cancellation by returning the
+// incumbent plus a certificate instead of an error. The rule cares
+// that the nest notices ctx within a bounded number of iterations,
+// not what the function does with the signal — so this passes.
+func BestSoFar(ctx context.Context, xs []int) (best, completed int) {
+	for i, x := range xs {
+		if i&0xFF == 0 && ctx.Err() != nil {
+			return best, i // degrade: best-so-far, progress certificate
+		}
+		if v := work(x); v > best {
+			best = v
+		}
+		completed = i + 1
+	}
+	return best, completed
+}

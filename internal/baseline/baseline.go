@@ -19,6 +19,12 @@
 // Either way, the clustering is agnostic to the group recommendation
 // semantics — which is exactly the deficiency the paper's GRD
 // algorithms are designed to beat.
+//
+// These baselines are NOT anytime-capable: mid-clustering state is
+// not a feasible grouping (clusters only become groups after the
+// final assignment pass), so core.Config.Anytime is ignored here and
+// cancellation always surfaces as an error wrapping gferr.ErrCanceled
+// (the anytime-capable solvers live in core and opt).
 package baseline
 
 import (

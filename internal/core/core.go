@@ -39,6 +39,7 @@ import (
 	"container/heap"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -70,6 +71,23 @@ type Config struct {
 	// or missing entries mean weight 1. Weights must be
 	// non-negative. LM is unaffected by weights.
 	UserWeights map[dataset.UserID]float64
+	// Anytime opts into graceful degradation: when the context expires
+	// mid-run, solvers that hold a feasible incumbent — GRD's
+	// completed groups, branch-and-bound's best leaf, local search's
+	// best restart, the exact DP's completed level — return it with
+	// Result.Partial set (a quality certificate) instead of discarding
+	// the work with an ErrCanceled error. When no feasible incumbent
+	// exists yet, the cancellation error is returned exactly as
+	// before. Off by default: exact-or-error.
+	Anytime bool
+	// QualityTarget, in (0, 1], lets bound-maintaining solvers stop
+	// early: as soon as the incumbent objective reaches QualityTarget
+	// times the solver's admissible upper bound on the optimum, the
+	// incumbent is returned with its certificate in Result.Partial.
+	// Zero disables early stopping. Requires Anytime; the single-pass
+	// greedy algorithms ignore the target (they cannot stop "early")
+	// but still honor Anytime on cancellation.
+	QualityTarget float64
 	// Workers sets the parallelism of the formation pipeline: 0 or 1
 	// selects the single-threaded reference path, N >= 2 shards
 	// preference-list construction, bucketizing and group
@@ -129,6 +147,12 @@ func (c Config) Validate(ds *dataset.Dataset) error {
 		if w < 0 {
 			return gferr.BadConfigf("core: UserWeights[%d] is negative (%v)", u, w)
 		}
+	}
+	if c.QualityTarget < 0 || c.QualityTarget > 1 {
+		return gferr.BadConfigf("core: QualityTarget must be in [0, 1], got %v", c.QualityTarget)
+	}
+	if c.QualityTarget > 0 && !c.Anytime {
+		return gferr.BadConfigf("core: QualityTarget requires Anytime")
 	}
 	return nil
 }
@@ -191,6 +215,29 @@ type Group struct {
 // Size returns the number of members.
 func (g Group) Size() int { return len(g.Members) }
 
+// Partial is the quality certificate attached to a degraded
+// (anytime) result: the solver stopped before proving completion —
+// the deadline fired, a resource budget ran out, or the configured
+// QualityTarget was reached — and returned its best-so-far incumbent
+// instead. The certificate makes the trade legible: how good the
+// returned result is guaranteed to be, and how much of the run
+// finished.
+type Partial struct {
+	// Bound is an admissible upper bound on the optimum objective
+	// (Bound >= OPT >= Objective for complete partitions); the
+	// incumbent is therefore within Gap of optimal.
+	Bound float64
+	// Gap is Bound - Objective, the certificate's slack.
+	Gap float64
+	// Completed and Total count the solver's own progress units:
+	// finalized groups out of planned groups (GRD), explored nodes
+	// out of the node budget (branch-and-bound), completed restarts
+	// out of configured restarts (local search), completed DP levels
+	// out of min(L, n) (exact).
+	Completed int
+	Total     int
+}
+
 // Result is the outcome of a formation run.
 type Result struct {
 	// Groups are the formed groups in the order they were created
@@ -204,6 +251,12 @@ type Result struct {
 	Buckets int
 	// Algorithm names the algorithm that produced the result.
 	Algorithm string
+	// Partial is non-nil when the run degraded under Config.Anytime
+	// (or stopped early on Config.QualityTarget): Groups is a feasible
+	// best-so-far incumbent rather than the run's complete output, and
+	// Partial carries its quality certificate. Nil means the run
+	// completed normally.
+	Partial *Partial
 }
 
 // bucket is an intermediate group: users indistinguishable under the
@@ -326,8 +379,11 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 		// first is optimal given the bucketing — and is required for
 		// the rmax absolute-error guarantee of Theorem 2 when l
 		// exceeds the bucket count.
-		groups, err := s.splitBuckets(ctx, ds, scorer, buckets, cfg)
+		groups, total, err := s.splitBuckets(ctx, ds, scorer, buckets, cfg)
 		if err != nil {
+			if dres, ok := degraded(res, groups, err, prefs, cfg, total); ok {
+				return dres, nil
+			}
 			return nil, err
 		}
 		res.Groups = groups
@@ -366,6 +422,9 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 			}
 		}
 		if err := firstErr(errs); err != nil {
+			if dres, ok := degraded(res, groups[:completedPrefix(errs)], err, prefs, cfg, cfg.L); ok {
+				return dres, nil
+			}
 			return nil, err
 		}
 		res.Groups = groups
@@ -381,6 +440,9 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 		}
 		sortUsers(rest)
 		if err := gferr.Ctx(ctx); err != nil {
+			if dres, ok := degraded(res, groups, err, prefs, cfg, cfg.L); ok {
+				return dres, nil
+			}
 			return nil, err
 		}
 		items, scores, err := scorer.TopKInto(cfg.Semantics, rest, cfg.K, &s.topk)
@@ -411,9 +473,12 @@ func (s *Scratch) run(ctx context.Context, ds *dataset.Dataset, cfg Config, pref
 // full bucket satisfaction, so this maximizes the objective over all
 // ways to spend the budget; under AV the per-piece satisfactions
 // always sum to the bucket's, so splitting is harmless either way.
+// total reports the number of planned pieces; on a cancellation error
+// the returned slice still holds the error-free prefix of completed
+// groups so the anytime path can degrade onto it.
 //
 //gfvet:zeroalloc
-func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, error) {
+func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer semantics.Scorer, buckets []*bucket, cfg Config) ([]Group, int, error) {
 	h := newBucketHeapInto(&s.heap, buckets, cfg.Aggregation)
 	ordered := slices.Grow(s.popped[:0], len(buckets))
 	for h.Len() > 0 {
@@ -507,9 +572,90 @@ func (s *Scratch) splitBuckets(ctx context.Context, ds *dataset.Dataset, scorer 
 		}
 	}
 	if err := firstErr(errs); err != nil {
-		return nil, err
+		return groups[:completedPrefix(errs)], len(tasks), err
 	}
-	return groups, nil
+	return groups, len(tasks), nil
+}
+
+// completedPrefix counts the error-free prefix of a fan-out's error
+// slice: every group before the first error finalized successfully,
+// which is exactly the incumbent the anytime path may return (the
+// serial loops stop at the first error, so the prefix is also all
+// there is).
+func completedPrefix(errs []error) int {
+	for i, err := range errs {
+		if err != nil {
+			return i
+		}
+	}
+	return len(errs)
+}
+
+// degraded assembles the anytime certificate over the completed
+// groups when the run was cut short by cancellation. It applies only
+// when cfg.Anytime is set, err is a cancellation (not a real
+// failure), and at least one group finished — otherwise ok is false
+// and the caller propagates err as before. Cold path: it runs at most
+// once per canceled request and may allocate.
+func degraded(res *Result, groups []Group, err error, prefs []rank.PrefList, cfg Config, total int) (*Result, bool) {
+	if !cfg.Anytime || !errors.Is(err, gferr.ErrCanceled) || len(groups) == 0 {
+		return nil, false
+	}
+	res.Groups = groups
+	res.Objective = 0
+	for _, g := range groups {
+		res.Objective += g.Satisfaction
+	}
+	bound := anytimeBound(prefs, cfg)
+	res.Partial = &Partial{Bound: bound, Gap: bound - res.Objective, Completed: len(groups), Total: total}
+	return res, true
+}
+
+// anytimeBound computes an admissible upper bound on the optimum
+// objective from the preference lists alone, with no context
+// involvement — it must stay callable after the deadline has fired.
+//
+// LM: a group's satisfaction never exceeds any member's singleton
+// satisfaction (group item scores are pointwise at most each member's
+// own, every aggregation here is monotone, and a member's own top-k
+// list maximizes the aggregation over any k items), so OPT is at most
+// min(L, n) groups each worth the best singleton satisfaction.
+//
+// AV: every item's group score is at most the sum over members of
+// w_u * mx_u (mx_u bounds u's score of any item: the larger of the
+// top preference score and the Missing imputation), a score list
+// bounded pointwise by a constant c aggregates to at most
+// c * Aggregate(1,...,1), and the groups partition the users — so the
+// per-user contributions sum once over the whole population. This is
+// the same admissible-bound argument branch-and-bound prunes with.
+func anytimeBound(prefs []rank.PrefList, cfg Config) float64 {
+	if cfg.Semantics == semantics.LM {
+		best := math.Inf(-1)
+		for _, p := range prefs {
+			if s := cfg.Aggregation.Aggregate(p.Scores); s > best {
+				best = s
+			}
+		}
+		groups := cfg.L
+		if len(prefs) < groups {
+			groups = len(prefs)
+		}
+		return float64(groups) * best
+	}
+	ones := make([]float64, cfg.K)
+	for j := range ones {
+		ones[j] = 1
+	}
+	aggFactor := cfg.Aggregation.Aggregate(ones)
+	total := 0.0
+	for _, p := range prefs {
+		mx := p.Scores[0]
+		if cfg.Missing > mx {
+			mx = cfg.Missing
+		}
+		total += cfg.weight(p.User) * mx
+	}
+	return total * aggFactor
 }
 
 // nestedScorer decides whether scorer calls made from inside an

@@ -7,6 +7,11 @@
 // as the optimal reference on small instances. Like the paper's
 // OPT-LM / OPT-AV, these solvers are exponential in the worst case
 // and intended only for calibration-sized inputs.
+//
+// These solvers are NOT anytime-capable: a fractional LP incumbent is
+// not a feasible grouping, so core.Config.Anytime is ignored here and
+// cancellation always surfaces as an error wrapping gferr.ErrCanceled
+// (the anytime-capable solvers live in core and opt).
 package ilp
 
 import (

@@ -68,6 +68,27 @@ func WriteHistogram(w io.Writer, name, labels string, s HistSnapshot) {
 	writeSample(w, name+"_count", labels, strconv.FormatInt(cum, 10))
 }
 
+// WriteRatioHistogram emits a ratio snapshot as a Prometheus
+// histogram: cumulative _bucket{le=...} lines over the linear [0, 1]
+// bounds, then _sum and _count, mirroring WriteHistogram's stable
+// bucket schema.
+func WriteRatioHistogram(w io.Writer, name, labels string, s RatioSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := 0; i < RatioBuckets; i++ {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
+			strconv.FormatFloat(RatioUpper(i), 'g', -1, 64), cum)
+	}
+	cum += s.Counts[RatioBuckets]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	writeSample(w, name+"_sum", labels, strconv.FormatFloat(float64(s.SumMilli)/1e3, 'g', -1, 64))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(cum, 10))
+}
+
 // TextHistogram is a histogram read back from exposition text. Bounds
 // are upper bucket bounds in seconds (ascending, +Inf excluded) and
 // Cumulative the matching cumulative counts; Count includes the +Inf

@@ -14,6 +14,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -178,4 +179,79 @@ func (s HistSnapshot) Mean() time.Duration {
 		return 0
 	}
 	return time.Duration(s.SumNS / n)
+}
+
+// RatioBuckets is the number of finite buckets in a RatioHistogram:
+// linear tenths over [0, 1], bucket i holding (i/10, (i+1)/10] with
+// non-positive values in bucket 0. Values above 1 (and NaN) land in
+// the +Inf overflow bucket.
+const RatioBuckets = 10
+
+// RatioHistogram is a fixed-bucket linear histogram over [0, 1],
+// built for the degraded-response quality gap (gap / bound). The zero
+// value is ready to use and safe for concurrent observation; Observe
+// is two atomic adds, like Histogram.
+type RatioHistogram struct {
+	counts [RatioBuckets + 1]atomic.Int64
+	// sumMilli accumulates the observed sum in thousandths, keeping
+	// the hot path on integer atomics.
+	sumMilli atomic.Int64
+}
+
+// RatioUpper returns finite bucket i's inclusive upper bound.
+func RatioUpper(i int) float64 {
+	return float64(i+1) / RatioBuckets
+}
+
+func ratioBucketOf(v float64) int {
+	if math.IsNaN(v) || v > 1 {
+		return RatioBuckets
+	}
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Ceil(v*RatioBuckets)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= RatioBuckets {
+		i = RatioBuckets - 1
+	}
+	return i
+}
+
+// Observe records one ratio: two atomic adds, no allocation.
+//
+//gfvet:zeroalloc
+func (h *RatioHistogram) Observe(v float64) {
+	h.counts[ratioBucketOf(v)].Add(1)
+	if !math.IsNaN(v) {
+		h.sumMilli.Add(int64(v * 1000))
+	}
+}
+
+// Snapshot copies the histogram's current state, with the same
+// per-bucket consistency story as Histogram.Snapshot.
+func (h *RatioHistogram) Snapshot() RatioSnapshot {
+	var s RatioSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumMilli = h.sumMilli.Load()
+	return s
+}
+
+// RatioSnapshot is an immutable copy of a RatioHistogram.
+type RatioSnapshot struct {
+	Counts   [RatioBuckets + 1]int64
+	SumMilli int64
+}
+
+// Count returns the total number of observations.
+func (s RatioSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
 }

@@ -1,0 +1,137 @@
+// Anytime support for the reference solvers: the admissible upper
+// bound their quality certificates report, the quality-target stop
+// rule, and a context-free result materializer usable after the
+// deadline has already fired. The per-solver incumbent maintenance
+// lives with each solver (branch-and-bound's best leaf, local
+// search's best restart, the exact DP's completed level); this file
+// holds what they share.
+
+package opt
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"groupform/internal/core"
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/semantics"
+)
+
+// upperBound computes an admissible upper bound on the optimum
+// objective — the Bound of a core.Partial certificate. It mirrors the
+// root of branch-and-bound's pruning bound:
+//
+// LM: a group's satisfaction never exceeds any member's singleton
+// satisfaction, so OPT <= min(L, n) * max_u singleton(u).
+//
+// AV: every item's group score is at most sum over members of
+// w_u * mx_u (mx_u = the larger of u's maximum rating and the Missing
+// imputation), a pointwise-bounded score list aggregates to at most
+// the bound times Aggregate(1,...,1), and groups partition the users,
+// so the per-user contributions sum once: OPT <= sum_u w_u * mx_u *
+// aggFactor.
+//
+// The walk is cancelable (it runs before the solver's main work, while
+// the deadline budget is still live); a canceled context returns an
+// error wrapping gferr.ErrCanceled.
+func upperBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, scorer semantics.Scorer) (float64, error) {
+	users := ds.Users()
+	n := len(users)
+	l := cfg.L
+	if l > n {
+		l = n
+	}
+	if cfg.Semantics == semantics.LM {
+		best := math.Inf(-1)
+		for i := range users {
+			if i&0x3FF == 0 {
+				if err := gferr.Ctx(ctx); err != nil {
+					return 0, err
+				}
+			}
+			s, err := scorer.Satisfaction(cfg.Semantics, cfg.Aggregation, users[i:i+1], cfg.K)
+			if err != nil {
+				return 0, err
+			}
+			if s > best {
+				best = s
+			}
+		}
+		return float64(l) * best, nil
+	}
+	ones := make([]float64, cfg.K)
+	for j := range ones {
+		ones[j] = 1
+	}
+	aggFactor := cfg.Aggregation.Aggregate(ones)
+	total := 0.0
+	for i, u := range users {
+		if i&0x3FF == 0 {
+			if err := gferr.Ctx(ctx); err != nil {
+				return 0, err
+			}
+		}
+		mx := cfg.Missing
+		for _, e := range ds.UserRatings(u) {
+			if e.Value > mx {
+				mx = e.Value
+			}
+		}
+		total += scorer.Weight(u) * mx * aggFactor
+	}
+	return total, nil
+}
+
+// errTargetMet is the internal unwind signal a solver's search loop
+// raises when the incumbent clears the quality target; it never
+// escapes a solver — the caller converts it into a certified result.
+var errTargetMet = errors.New("opt: quality target met")
+
+// qualityTargetAbs resolves cfg.QualityTarget against a computed
+// bound into an absolute stop threshold; +Inf disables early
+// stopping (no finite objective ever clears it).
+func qualityTargetAbs(cfg core.Config, bound float64) float64 {
+	if !cfg.Anytime || cfg.QualityTarget <= 0 {
+		return math.Inf(1)
+	}
+	return cfg.QualityTarget * bound
+}
+
+// certificate builds the Partial attached to a degraded result.
+func certificate(bound, obj float64, completed, total int) *core.Partial {
+	return &core.Partial{Bound: bound, Gap: bound - obj, Completed: completed, Total: total}
+}
+
+// materializeAssign converts a block assignment (assign[i] = block of
+// users[i], blocks numbered 0..nblocks-1) into a core.Result. It
+// deliberately takes no context: the anytime paths materialize their
+// incumbent after the deadline has fired, and the work is bounded —
+// at most nblocks top-k computations over users already in memory.
+func materializeAssign(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID, assign []int, nblocks int, alg string) (*core.Result, error) {
+	res := &core.Result{Algorithm: alg}
+	byBlock := make([][]dataset.UserID, nblocks)
+	for i, b := range assign {
+		byBlock[b] = append(byBlock[b], users[i])
+	}
+	for _, members := range byBlock {
+		if len(members) == 0 {
+			continue
+		}
+		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, core.Group{
+			Members:      members,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+		})
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
+	}
+	return res, nil
+}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -127,6 +128,11 @@ func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, o
 		}
 		return suffixContrib[i]
 	}
+	// The root bound is the certificate every anytime return reports:
+	// no partition can beat optimistic(0, l), so a degraded incumbent
+	// of objective v is provably within optimistic(0, l) - v of OPT.
+	rootBound := optimistic(0, l)
+	targetAbs := qualityTargetAbs(cfg, rootBound)
 
 	// Group satisfaction cache for the blocks of the current partial
 	// assignment.
@@ -159,6 +165,9 @@ func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, o
 			if obj > bestObj {
 				bestObj = obj
 				bestAssign = append(bestAssign[:0], assign...)
+			}
+			if bestObj >= targetAbs {
+				return errTargetMet
 			}
 			return nil
 		}
@@ -195,41 +204,31 @@ func BranchAndBound(ctx context.Context, ds *dataset.Dataset, cfg core.Config, o
 		}
 		return nil
 	}
+	// A finished search proves optimality. A search cut short — by the
+	// quality target, the deadline, or the node budget — still holds a
+	// feasible incumbent in bestAssign whenever at least one leaf was
+	// reached; under Anytime that incumbent is returned with its
+	// certificate instead of being thrown away.
+	partial := false
 	if err := rec(0, 0); err != nil {
-		return nil, err
+		switch {
+		case errors.Is(err, errTargetMet):
+			partial = true
+		case cfg.Anytime && bestAssign != nil &&
+			(errors.Is(err, gferr.ErrCanceled) || errors.Is(err, ErrBBNodeLimit)):
+			partial = true
+		default:
+			return nil, err
+		}
 	}
 
-	// Materialize the best partition.
-	res := &core.Result{Algorithm: fmt.Sprintf("OPT-BB-%s-%s", cfg.Semantics, cfg.Aggregation)}
-	byBlock := map[int][]dataset.UserID{}
-	maxB := -1
-	for i, b := range bestAssign {
-		byBlock[b] = append(byBlock[b], users[i])
-		if b > maxB {
-			maxB = b
-		}
+	res, err := materializeAssign(scorer, cfg, users, bestAssign, l,
+		fmt.Sprintf("OPT-BB-%s-%s", cfg.Semantics, cfg.Aggregation))
+	if err != nil {
+		return nil, err
 	}
-	for b := 0; b <= maxB; b++ {
-		members := byBlock[b]
-		if len(members) == 0 {
-			continue
-		}
-		if err := gferr.Ctx(ctx); err != nil {
-			return nil, err
-		}
-		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
-		if err != nil {
-			return nil, err
-		}
-		res.Groups = append(res.Groups, core.Group{
-			Members:      members,
-			Items:        items,
-			ItemScores:   scores,
-			Satisfaction: cfg.Aggregation.Aggregate(scores),
-		})
-	}
-	for _, g := range res.Groups {
-		res.Objective += g.Satisfaction
+	if partial {
+		res.Partial = certificate(rootBound, res.Objective, nodes, maxNodes)
 	}
 	return res, nil
 }

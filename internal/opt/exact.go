@@ -74,6 +74,19 @@ func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Res
 		sat[mask] = s
 	}
 
+	// Under Anytime, price the certificate bound up front while the
+	// deadline budget is still live; a cancellation this early carries
+	// no incumbent, so it surfaces as a plain error either way.
+	bound := 0.0
+	if cfg.Anytime {
+		b, err := upperBound(ctx, ds, cfg, scorer)
+		if err != nil {
+			return nil, err
+		}
+		bound = b
+	}
+	targetAbs := qualityTargetAbs(cfg, bound)
+
 	l := cfg.L
 	if l > n {
 		l = n
@@ -95,11 +108,21 @@ func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Res
 		best[1][m] = sat[m]
 		choice[1][m] = m
 	}
+	// The DP is anytime by construction: after level j completes,
+	// best[j][full] is the exact optimum over partitions into at most
+	// j groups — a feasible partition of ALL users, just possibly
+	// coarser than optimal. `done` tracks the last completed level; a
+	// deadline mid-level discards only that level's half-built row.
+	full := size - 1
+	done := 1
+	var stopErr error
+levels:
 	for j := 2; j <= l; j++ {
 		for mask := 1; mask < size; mask++ {
 			if mask&0xFFF == 0 {
 				if err := gferr.Ctx(ctx); err != nil {
-					return nil, err
+					stopErr = err
+					break levels
 				}
 			}
 			low := mask & (-mask)
@@ -127,21 +150,37 @@ func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Res
 			best[j][mask] = bestV
 			choice[j][mask] = bestC
 		}
+		done = j
+		if best[j][full] >= targetAbs {
+			break
+		}
+	}
+	if stopErr != nil && !cfg.Anytime {
+		return nil, stopErr
 	}
 
-	// Reconstruct the partition.
-	full := size - 1
-	res := &core.Result{Objective: best[l][full], Algorithm: fmt.Sprintf("OPT-%s-%s", cfg.Semantics, cfg.Aggregation)}
+	res, err := reconstructExact(scorer, cfg, users, n, choice, done, full,
+		fmt.Sprintf("OPT-%s-%s", cfg.Semantics, cfg.Aggregation))
+	if err != nil {
+		return nil, err
+	}
+	if stopErr != nil || done < l {
+		res.Partial = certificate(bound, res.Objective, done, l)
+	}
+	return res, nil
+}
+
+// reconstructExact peels an optimal <=j-group partition of `full` out
+// of the DP choice table. choice[j][mask] is the block of the lowest
+// set bit in an optimal <=j-group partition of mask (propagated from
+// j-1 when using fewer groups is at least as good), so removing it
+// and descending one level walks a complete partition. It takes no
+// context: the anytime path runs it after the deadline has fired, and
+// the work is bounded by at most j top-k computations.
+func reconstructExact(scorer semantics.Scorer, cfg core.Config, users []dataset.UserID, n int, choice [][]int, j, full int, alg string) (*core.Result, error) {
+	res := &core.Result{Algorithm: alg}
 	mask := full
-	j := l
 	for mask != 0 {
-		if err := gferr.Ctx(ctx); err != nil {
-			return nil, err
-		}
-		// choice[j][mask] is the block of the lowest set bit in an
-		// optimal <=j-group partition of mask (propagated from j-1
-		// when using fewer groups is at least as good), so peeling
-		// it off and descending one level reconstructs a partition.
 		block := choice[j][mask]
 		members := make([]dataset.UserID, 0, bits.OnesCount(uint(block)))
 		for i := 0; i < n; i++ {
@@ -163,6 +202,9 @@ func Exact(ctx context.Context, ds *dataset.Dataset, cfg core.Config) (*core.Res
 		if j > 1 {
 			j--
 		}
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
 	}
 	return res, nil
 }

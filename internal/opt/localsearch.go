@@ -74,8 +74,28 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 	rng := rand.New(rand.NewSource(opts.Seed))
 	scorer := semantics.Scorer{DS: ds, Missing: cfg.Missing}
 
-	// Seed assignment from the greedy algorithm.
-	grd, err := core.Form(ctx, ds, cfg)
+	// Under Anytime, price the certificate bound up front while the
+	// deadline budget is still live; a cancellation this early carries
+	// no incumbent, so it surfaces as a plain error either way.
+	bound := 0.0
+	if cfg.Anytime {
+		b, err := upperBound(ctx, ds, cfg, scorer)
+		if err != nil {
+			return nil, err
+		}
+		bound = b
+	}
+	targetAbs := qualityTargetAbs(cfg, bound)
+
+	// Seed assignment from the greedy algorithm. The seed runs with
+	// the anytime knobs stripped: a degraded greedy prefix would leave
+	// unseeded users defaulting into block 0, and LocalSearch has no
+	// incumbent of its own yet, so a cancellation here is a plain
+	// error either way.
+	seedCfg := cfg
+	seedCfg.Anytime = false
+	seedCfg.QualityTarget = 0
+	grd, err := core.Form(ctx, ds, seedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +116,8 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 	}
 	var bestAssign []int
 	bestObj := math.Inf(-1)
+	completed := 0
+	var stopErr error
 	if workers >= 2 {
 		// Independent restarts fan out; each owns its generator and
 		// writes only its own slot, and the winner is picked by
@@ -125,17 +147,32 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 					assign[i] = rng.Intn(cfg.L)
 				}
 			}
-			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
+			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0, targetAbs)
 			outs[r] = outcome{obj: obj, assign: assign, err: err}
 		})
+		// A canceled restart still holds the best state it visited
+		// (runSearch restores it on the way out); under Anytime those
+		// aborted restarts compete for the incumbent alongside the
+		// finished ones, and only restarts canceled before producing
+		// any state (nil assign) are skipped.
 		for _, o := range outs {
 			if o.err != nil {
-				return nil, o.err
+				if stopErr == nil {
+					stopErr = o.err
+				}
+				if o.assign == nil {
+					continue
+				}
+			} else {
+				completed++
 			}
 			if o.obj > bestObj {
 				bestObj = o.obj
 				bestAssign = o.assign
 			}
+		}
+		if stopErr != nil && (!cfg.Anytime || bestAssign == nil) {
+			return nil, stopErr
 		}
 	} else {
 		for r := 0; r < restarts; r++ {
@@ -147,53 +184,49 @@ func LocalSearch(ctx context.Context, ds *dataset.Dataset, cfg core.Config, opts
 					assign[i] = rng.Intn(cfg.L)
 				}
 			}
-			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0)
-			if err != nil {
-				return nil, err
-			}
+			obj, err := runSearch(ctx, scorer, cfg, users, assign, iters, rng, opts.Anneal, t0, targetAbs)
 			if obj > bestObj {
 				bestObj = obj
 				bestAssign = append(bestAssign[:0], assign...)
 			}
+			if err != nil {
+				// assign holds the aborted restart's best state, folded
+				// in above; under Anytime it becomes the incumbent.
+				if !cfg.Anytime || bestAssign == nil {
+					return nil, err
+				}
+				stopErr = err
+				break
+			}
+			completed = r + 1
+			if bestObj >= targetAbs {
+				break
+			}
 		}
 	}
 
-	// Materialize the result.
-	res := &core.Result{Algorithm: fmt.Sprintf("OPT-LS-%s-%s", cfg.Semantics, cfg.Aggregation)}
-	groups := make([][]dataset.UserID, cfg.L)
-	for i, g := range bestAssign {
-		groups[g] = append(groups[g], users[i])
+	res, err := materializeAssign(scorer, cfg, users, bestAssign, cfg.L,
+		fmt.Sprintf("OPT-LS-%s-%s", cfg.Semantics, cfg.Aggregation))
+	if err != nil {
+		return nil, err
 	}
-	for _, members := range groups {
-		if len(members) == 0 {
-			continue
-		}
-		if err := gferr.Ctx(ctx); err != nil {
-			return nil, err
-		}
-		items, scores, err := scorer.TopK(cfg.Semantics, members, cfg.K)
-		if err != nil {
-			return nil, err
-		}
-		res.Groups = append(res.Groups, core.Group{
-			Members:      members,
-			Items:        items,
-			ItemScores:   scores,
-			Satisfaction: cfg.Aggregation.Aggregate(scores),
-		})
-	}
-	for _, g := range res.Groups {
-		res.Objective += g.Satisfaction
+	// Partial marks every run whose work was cut: a deadline that left
+	// an incumbent, or a quality target met before all restarts ran.
+	if stopErr != nil || bestObj >= targetAbs {
+		res.Partial = certificate(bound, res.Objective, completed, restarts)
 	}
 	return res, nil
 }
 
 // runSearch mutates assign in place and returns the objective of the
-// best state visited (assign holds that state on return). A canceled
-// context abandons the search mid-stream with an error wrapping
-// gferr.ErrCanceled.
+// best state visited (assign holds that state on return — including
+// on cancellation, so the caller can keep it as an anytime
+// incumbent). A canceled context abandons the search mid-stream with
+// an error wrapping gferr.ErrCanceled alongside the best objective.
+// The search also returns early (nil error) once the best objective
+// reaches stopAt; pass +Inf to disable.
 func runSearch(ctx context.Context, scorer semantics.Scorer, cfg core.Config, users []dataset.UserID,
-	assign []int, iters int, rng *rand.Rand, anneal bool, t0 float64) (float64, error) {
+	assign []int, iters int, rng *rand.Rand, anneal bool, t0 float64, stopAt float64) (float64, error) {
 
 	n := len(users)
 	members := make([][]dataset.UserID, cfg.L)
@@ -230,10 +263,14 @@ func runSearch(ctx context.Context, scorer semantics.Scorer, cfg core.Config, us
 
 	bestObj := obj
 	bestAssign := append([]int(nil), assign...)
+	if bestObj >= stopAt {
+		return bestObj, nil
+	}
 	for it := 0; it < iters; it++ {
 		if it&0xFF == 0 {
 			if err := gferr.Ctx(ctx); err != nil {
-				return 0, err
+				copy(assign, bestAssign)
+				return bestObj, err
 			}
 		}
 		// Neighborhood: mostly single-user relocations, with an
@@ -286,6 +323,10 @@ func runSearch(ctx context.Context, scorer semantics.Scorer, cfg core.Config, us
 			if obj > bestObj {
 				bestObj = obj
 				copy(bestAssign, assign)
+				if bestObj >= stopAt {
+					// assign already equals the best state.
+					return bestObj, nil
+				}
 			}
 		} else {
 			// Undo.

@@ -34,6 +34,14 @@ func FuzzFormRequest(f *testing.F) {
 	f.Add([]byte(`{"k":2,"l":2,"semantics":"av","agg":"sum","missing":1.5,"workers":2}`))
 	f.Add([]byte(`{"k":2,"l":2,"semantics":"av","agg":"sum","timeout_ms":1}`))
 	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","timeout_ms":-5}`))
+	f.Add([]byte(`{"dataset":"main","k":2,"l":2,"semantics":"lm","agg":"min","anytime":true}`))
+	f.Add([]byte(`{"dataset":"main","k":2,"l":2,"semantics":"av","agg":"sum","anytime":true,"quality_target":0.9}`))
+	f.Add([]byte(`{"dataset":"main","k":2,"l":2,"semantics":"lm","agg":"min","anytime":true,"quality_target":1}`))
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","quality_target":0.5}`))                 // target without anytime
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","anytime":true,"quality_target":1.5}`))  // out of range
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","anytime":true,"quality_target":-0.5}`)) // out of range
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","anytime":"yes"}`))
+	f.Add([]byte(`{"k":2,"l":2,"semantics":"lm","agg":"min","anytime":true,"timeout_ms":1}`))
 	f.Add([]byte(`{"k":-1,"l":0,"semantics":"lm","agg":"min"}`))
 	f.Add([]byte(`{"k":1000000,"l":2,"semantics":"lm","agg":"min"}`))
 	f.Add([]byte(`{"semantics":"median","agg":"p99"}`))

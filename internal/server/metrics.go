@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"groupform/internal/core"
 	"groupform/internal/metrics"
 )
 
@@ -18,6 +19,11 @@ type endpointMetrics struct {
 	requests metrics.Counter
 	errors   metrics.Counter
 	latency  metrics.Histogram
+	// degraded counts 200 responses that carried a quality
+	// certificate instead of a complete result (anytime solves cut
+	// short by their deadline or quality target). Only the solve
+	// endpoints ever move it.
+	degraded metrics.Counter
 }
 
 // serverMetrics aggregates the Server's observability state. All of
@@ -39,6 +45,25 @@ type serverMetrics struct {
 	// with the leased gauge it bounds pool occupancy: created -
 	// leased scratches are idle in (or GC'd from) the pool.
 	scratchCreated metrics.Counter
+	// degradedGap distributes the relative quality gap (gap / bound)
+	// of degraded responses across linear [0, 1] buckets: mass near 0
+	// means deadlines are cutting solves that were nearly done.
+	degradedGap metrics.RatioHistogram
+}
+
+// observeDegraded records a degraded (200-with-certificate) response
+// against its endpoint; a nil Partial — a complete result — records
+// nothing, keeping the call free on the warm path.
+func (s *Server) observeDegraded(em *endpointMetrics, p *core.Partial) {
+	if p == nil {
+		return
+	}
+	em.degraded.Inc()
+	r := 0.0
+	if p.Bound != 0 {
+		r = p.Gap / p.Bound
+	}
+	s.met.degradedGap.Observe(r)
 }
 
 func (m *serverMetrics) init() {
@@ -127,12 +152,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.WriteCounter(&b, "groupform_request_errors_total",
 			`endpoint="`+em.name+`"`, em.errors.Value())
 	}
+	metrics.WriteHeader(&b, "groupform_degraded_total", "counter",
+		"Degraded 200 responses (anytime incumbents with a certificate), by endpoint.")
+	for _, em := range s.met.endpoints() {
+		metrics.WriteCounter(&b, "groupform_degraded_total",
+			`endpoint="`+em.name+`"`, em.degraded.Value())
+	}
 	metrics.WriteHeader(&b, "groupform_request_duration_seconds", "histogram",
 		"Request wall-clock latency, by endpoint.")
 	for _, em := range s.met.endpoints() {
 		metrics.WriteHistogram(&b, "groupform_request_duration_seconds",
 			`endpoint="`+em.name+`"`, em.latency.Snapshot())
 	}
+	metrics.WriteHeader(&b, "groupform_degraded_gap_ratio", "histogram",
+		"Relative quality gap (gap / bound) of degraded responses.")
+	metrics.WriteRatioHistogram(&b, "groupform_degraded_gap_ratio", "",
+		s.met.degradedGap.Snapshot())
 
 	metrics.WriteHeader(&b, "groupform_dataset_requests_total", "counter",
 		"Requests resolved against each dataset (solves and upserts).")

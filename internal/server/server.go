@@ -16,7 +16,12 @@
 // gferr.ErrBadConfig -> 400 bad_config, gferr.ErrTooLarge -> 413
 // too_large, gferr.ErrCanceled -> 499 canceled — plus 404 not_found
 // for unknown datasets, 503 overloaded when the inflight semaphore is
-// saturated, and 500 internal for anything unclassified.
+// saturated, and 500 internal for anything unclassified. Requests
+// that opt into anytime formation ("anytime": true) soften the 499
+// class: when the cut solve already holds a feasible incumbent, the
+// response is 200 with degraded:true and a quality certificate
+// (bound/gap/completed/total), and 499 remains only for cancellations
+// that left nothing feasible.
 //
 // PR 8 adds the zero-copy binary wire path and first-class
 // observability. POST /form negotiates the binary frame format of
@@ -321,6 +326,7 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 		writeSolverError(w, err)
 		return
 	}
+	s.observeDegraded(&s.met.form, res.Partial)
 	// The response aliases sc's arenas; the deferred release runs
 	// only after writeJSON has serialized every byte.
 	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
@@ -375,6 +381,7 @@ func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			var res *core.Result
 			if res, err = eng.FormInto(ctx, cfg, sc); err == nil {
+				s.observeDegraded(&s.met.batch, res.Partial)
 				items[i] = BatchItem{Result: toFormResponse(name, res, true)}
 				continue
 			}
@@ -436,6 +443,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeSolverError(w, err)
 		return
 	}
+	s.observeDegraded(&s.met.solve, res.Partial)
 	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
 }
 

@@ -32,13 +32,24 @@ type FormParams struct {
 	// hardware. Serial requests ride the zero-alloc scratch path;
 	// parallel fan-outs allocate their own escaping memory.
 	Workers int `json:"workers,omitempty"`
+	// Anytime opts into graceful degradation: when the deadline (or a
+	// client disconnect) cuts the solve short but a feasible grouping
+	// was already built, the response is 200 with degraded:true and a
+	// quality certificate instead of 499. Without it, cancellation
+	// always surfaces as 499.
+	Anytime bool `json:"anytime,omitempty"`
+	// QualityTarget, in (0, 1], stops an anytime solve early once its
+	// admissible bound proves the incumbent objective is at least
+	// target * bound. Requires Anytime; 0 disables.
+	QualityTarget float64 `json:"quality_target,omitempty"`
 }
 
 // config materializes the params as a core.Config. Vocabulary errors
 // wrap gferr.ErrBadConfig; range validation against the dataset
 // happens inside the solve (core.Config.Validate).
 func (p FormParams) config(defaultWorkers int) (core.Config, error) {
-	cfg := core.Config{K: p.K, L: p.L, Missing: p.Missing, Workers: defaultWorkers}
+	cfg := core.Config{K: p.K, L: p.L, Missing: p.Missing, Workers: defaultWorkers,
+		Anytime: p.Anytime, QualityTarget: p.QualityTarget}
 	if p.Workers != 0 {
 		cfg.Workers = p.Workers
 	}
@@ -101,12 +112,21 @@ type GroupJSON struct {
 }
 
 // FormResponse is the body of a successful /form or /solve response.
+// The degraded fields appear only on anytime responses whose solve
+// was cut short: the result is a feasible best-so-far grouping whose
+// objective is provably within Gap of the admissible upper bound
+// Bound (Completed of Total solver progress units finished).
 type FormResponse struct {
 	Dataset   string      `json:"dataset"`
 	Algorithm string      `json:"algorithm"`
 	Objective float64     `json:"objective"`
 	Buckets   int         `json:"buckets"`
 	Groups    []GroupJSON `json:"groups"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Bound     float64     `json:"bound,omitempty"`
+	Gap       float64     `json:"gap,omitempty"`
+	Completed int         `json:"completed,omitempty"`
+	Total     int         `json:"total,omitempty"`
 }
 
 // BatchItem is one outcome in a batch response: exactly one of Result
@@ -255,13 +275,21 @@ func toGroups(gs []core.Group, copySlices bool) []GroupJSON {
 
 // toFormResponse converts a solver Result for the named dataset.
 func toFormResponse(name string, res *core.Result, copySlices bool) *FormResponse {
-	return &FormResponse{
+	fr := &FormResponse{
 		Dataset:   name,
 		Algorithm: res.Algorithm,
 		Objective: res.Objective,
 		Buckets:   res.Buckets,
 		Groups:    toGroups(res.Groups, copySlices),
 	}
+	if p := res.Partial; p != nil {
+		fr.Degraded = true
+		fr.Bound = p.Bound
+		fr.Gap = p.Gap
+		fr.Completed = p.Completed
+		fr.Total = p.Total
+	}
+	return fr
 }
 
 // validDatasetName bounds uploaded dataset names to something that

@@ -141,12 +141,14 @@ func wireConfig(req wire.FormRequest, defaultWorkers int) core.Config {
 		workers = m
 	}
 	return core.Config{
-		K:           req.K,
-		L:           req.L,
-		Semantics:   req.Semantics,
-		Aggregation: req.Aggregation,
-		Missing:     req.Missing,
-		Workers:     workers,
+		K:             req.K,
+		L:             req.L,
+		Semantics:     req.Semantics,
+		Aggregation:   req.Aggregation,
+		Missing:       req.Missing,
+		Workers:       workers,
+		Anytime:       req.Anytime,
+		QualityTarget: req.QualityTarget,
 	}
 }
 
@@ -226,6 +228,7 @@ func (s *Server) handleFormWire(w http.ResponseWriter, r *http.Request, binReq, 
 		writeSolverError(w, err)
 		return
 	}
+	s.observeDegraded(&s.met.form, res.Partial)
 	if !binResp {
 		writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
 		return

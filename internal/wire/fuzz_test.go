@@ -13,8 +13,10 @@ import (
 // FuzzWireDecode drives both decoders with arbitrary bytes: neither
 // may panic, every rejection must wrap gferr.ErrBadConfig (so the
 // serving tier classifies it 400, never 500), and any frame a
-// decoder accepts must re-encode to the identical bytes — the codec
-// is bijective on its valid set.
+// decoder accepts must round-trip — byte-identically for frames at
+// the current version (the codec is bijective on its valid set), and
+// semantically for accepted version-1 frames, which writers upgrade
+// to version 2 on re-encode.
 func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{magic, Version, kindFormRequest, 0})
@@ -22,8 +24,31 @@ func FuzzWireDecode(f *testing.F) {
 		Dataset: []byte("main"), K: 5, L: 10,
 		Semantics: semantics.LM, Aggregation: semantics.Min,
 	}))
+	f.Add(AppendFormRequest(nil, FormRequest{
+		Dataset: []byte("main"), K: 5, L: 10,
+		Semantics: semantics.AV, Aggregation: semantics.Sum,
+		TimeoutMS: 25, Anytime: true, QualityTarget: 0.85,
+	}))
+	// A hand-built version-1 request (shorter fixed section, no
+	// quality_target) seeds the fallback path.
+	v1req := []byte{magic, 1, kindFormRequest, 0, 1, 2, 0, 0}
+	v1req = appendU32(v1req, 5)
+	v1req = appendU32(v1req, 10)
+	v1req = appendF64(v1req, 2.5)
+	v1req = appendU32(v1req, 1)
+	v1req = appendU64(v1req, 100)
+	v1req = appendU16(v1req, 4)
+	f.Add(append(v1req, "main"...))
 	f.Add(AppendFormResponse(nil, &core.Result{
 		Algorithm: "grd", Objective: 1.5, Buckets: 2,
+		Groups: []core.Group{{
+			Members: []dataset.UserID{1, 2}, Items: []dataset.ItemID{3},
+			ItemScores: []float64{4}, Satisfaction: 4,
+		}},
+	}))
+	f.Add(AppendFormResponse(nil, &core.Result{
+		Algorithm: "grd", Objective: 1.5, Buckets: 2,
+		Partial: &core.Partial{Bound: 3, Gap: 1.5, Completed: 2, Total: 5},
 		Groups: []core.Group{{
 			Members: []dataset.UserID{1, 2}, Items: []dataset.ItemID{3},
 			ItemScores: []float64{4}, Satisfaction: 4,
@@ -32,14 +57,27 @@ func FuzzWireDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		if req, err := ParseFormRequest(frame); err == nil {
 			again := AppendFormRequest(nil, req)
-			if string(again) != string(frame) {
-				t.Fatalf("request re-encode diverged:\n in %x\nout %x", frame, again)
+			if frame[1] == Version {
+				if string(again) != string(frame) {
+					t.Fatalf("request re-encode diverged:\n in %x\nout %x", frame, again)
+				}
+			} else if req2, err := ParseFormRequest(again); err != nil {
+				t.Fatalf("v1 request re-encode rejected: %v", err)
+			} else if again2 := AppendFormRequest(nil, req2); string(again2) != string(again) {
+				// Byte-compare the upgraded encodings rather than the
+				// structs: NaN payloads round-trip bit-exactly but
+				// fail ==.
+				t.Fatalf("v1 request upgrade not a fixed point:\n 1st %x\n 2nd %x", again, again2)
 			}
 		} else if !errors.Is(err, gferr.ErrBadConfig) {
 			t.Fatalf("request reject not classified: %v", err)
 		}
 		if res, err := ParseFormResponse(frame); err == nil {
 			cr := &core.Result{Algorithm: res.Algorithm, Objective: res.Objective, Buckets: res.Buckets}
+			if res.Degraded {
+				cr.Partial = &core.Partial{Bound: res.Bound, Gap: res.Gap,
+					Completed: res.Completed, Total: res.Total}
+			}
 			for _, g := range res.Groups {
 				cr.Groups = append(cr.Groups, core.Group{
 					Members: g.Members, Items: g.Items, ItemScores: g.ItemScores,
@@ -47,8 +85,15 @@ func FuzzWireDecode(f *testing.F) {
 				})
 			}
 			again := AppendFormResponse(nil, cr)
-			if string(again) != string(frame) {
-				t.Fatalf("response re-encode diverged:\n in %x\nout %x", frame, again)
+			if frame[1] == Version {
+				if string(again) != string(frame) {
+					t.Fatalf("response re-encode diverged:\n in %x\nout %x", frame, again)
+				}
+			} else if res2, err := ParseFormResponse(again); err != nil {
+				t.Fatalf("v1 response re-encode rejected: %v", err)
+			} else if res2.Algorithm != res.Algorithm || len(res2.Groups) != len(res.Groups) ||
+				res2.Degraded != res.Degraded {
+				t.Fatalf("v1 response round trip = %+v, want %+v", res2, res)
 			}
 		} else if !errors.Is(err, gferr.ErrBadConfig) {
 			t.Fatalf("response reject not classified: %v", err)

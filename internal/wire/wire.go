@@ -16,8 +16,16 @@
 //
 // Framing (all integers little-endian):
 //
-//	header (4 bytes): magic 'G' (0x47), version (0x01), kind, 0x00
+//	header (4 bytes): magic 'G' (0x47), version (0x02), kind, flags
 //	kinds: 0x01 form request, 0x02 form response
+//
+// The fourth header byte was reserved-must-be-zero in version 1 and
+// became a flags byte in version 2. Bit 0 means "anytime" on a
+// request and "degraded" on a response; all other bits are reserved
+// and rejected. Writers always emit version 2; readers also accept
+// version-1 frames (whose flags byte must be zero and whose request
+// body lacks the quality_target field, and whose response body never
+// carries a degraded block).
 //
 // Form request (kind 0x01), after the header:
 //
@@ -29,10 +37,16 @@
 //	f64 missing
 //	i32 workers
 //	i64 timeout_ms
+//	f64 quality_target (v2 only; 0 disables)
 //	u16 dataset name length, then that many name bytes
 //
 // Form response (kind 0x02), after the header:
 //
+//	degraded block, only when flags bit 0 is set (v2 only):
+//	  f64 bound
+//	  f64 gap
+//	  u32 completed
+//	  u32 total
 //	u8  algorithm name length, then that many bytes
 //	f64 objective
 //	u32 buckets
@@ -62,8 +76,12 @@ import (
 // both request Content-Type and response Accept.
 const ContentType = "application/x-groupform-binary"
 
-// Version is the format version carried in every frame header.
-const Version = 1
+// Version is the format version writers emit in every frame header.
+// Readers additionally accept minVersion frames.
+const (
+	Version    = 2
+	minVersion = 1
+)
 
 // Frame kinds.
 const (
@@ -73,11 +91,28 @@ const (
 
 const magic = 'G'
 
-// headerLen is the frame header size; reqFixedLen the fixed-size part
-// of a request frame (header + scalars + name length prefix).
+// Header flag bits (version 2; the byte was reserved-must-be-zero in
+// version 1). Bit 0 is the only assigned bit in either kind.
 const (
-	headerLen   = 4
-	reqFixedLen = headerLen + 1 + 1 + 2 + 4 + 4 + 8 + 4 + 8 + 2
+	// FlagAnytime marks a request that opts into graceful
+	// degradation: on deadline the server answers with the best
+	// feasible incumbent and a quality certificate instead of a 499.
+	FlagAnytime = 0x01
+	// FlagDegraded marks a response carrying a degraded block — a
+	// best-so-far result with its quality certificate.
+	FlagDegraded = 0x01
+
+	knownFlags = 0x01
+)
+
+// headerLen is the frame header size; reqFixedLen the fixed-size part
+// of a version-2 request frame (header + scalars + name length
+// prefix); reqFixedLenV1 the version-1 layout, which lacks the
+// quality_target f64.
+const (
+	headerLen     = 4
+	reqFixedLenV1 = headerLen + 1 + 1 + 2 + 4 + 4 + 8 + 4 + 8 + 2
+	reqFixedLen   = reqFixedLenV1 + 8
 )
 
 // maxNameLen bounds the dataset name, mirroring the registry's
@@ -91,9 +126,10 @@ const maxNameLen = 128
 var (
 	errTruncated   = gferr.BadConfigf("wire: frame truncated")
 	errMagic       = gferr.BadConfigf("wire: bad magic byte (want 'G')")
-	errVersion     = gferr.BadConfigf("wire: unsupported format version (want 1)")
+	errVersion     = gferr.BadConfigf("wire: unsupported format version (want 1 or 2)")
 	errKind        = gferr.BadConfigf("wire: unexpected frame kind")
 	errReserved    = gferr.BadConfigf("wire: reserved header/request bytes must be zero")
+	errFlags       = gferr.BadConfigf("wire: unknown header flag bits set")
 	errSemantics   = gferr.BadConfigf("wire: semantics byte out of range (want 0 lm or 1 av)")
 	errAggregation = gferr.BadConfigf("wire: aggregation byte out of range (want 0..4)")
 	errNameLen     = gferr.BadConfigf("wire: dataset name longer than 128 bytes")
@@ -112,6 +148,12 @@ type FormRequest struct {
 	Missing     float64
 	Workers     int
 	TimeoutMS   int64
+	// Anytime opts into graceful degradation (header flag bit 0);
+	// QualityTarget, in (0, 1], stops the solver early once its bound
+	// proves the incumbent is within that fraction of optimal. Zero
+	// disables; version-1 frames always decode with both unset.
+	Anytime       bool
+	QualityTarget float64
 }
 
 // appendU16/U32/U64 are the little-endian append primitives; byte-wise
@@ -155,15 +197,21 @@ func readF64(b []byte) float64 {
 	return math.Float64frombits(readU64(b))
 }
 
-// AppendFormRequest encodes r as a request frame appended to dst.
+// AppendFormRequest encodes r as a version-2 request frame appended
+// to dst.
 func AppendFormRequest(dst []byte, r FormRequest) []byte {
-	dst = append(dst, magic, Version, kindFormRequest, 0)
+	var flags byte
+	if r.Anytime {
+		flags |= FlagAnytime
+	}
+	dst = append(dst, magic, Version, kindFormRequest, flags)
 	dst = append(dst, byte(r.Semantics), byte(r.Aggregation), 0, 0)
 	dst = appendU32(dst, uint32(r.K))
 	dst = appendU32(dst, uint32(r.L))
 	dst = appendF64(dst, r.Missing)
 	dst = appendU32(dst, uint32(int32(r.Workers)))
 	dst = appendU64(dst, uint64(r.TimeoutMS))
+	dst = appendF64(dst, r.QualityTarget)
 	dst = appendU16(dst, uint16(len(r.Dataset)))
 	return append(dst, r.Dataset...)
 }
@@ -174,11 +222,18 @@ func AppendFormRequest(dst []byte, r FormRequest) []byte {
 //gfvet:zeroalloc
 func ParseFormRequest(frame []byte) (FormRequest, error) {
 	var r FormRequest
-	if len(frame) < reqFixedLen {
+	if len(frame) < reqFixedLenV1 {
 		return r, errTruncated
 	}
-	if err := checkHeader(frame, kindFormRequest); err != nil {
+	ver, flags, err := checkHeader(frame, kindFormRequest)
+	if err != nil {
 		return r, err
+	}
+	fixed := reqFixedLen
+	if ver == 1 {
+		fixed = reqFixedLenV1
+	} else if len(frame) < reqFixedLen {
+		return r, errTruncated
 	}
 	if frame[6] != 0 || frame[7] != 0 {
 		return r, errReserved
@@ -198,17 +253,22 @@ func ParseFormRequest(frame []byte) (FormRequest, error) {
 	r.Missing = readF64(frame[16:])
 	r.Workers = int(int32(readU32(frame[24:])))
 	r.TimeoutMS = int64(readU64(frame[28:]))
-	n := int(readU16(frame[36:]))
+	r.Anytime = flags&FlagAnytime != 0
+	nameOff := fixed - 2
+	if ver >= 2 {
+		r.QualityTarget = readF64(frame[36:])
+	}
+	n := int(readU16(frame[nameOff:]))
 	if n > maxNameLen {
 		return r, errNameLen
 	}
-	if len(frame) < reqFixedLen+n {
+	if len(frame) < fixed+n {
 		return r, errTruncated
 	}
-	if len(frame) > reqFixedLen+n {
+	if len(frame) > fixed+n {
 		return r, errTrailing
 	}
-	r.Dataset = frame[reqFixedLen : reqFixedLen+n]
+	r.Dataset = frame[fixed : fixed+n]
 	return r, nil
 }
 
@@ -218,7 +278,17 @@ func ParseFormRequest(frame []byte) (FormRequest, error) {
 //
 //gfvet:zeroalloc
 func AppendFormResponse(dst []byte, res *core.Result) []byte {
-	dst = append(dst, magic, Version, kindFormResponse, 0)
+	var flags byte
+	if res.Partial != nil {
+		flags |= FlagDegraded
+	}
+	dst = append(dst, magic, Version, kindFormResponse, flags)
+	if res.Partial != nil {
+		dst = appendF64(dst, res.Partial.Bound)
+		dst = appendF64(dst, res.Partial.Gap)
+		dst = appendU32(dst, uint32(res.Partial.Completed))
+		dst = appendU32(dst, uint32(res.Partial.Total))
+	}
 	dst = append(dst, byte(len(res.Algorithm)))
 	dst = append(dst, res.Algorithm...)
 	dst = appendF64(dst, res.Objective)
@@ -254,6 +324,16 @@ type FormResult struct {
 	Objective float64
 	Buckets   int
 	Groups    []FormGroup
+	// Degraded reports whether the frame carried a quality
+	// certificate (header flag bit 0): the result is a best-so-far
+	// incumbent whose objective is provably within Gap of the
+	// admissible upper bound Bound, with Completed of Total progress
+	// units finished.
+	Degraded  bool
+	Bound     float64
+	Gap       float64
+	Completed int
+	Total     int
 }
 
 // FormGroup is one decoded group.
@@ -278,10 +358,31 @@ func ParseFormResponse(frame []byte) (*FormResult, error) {
 	if len(frame) < headerLen+1 {
 		return nil, errTruncated
 	}
-	if err := checkHeader(frame, kindFormResponse); err != nil {
+	_, flags, err := checkHeader(frame, kindFormResponse)
+	if err != nil {
 		return nil, err
 	}
 	d := decoder{buf: frame, off: headerLen}
+	var partial struct {
+		bound, gap       float64
+		completed, total uint32
+	}
+	degraded := flags&FlagDegraded != 0
+	if degraded {
+		var ok bool
+		if partial.bound, ok = d.f64(); !ok {
+			return nil, errTruncated
+		}
+		if partial.gap, ok = d.f64(); !ok {
+			return nil, errTruncated
+		}
+		if partial.completed, ok = d.u32(); !ok {
+			return nil, errTruncated
+		}
+		if partial.total, ok = d.u32(); !ok {
+			return nil, errTruncated
+		}
+	}
 	alen, ok := d.u8()
 	if !ok {
 		return nil, errTruncated
@@ -291,6 +392,13 @@ func ParseFormResponse(frame []byte) (*FormResult, error) {
 		return nil, errTruncated
 	}
 	res := &FormResult{Algorithm: string(name)}
+	if degraded {
+		res.Degraded = true
+		res.Bound = partial.bound
+		res.Gap = partial.gap
+		res.Completed = int(partial.completed)
+		res.Total = int(partial.total)
+	}
 	obj, ok := d.f64()
 	if !ok {
 		return nil, errTruncated
@@ -365,21 +473,31 @@ func ParseFormResponse(frame []byte) (*FormResult, error) {
 	return res, nil
 }
 
-// checkHeader validates the 4-byte frame header against a kind.
-func checkHeader(frame []byte, kind byte) error {
+// checkHeader validates the 4-byte frame header against a kind and
+// returns the frame's version and flags byte. Version-1 frames
+// predate flags, so their fourth byte must be zero; version-2 frames
+// may set known flag bits only.
+//
+//gfvet:zeroalloc
+func checkHeader(frame []byte, kind byte) (ver, flags byte, err error) {
 	if frame[0] != magic {
-		return errMagic
+		return 0, 0, errMagic
 	}
-	if frame[1] != Version {
-		return errVersion
+	ver = frame[1]
+	if ver < minVersion || ver > Version {
+		return 0, 0, errVersion
 	}
 	if frame[2] != kind {
-		return errKind
+		return 0, 0, errKind
 	}
-	if frame[3] != 0 {
-		return errReserved
+	flags = frame[3]
+	if ver == 1 && flags != 0 {
+		return 0, 0, errReserved
 	}
-	return nil
+	if flags&^byte(knownFlags) != 0 {
+		return 0, 0, errFlags
+	}
+	return ver, flags, nil
 }
 
 // decoder is a bounds-checked cursor over a frame.

@@ -31,6 +31,10 @@ func TestFormRequestRoundTrip(t *testing.T) {
 		{Dataset: nil, K: 0, L: 0, Semantics: semantics.LM, Aggregation: semantics.Max},
 		{Dataset: []byte("x"), K: 1 << 20, L: 3, Semantics: semantics.LM,
 			Aggregation: semantics.WeightedSumLog, Missing: math.Inf(-1), Workers: 64, TimeoutMS: 0},
+		{Dataset: []byte("main"), K: 3, L: 4, Semantics: semantics.AV,
+			Aggregation: semantics.Min, TimeoutMS: 50, Anytime: true},
+		{Dataset: []byte("main"), K: 3, L: 4, Semantics: semantics.LM,
+			Aggregation: semantics.Sum, Anytime: true, QualityTarget: 0.9},
 	}
 	for _, want := range cases {
 		frame := AppendFormRequest(nil, want)
@@ -68,16 +72,43 @@ func TestParseFormRequestRejects(t *testing.T) {
 		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
 		{"bad version", mutate(func(b []byte) []byte { b[1] = 9; return b })},
 		{"response kind", mutate(func(b []byte) []byte { b[2] = kindFormResponse; return b })},
-		{"reserved header", mutate(func(b []byte) []byte { b[3] = 1; return b })},
+		{"unknown flag bits", mutate(func(b []byte) []byte { b[3] |= 0x80; return b })},
+		{"v1 flags nonzero", mutate(func(b []byte) []byte { b[1] = 1; b[3] = 1; return b })},
 		{"reserved body", mutate(func(b []byte) []byte { b[6] = 1; return b })},
 		{"bad semantics", mutate(func(b []byte) []byte { b[4] = 7; return b })},
 		{"bad aggregation", mutate(func(b []byte) []byte { b[5] = 9; return b })},
-		{"name too long", mutate(func(b []byte) []byte { b[36], b[37] = 0xff, 0xff; return b })},
+		{"name too long", mutate(func(b []byte) []byte { b[44], b[45] = 0xff, 0xff; return b })},
 	}
 	for _, c := range cases {
 		if _, err := ParseFormRequest(c.frame); !errors.Is(err, gferr.ErrBadConfig) {
 			t.Errorf("%s: err = %v, want ErrBadConfig", c.name, err)
 		}
+	}
+}
+
+// TestFormRequestV1Fallback hand-encodes a version-1 frame (no
+// quality_target field, name length at offset 36) and checks the
+// reader still accepts it, decoding with the anytime knobs unset.
+func TestFormRequestV1Fallback(t *testing.T) {
+	want := sampleRequest()
+	b := []byte{magic, 1, kindFormRequest, 0}
+	b = append(b, byte(want.Semantics), byte(want.Aggregation), 0, 0)
+	b = appendU32(b, uint32(want.K))
+	b = appendU32(b, uint32(want.L))
+	b = appendF64(b, want.Missing)
+	b = appendU32(b, uint32(int32(want.Workers)))
+	b = appendU64(b, uint64(want.TimeoutMS))
+	b = appendU16(b, uint16(len(want.Dataset)))
+	b = append(b, want.Dataset...)
+	got, err := ParseFormRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 fallback = %+v, want %+v", got, want)
+	}
+	if got.Anytime || got.QualityTarget != 0 {
+		t.Fatalf("v1 frame decoded anytime fields: %+v", got)
 	}
 }
 
@@ -128,6 +159,44 @@ func TestFormResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormResponseDegraded round-trips the version-2 degraded block
+// and checks a version-1 frame (same body, no flags) still decodes.
+func TestFormResponseDegraded(t *testing.T) {
+	res := sampleResult()
+	res.Partial = &core.Partial{Bound: 20.5, Gap: 7.75, Completed: 3, Total: 8}
+	frame := AppendFormResponse(nil, res)
+	if frame[3]&FlagDegraded == 0 {
+		t.Fatalf("degraded flag not set: header % x", frame[:4])
+	}
+	got, err := ParseFormResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded || got.Bound != 20.5 || got.Gap != 7.75 || got.Completed != 3 || got.Total != 8 {
+		t.Fatalf("degraded block = %+v", got)
+	}
+	if got.Objective != res.Objective || len(got.Groups) != len(res.Groups) {
+		t.Fatalf("degraded body mismatch: %+v", got)
+	}
+
+	// A complete result sets no flag and carries no block, and the
+	// same bytes relabeled version 1 decode identically.
+	res.Partial = nil
+	v2 := AppendFormResponse(nil, res)
+	if v2[3] != 0 {
+		t.Fatalf("complete result set flags %#x", v2[3])
+	}
+	v1 := append([]byte(nil), v2...)
+	v1[1] = 1
+	got1, err := ParseFormResponse(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Degraded || got1.Algorithm != res.Algorithm || got1.Objective != res.Objective {
+		t.Fatalf("v1 fallback = %+v", got1)
+	}
+}
+
 func TestFormResponseEmpty(t *testing.T) {
 	frame := AppendFormResponse(nil, &core.Result{Algorithm: "grd"})
 	got, err := ParseFormResponse(frame)
@@ -165,17 +234,39 @@ func TestParseFormResponseRejects(t *testing.T) {
 	if _, err := ParseFormResponse(b); !errors.Is(err, gferr.ErrBadConfig) {
 		t.Fatalf("hostile group count: err = %v, want ErrBadConfig", err)
 	}
+	// Unknown flag bits are a framing error, and every strict prefix
+	// of a degraded frame (whose certificate block precedes the body)
+	// fails too.
+	b = append([]byte(nil), ok...)
+	b[3] |= 0x80
+	if _, err := ParseFormResponse(b); !errors.Is(err, gferr.ErrBadConfig) {
+		t.Fatalf("unknown response flags: err = %v, want ErrBadConfig", err)
+	}
+	degRes := sampleResult()
+	degRes.Partial = &core.Partial{Bound: 20, Gap: 7.25, Completed: 3, Total: 8}
+	deg := AppendFormResponse(nil, degRes)
+	for n := 0; n < len(deg); n++ {
+		if _, err := ParseFormResponse(deg[:n]); !errors.Is(err, gferr.ErrBadConfig) {
+			t.Fatalf("degraded prefix %d: err = %v, want ErrBadConfig", n, err)
+		}
+	}
 }
 
 // TestAppendZeroAlloc pins the wire path's reason to exist: encoding
 // into a warm buffer and decoding a request do not allocate.
 func TestAppendZeroAlloc(t *testing.T) {
 	res := sampleResult()
+	deg := sampleResult()
+	deg.Partial = &core.Partial{Bound: 20, Gap: 7.25, Completed: 3, Total: 8}
 	req := sampleRequest()
+	req.Anytime = true
+	req.QualityTarget = 0.9
 	respBuf := AppendFormResponse(nil, res)
+	degBuf := AppendFormResponse(nil, deg)
 	reqBuf := AppendFormRequest(nil, req)
 	allocs := testing.AllocsPerRun(100, func() {
 		respBuf = AppendFormResponse(respBuf[:0], res)
+		degBuf = AppendFormResponse(degBuf[:0], deg)
 		reqBuf = AppendFormRequest(reqBuf[:0], req)
 		if _, err := ParseFormRequest(reqBuf); err != nil {
 			t.Fatal(err)
