@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"groupform"
+)
+
+// syncBuffer lets the test read process output while it is written.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// waitListen polls a process's output for the bound-address line.
+func waitListen(t *testing.T, out *syncBuffer, who string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: no listen line within 15s: %s", who, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writeRatings materializes a small synthetic dataset as a CSV file.
+// The synthetic generator rates on an integer 1..5 scale, so AV
+// parity below is byte-exact, not just within float tolerance.
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	ds, err := groupform.Generate(groupform.SynthConfig{
+		Users: 90, Items: 40, Clusters: 6, RatingsPerUser: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ratings.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := groupform.WriteCSV(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// buildBinary compiles one command of this module into dir.
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startProc launches a built binary, scrapes its listen line, and
+// registers a kill-on-cleanup so a failing test never leaks daemons.
+func startProc(t *testing.T, bin string, args ...string) (base string, out *syncBuffer, proc *exec.Cmd) {
+	t.Helper()
+	out = &syncBuffer{}
+	proc = exec.Command(bin, args...)
+	proc.Stdout = out
+	proc.Stderr = out
+	if err := proc.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		proc.Process.Kill()
+		proc.Wait()
+	})
+	return waitListen(t, out, filepath.Base(bin)), out, proc
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func httpForm(t *testing.T, base, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/form", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s/form: %v", base, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestEndToEndMultiProcess is the full deployment rehearsal: three
+// groupformd shard processes, one unsharded reference process, and
+// the router binary in front, all real executables on real sockets.
+// The routed answers must be byte-identical to the single node's.
+func TestEndToEndMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process e2e in -short mode")
+	}
+	dir := t.TempDir()
+	daemon := buildBinary(t, dir, "groupform/cmd/groupformd", "groupformd")
+	router := buildBinary(t, dir, "groupform/cmd/groupform-router", "groupform-router")
+	csv := writeRatings(t)
+
+	const S = 3
+	shardURLs := make([]string, S)
+	for i := 0; i < S; i++ {
+		base, out, _ := startProc(t, daemon,
+			"-listen", "127.0.0.1:0", "-dataset", "ds="+csv,
+			"-shard", fmt.Sprintf("%d/%d", i, S))
+		if !strings.Contains(out.String(), fmt.Sprintf("serving shard %d/%d", i, S)) {
+			t.Fatalf("shard %d missing role line: %s", i, out.String())
+		}
+		shardURLs[i] = base
+	}
+	single, _, _ := startProc(t, daemon, "-listen", "127.0.0.1:0", "-dataset", "ds="+csv)
+
+	args := []string{"-listen", "127.0.0.1:0"}
+	for _, u := range shardURLs {
+		args = append(args, "-shard", u)
+	}
+	routed, rout, rproc := startProc(t, router, args...)
+
+	// Health: the router cross-checks every shard's reported i/S.
+	code, body := httpGet(t, routed+"/healthz")
+	var health struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Status string `json:"status"`
+			Shard  struct {
+				Shard  int `json:"shard"`
+				Shards int `json:"shards"`
+			} `json:"shard"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil || code != 200 || health.Status != "ok" {
+		t.Fatalf("router healthz: %d %s (err %v)", code, body, err)
+	}
+	if len(health.Shards) != S {
+		t.Fatalf("healthz shards = %d, want %d: %s", len(health.Shards), S, body)
+	}
+	for i, sh := range health.Shards {
+		if sh.Status != "ok" || sh.Shard.Shard != i || sh.Shard.Shards != S {
+			t.Fatalf("healthz shard %d = %+v: %s", i, sh, body)
+		}
+	}
+
+	// Parity: routed answers are byte-identical to the single node,
+	// across both semantics and both finalization branches.
+	forms := []string{
+		`{"dataset":"ds","k":4,"l":6,"semantics":"lm","agg":"max"}`,
+		`{"dataset":"ds","k":3,"l":5,"semantics":"av","agg":"sum"}`,
+		`{"dataset":"ds","k":6,"l":2,"semantics":"lm","agg":"min"}`,
+		`{"dataset":"ds","k":2,"l":60,"semantics":"av","agg":"max"}`,
+	}
+	for _, form := range forms {
+		wantCode, want := httpForm(t, single, form)
+		gotCode, got := httpForm(t, routed, form)
+		if wantCode != 200 || gotCode != 200 {
+			t.Fatalf("form %s: single %d %s, routed %d %s", form, wantCode, want, gotCode, got)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("form %s: routed response diverges\nsingle: %s\nrouted: %s", form, want, got)
+		}
+	}
+
+	// Observability: per-shard fan-out counters are on /metrics.
+	code, scrape := httpGet(t, routed+"/metrics")
+	if code != 200 {
+		t.Fatalf("router metrics: %d %s", code, scrape)
+	}
+	for i := 0; i < S; i++ {
+		if !strings.Contains(string(scrape), fmt.Sprintf(`groupform_router_shard_requests_total{shard="%d"} %d`, i, len(forms))) {
+			t.Fatalf("metrics missing shard %d fan-out count:\n%s", i, scrape)
+		}
+	}
+	if !strings.Contains(string(scrape), `groupform_requests_total{endpoint="form"} `+fmt.Sprint(len(forms))) {
+		t.Fatalf("metrics missing form request count:\n%s", scrape)
+	}
+
+	// Drain: SIGTERM the router and require a clean, logged exit.
+	if err := rproc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := rproc.Wait(); err != nil {
+		t.Fatalf("router exit: %v (output: %s)", err, rout.String())
+	}
+	if !strings.Contains(rout.String(), "drained, bye") {
+		t.Fatalf("router missing drain line: %s", rout.String())
+	}
+}
+
+// TestRunServeAndShutdown drives run() in-process against a one-shard
+// topology (the degenerate S=1 deployment) and exits through the
+// package-level shutdown channel, mirroring groupformd's own test.
+func TestRunServeAndShutdown(t *testing.T) {
+	ds, err := groupform.Generate(groupform.SynthConfig{
+		Users: 40, Items: 20, Clusters: 4, RatingsPerUser: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := groupform.NewServer(groupform.ServerConfig{Shard: 0, Shards: 1})
+	if err := srv.AddDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-shard", ts.URL}, out)
+	}()
+	base := waitListen(t, out, "router")
+
+	form := `{"dataset":"ds","k":3,"l":4,"semantics":"lm","agg":"max"}`
+	wantCode, want := httpForm(t, ts.URL, form)
+	gotCode, got := httpForm(t, base, form)
+	if wantCode != 200 || gotCode != 200 || !bytes.Equal(want, got) {
+		t.Fatalf("S=1 parity: direct %d %s, routed %d %s", wantCode, want, gotCode, got)
+	}
+
+	shutdown <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not drain within 15s")
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Fatalf("missing drain line: %s", out.String())
+	}
+}
+
+// TestBadFlags pins startup validation: a router with no shards, a
+// non-HTTP shard URL, or a negative drain timeout must refuse to run.
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-listen", "127.0.0.1:0"},
+		{"-listen", "127.0.0.1:0", "-shard", "ftp://example.com"},
+		{"-listen", "127.0.0.1:0", "-shard", "http://127.0.0.1:1", "-drain-timeout", "-5s"},
+		{"-listen", "not-an-address", "-shard", "http://127.0.0.1:1"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

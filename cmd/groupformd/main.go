@@ -13,7 +13,13 @@
 //	    [-dataset other=more.bin ...] [-workers 0] \
 //	    [-max-inflight 64|auto] [-target-p99 250ms] [-timeout 30s] \
 //	    [-max-upload 1073741824] [-compact-after 4096] \
-//	    [-drain-timeout 30s]
+//	    [-drain-timeout 30s] [-shard 0/3]
+//
+// -shard i/S puts the daemon in shard role for the scatter-gather
+// topology of cmd/groupform-router: every loaded dataset is sliced to
+// the i-th of S contiguous user ranges, the /shard/* endpoints answer
+// the router's scatter and gather calls, and live upserts are
+// rejected (a mutation on one shard would break the partition).
 //
 // Each -dataset flag is name=path; the file loads through the
 // sniffing loader, so CSV and the compact binary format both work.
@@ -89,6 +95,7 @@ func run(args []string, out io.Writer) error {
 		maxUpload    = fs.Int64("max-upload", 0, "maximum POST /datasets/{name} body bytes (0 = 1 GiB)")
 		compactAfter = fs.Int("compact-after", 0, "overlay upserts before a dataset is compacted in the background (0 = 4096 default, negative = never)")
 		drainFlag    = fs.Duration("drain-timeout", defaultDrainTimeout, "maximum time to drain in-flight requests on SIGINT/SIGTERM before dropping them (0 = 30s default)")
+		shardFlag    = fs.String("shard", "", "serve shard i of S user slices as i/S (e.g. 0/3); every loaded dataset is sliced and upserts are rejected")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +108,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	shard, shards, err := shardFlagValue(*shardFlag)
+	if err != nil {
+		return err
+	}
 
 	srv := groupform.NewServer(groupform.ServerConfig{
 		Workers:        *workers,
@@ -109,7 +120,12 @@ func run(args []string, out io.Writer) error {
 		DefaultTimeout: *timeout,
 		MaxUploadBytes: *maxUpload,
 		CompactAfter:   *compactAfter,
+		Shard:          shard,
+		Shards:         shards,
 	})
+	if shards > 0 {
+		fmt.Fprintf(out, "groupformd: serving shard %d/%d\n", shard, shards)
+	}
 	for _, spec := range datasets {
 		name, path, _ := strings.Cut(spec, "=")
 		if err := loadInto(srv, name, path, out); err != nil {
@@ -195,6 +211,25 @@ func admissionFlags(maxInflight string, targetP99 time.Duration) (int, time.Dura
 		return 0, 0, fmt.Errorf("-max-inflight wants a non-negative count or \"auto\", got %q", maxInflight)
 	}
 	return n, targetP99, nil
+}
+
+// shardFlagValue parses -shard "i/S" into the topology position;
+// empty means unsharded.
+func shardFlagValue(v string) (shard, shards int, err error) {
+	if v == "" {
+		return 0, 0, nil
+	}
+	a, b, ok := strings.Cut(v, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard wants i/S (e.g. 0/3), got %q", v)
+	}
+	if shard, err = strconv.Atoi(a); err == nil {
+		shards, err = strconv.Atoi(b)
+	}
+	if err != nil || shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("-shard wants i/S with 0 <= i < S, got %q", v)
+	}
+	return shard, shards, nil
 }
 
 // loadInto reads one -dataset spec into the server's registry.

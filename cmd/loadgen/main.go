@@ -211,7 +211,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			rng := rand.New(rand.NewSource(workerSeed(*seed, w)))
 			res := &results[w]
 			for time.Now().Before(deadline) {
 				kind := pick(mix, rng)
@@ -380,6 +380,20 @@ func buildRequest(kind string, rng *rand.Rand, dataset string, maxK, l, batch in
 	}
 }
 
+// workerSeed derives worker w's RNG stream from the base seed
+// through a splitmix64 mix. The old derivation, seed + w, made
+// adjacent streams collide across runs: worker 1 under -seed 42
+// replayed worker 0 under -seed 43 request for request, so sweeping
+// seeds did not sweep workloads. Feeding (seed, w) through the
+// splitmix64 finalizer decorrelates every pair — nearby inputs map
+// to unrelated 64-bit states (pinned by TestWorkerSeedDisjointStreams).
+func workerSeed(seed int64, w int) int64 {
+	z := uint64(seed) + (uint64(w)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // postResult classifies one request's outcome: the HTTP status (0 on
 // a transport error) and whether a 2xx response carried a degraded
 // anytime result.
@@ -453,6 +467,23 @@ func scrapeServerReport(client *http.Client, base string, out io.Writer) {
 		scalarValue(text, "groupform_shed_total"),
 		scalarValue(text, "groupform_binary_responses_total"),
 		degradedTotal(text))
+	routerReport(text, out)
+}
+
+// routerReport prints the per-shard upstream rows when the scraped
+// target is a groupform-router (its exposition carries the
+// groupform_router_shard_* families); against a plain groupformd the
+// families are absent and nothing prints.
+func routerReport(text string, out io.Writer) {
+	for shard := 0; ; shard++ {
+		label := `shard="` + strconv.Itoa(shard) + `"`
+		reqs := labeledValue(text, "groupform_router_shard_requests_total", label)
+		if reqs < 0 {
+			return
+		}
+		errs := labeledValue(text, "groupform_router_shard_errors_total", label)
+		fmt.Fprintf(out, "router: shard %d requests=%d errors=%d\n", shard, reqs, errs)
+	}
 }
 
 // degradedTotal sums the groupform_degraded_total counter over the

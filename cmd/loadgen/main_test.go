@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -124,5 +126,39 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestWorkerSeedDisjointStreams pins the RNG-stream derivation: no
+// two (seed, worker) pairs drawn from adjacent seeds and small worker
+// indices may share a stream. The old seed+worker derivation failed
+// this exactly — worker w+1 under seed s replayed worker w under
+// seed s+1 — which made seed sweeps replay each other's traffic.
+func TestWorkerSeedDisjointStreams(t *testing.T) {
+	const prefix = 8
+	type stream [prefix]int64
+	draw := func(seed int64, w int) stream {
+		rng := rand.New(rand.NewSource(workerSeed(seed, w)))
+		var s stream
+		for i := range s {
+			s[i] = rng.Int63()
+		}
+		return s
+	}
+	seen := make(map[stream]string)
+	for seed := int64(40); seed < 48; seed++ {
+		for w := 0; w < 8; w++ {
+			s := draw(seed, w)
+			id := fmt.Sprintf("seed=%d worker=%d", seed, w)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("streams collide: %s replays %s", id, prev)
+			}
+			seen[s] = id
+		}
+	}
+	// The regression case by name: the old derivation made these two
+	// identical.
+	if draw(42, 1) == draw(43, 0) {
+		t.Fatal("worker 1 @ seed 42 replays worker 0 @ seed 43 (seed+worker collision)")
 	}
 }

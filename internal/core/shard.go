@@ -1,0 +1,478 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"slices"
+
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+	"groupform/internal/par"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+)
+
+// This file is the distributed face of the greedy framework: the
+// same three phases run() executes in one process — bucketize, merge,
+// finalize — split at the two points where GRD is naturally
+// partitionable over users. A shard bucketizes its resident slice
+// (BucketizeShard), the router merges the per-shard buckets exactly
+// the way bucketizeParallel merges its in-process shard passes
+// (MergeShardBuckets), and finalization re-runs run()'s group
+// assembly with every rating probe routed back through a ScoreOracle
+// — locally for tests, over HTTP fan-out in internal/shard.
+//
+// Parity contract (pinned by TestFinalizeMergedParity and the
+// internal/shard router tests): with contiguous ascending user shards
+// (dataset.ShardUsers), the merged result is byte-identical to
+// Form(ds, cfg) under LM for every shard count — min is associative
+// and the merge replays the serial fold's keep-first rule. Under AV
+// the bucket scores and group sums reassociate the serial member
+// order into per-shard partials, so equality holds up to float
+// summation reassociation (exactly representable rating scales — the
+// paper's integer stars — stay byte-identical in practice); see
+// docs/ARCHITECTURE.md, "The scatter-gather tier".
+
+// ShardBucket is one intermediate group as it crosses the wire: the
+// bucket key (opaque bytes, compared for equality only), the shared
+// item list with the scores folded over this shard's members, and the
+// resident members in preference-list (ascending user) order.
+type ShardBucket struct {
+	Key     []byte
+	Items   []dataset.ItemID
+	Scores  []float64
+	Members []dataset.UserID
+}
+
+// ShardPass is one shard's complete bucketize output plus the
+// shard-local ingredients of the anytime certificate: Users counts
+// the residents, Bound is this sub-population's CombineBounds
+// component.
+type ShardPass struct {
+	Buckets []ShardBucket
+	Users   int
+	Bound   float64
+}
+
+// BucketizeShard runs step 1 of the greedy framework over ds — one
+// shard's resident slice — and returns the buckets in wire-safe form:
+// every slice freshly allocated, nothing aliasing pref-list caches or
+// scratch arenas. prefs follows the FormWithPrefs contract (shared,
+// read-only, built for (cfg.K, cfg.Missing) over ds in user order);
+// nil builds the lists internally. The fold is the serial reference
+// fold, so a shard's buckets are literally the shard passes
+// bucketizeParallel would have produced for the same user range.
+func BucketizeShard(ctx context.Context, ds *dataset.Dataset, cfg Config, prefs []rank.PrefList) (*ShardPass, error) {
+	if err := cfg.Validate(ds); err != nil {
+		return nil, err
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
+	}
+	if prefs == nil {
+		var err error
+		prefs, err = rank.AllTopKParallel(ctx, ds, cfg.K, cfg.Missing, cfg.EffectiveWorkers())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(prefs) != ds.NumUsers() {
+			return nil, gferr.BadConfigf("core: prefs has %d lists for %d users", len(prefs), ds.NumUsers())
+		}
+		if len(prefs[0].Items) != cfg.K {
+			return nil, gferr.BadConfigf("core: prefs built for K=%d, cfg.K=%d", len(prefs[0].Items), cfg.K)
+		}
+	}
+	s := NewScratch()
+	s.begin(false)
+	bs := s.bucketize(prefs, cfg, false)
+	out := make([]ShardBucket, len(bs))
+	for i, b := range bs {
+		// The wire-safe clones can add up to the whole slice's
+		// ratings; keep the bucketize cadence through the copy-out.
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
+		out[i] = ShardBucket{
+			Key:     []byte(b.key),
+			Items:   slices.Clone(b.items),
+			Scores:  slices.Clone(b.scores),
+			Members: slices.Clone(b.members),
+		}
+	}
+	return &ShardPass{Buckets: out, Users: len(prefs), Bound: BoundContribution(prefs, cfg)}, nil
+}
+
+// MergeShardBuckets merges per-shard bucket lists — indexed by shard,
+// ascending — into the global bucket list, replaying exactly the
+// cross-shard joins bucketizeParallel's merge performs: the
+// first-seen shard's bucket is adopted, later shards' positions fold
+// in element-wise (min under LM, the keep-first strict-< rule; sum of
+// partials under AV), members concatenate in shard order. With
+// contiguous ascending shards that concatenation order is global user
+// order, and the first-seen enumeration order is the serial fold's
+// first-seen order. Inputs are not mutated; adopted buckets clone
+// their score and member slices. Callers must present the passes in
+// shard order regardless of response arrival order — that is what
+// makes the merge (and the AV partial-sum order) canonical.
+func MergeShardBuckets(passes [][]ShardBucket, cfg Config) []ShardBucket {
+	n := 0
+	for _, pass := range passes {
+		n += len(pass)
+	}
+	idx := make(map[string]int, n)
+	out := make([]ShardBucket, 0, n)
+	for _, pass := range passes {
+		for _, b := range pass {
+			i, ok := idx[string(b.Key)]
+			if !ok {
+				idx[string(b.Key)] = len(out)
+				out = append(out, ShardBucket{
+					Key:     b.Key,
+					Items:   b.Items,
+					Scores:  slices.Clone(b.Scores),
+					Members: slices.Clone(b.Members),
+				})
+				continue
+			}
+			dst := &out[i]
+			switch cfg.Semantics {
+			case semantics.LM:
+				for j, v := range b.Scores {
+					if v < dst.Scores[j] {
+						dst.Scores[j] = v
+					}
+				}
+			case semantics.AV:
+				for j, v := range b.Scores {
+					dst.Scores[j] += v
+				}
+			}
+			dst.Members = append(dst.Members, b.Members...)
+		}
+	}
+	return out
+}
+
+// ScoreOracle answers the two rating-dependent questions run() asks
+// while finalizing buckets, abstracted so FinalizeMerged can run
+// where the ratings are not: GroupScores is the pieceScores probe
+// (the group score of each listed item over the given members) and
+// GroupTopK is the full top-k computation (scorer.TopKInto) for
+// merged remainders and short-listed buckets. Implementations must
+// match the semantics.Scorer arithmetic — LocalOracle is the
+// reference; internal/shard reassembles both answers from per-shard
+// ItemStats partials.
+type ScoreOracle interface {
+	GroupScores(ctx context.Context, sem semantics.Semantics, members []dataset.UserID, items []dataset.ItemID) ([]float64, error)
+	GroupTopK(ctx context.Context, sem semantics.Semantics, members []dataset.UserID, k int) ([]dataset.ItemID, []float64, error)
+}
+
+// FinalizeMerged is run() from the bucket list onward: heap-order the
+// merged buckets, split surplus budget or pop the best L-1 plus a
+// merged remainder, and materialize every group — with each rating
+// probe routed through the oracle instead of a local Dataset. The
+// control flow, piece allocation, refold rule, ordering and
+// tie-breaking mirror the single-node code line for line; that is the
+// parity argument's other half.
+func FinalizeMerged(ctx context.Context, cfg Config, merged []ShardBucket, o ScoreOracle) (*Result, error) {
+	if err := validateMergedCfg(cfg); err != nil {
+		return nil, err
+	}
+	if len(merged) == 0 {
+		return nil, gferr.BadConfigf("core: merged bucket list must be non-empty")
+	}
+	if o == nil {
+		return nil, gferr.BadConfigf("core: FinalizeMerged requires a ScoreOracle")
+	}
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
+	}
+	bs := make([]bucket, len(merged))
+	buckets := make([]*bucket, len(merged))
+	//gfvet:allow ctxcadence -- O(buckets) field validation, two comparisons per iteration; nothing blocks
+	for i, sb := range merged {
+		if len(sb.Members) == 0 {
+			return nil, gferr.BadConfigf("core: merged bucket %d has no members", i)
+		}
+		if len(sb.Items) != len(sb.Scores) {
+			return nil, gferr.BadConfigf("core: merged bucket %d has %d items but %d scores", i, len(sb.Items), len(sb.Scores))
+		}
+		bs[i] = bucket{key: string(sb.Key), items: sb.Items, scores: sb.Scores, members: sb.Members}
+		buckets[i] = &bs[i]
+	}
+	res := &Result{Buckets: len(buckets), Algorithm: cfg.AlgorithmName()}
+
+	if len(buckets) <= cfg.L {
+		groups, err := splitMergedBuckets(ctx, cfg, buckets, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = groups
+	} else {
+		var h bucketHeap
+		newBucketHeapInto(&h, buckets, cfg.Aggregation)
+		popped := make([]*bucket, 0, cfg.L-1)
+		//gfvet:allow ctxcadence -- pops L-1 heap elements, no blocking calls; the finalize loop below re-checks per group
+		for len(popped) < cfg.L-1 {
+			popped = append(popped, heap.Pop(&h).(*bucket))
+		}
+		groups := make([]Group, 0, cfg.L)
+		for _, b := range popped {
+			if err := gferr.Ctx(ctx); err != nil {
+				return nil, err
+			}
+			g, err := finalizeMergedBucket(ctx, cfg, b, b.members, o)
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
+		}
+		var rest []dataset.UserID
+		//gfvet:allow ctxcadence -- drains the remaining heap with appends only; the gferr.Ctx immediately below covers the nest
+		for h.Len() > 0 {
+			b := heap.Pop(&h).(*bucket)
+			rest = append(rest, b.members...)
+		}
+		sortUsers(rest)
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
+		items, scores, err := o.GroupTopK(ctx, cfg.Semantics, rest, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, Group{
+			Members:      rest,
+			Items:        items,
+			ItemScores:   scores,
+			Satisfaction: cfg.Aggregation.Aggregate(scores),
+			Merged:       true,
+		})
+		res.Groups = groups
+	}
+	for _, g := range res.Groups {
+		res.Objective += g.Satisfaction
+	}
+	return res, nil
+}
+
+// splitMergedBuckets is splitBuckets over the oracle: same heap
+// order, same surplus-piece award loop, same par.Ranges piece cuts,
+// same refold rule — executed serially (the fan-out here is the
+// network, not goroutines).
+func splitMergedBuckets(ctx context.Context, cfg Config, buckets []*bucket, o ScoreOracle) ([]Group, error) {
+	var h bucketHeap
+	newBucketHeapInto(&h, buckets, cfg.Aggregation)
+	ordered := make([]*bucket, 0, len(buckets))
+	for h.Len() > 0 {
+		ordered = append(ordered, heap.Pop(&h).(*bucket))
+	}
+	pieces := make([]int, len(ordered))
+	total := 0
+	for i := range ordered {
+		pieces[i] = 1
+		total++
+	}
+	for total < cfg.L {
+		best := -1
+		for i, b := range ordered {
+			if pieces[i] < len(b.members) {
+				best = i
+				break // ordered by satisfaction already
+			}
+		}
+		if best < 0 {
+			break // every bucket fully split into singletons
+		}
+		pieces[best]++
+		total++
+	}
+	var tasks []pieceTask
+	for i, b := range ordered {
+		sortUsers(b.members)
+		n := len(b.members)
+		if pieces[i] == 1 {
+			tasks = append(tasks, pieceTask{b: b, part: b.members})
+			continue
+		}
+		for _, r := range par.Ranges(n, pieces[i]) {
+			part := b.members[r[0]:r[1]]
+			tasks = append(tasks, pieceTask{
+				b:      b,
+				part:   part,
+				refold: len(b.items) == cfg.K && len(part) < n,
+			})
+		}
+	}
+	groups := make([]Group, 0, len(tasks))
+	for _, t := range tasks {
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
+		if t.refold {
+			scores, err := o.GroupScores(ctx, cfg.Semantics, t.part, t.b.items)
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, Group{
+				Members:      t.part,
+				Items:        t.b.items,
+				ItemScores:   scores,
+				Satisfaction: cfg.Aggregation.Aggregate(scores),
+			})
+			continue
+		}
+		g, err := finalizeMergedBucket(ctx, cfg, t.b, t.part, o)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// finalizeMergedBucket is finalizeBucket over the oracle: whole
+// buckets (or unsplit pieces) keep their maintained scores when the
+// stored list is the full sequence; short lists (LM-MAX) complete
+// through a full oracle top-k, which cannot change the
+// Max-aggregated satisfaction.
+func finalizeMergedBucket(ctx context.Context, cfg Config, b *bucket, members []dataset.UserID, o ScoreOracle) (Group, error) {
+	sortUsers(members)
+	items, scores := b.items, b.scores
+	if len(items) < cfg.K {
+		var err error
+		items, scores, err = o.GroupTopK(ctx, cfg.Semantics, members, cfg.K)
+		if err != nil {
+			return Group{}, err
+		}
+	}
+	return Group{
+		Members:      members,
+		Items:        items,
+		ItemScores:   scores,
+		Satisfaction: cfg.Aggregation.Aggregate(scores),
+	}, nil
+}
+
+// validateMergedCfg is Config.Validate without a Dataset: the router
+// holds no ratings, so the dataset-dependent checks (user count, K
+// vs catalog size) happen on the shards instead.
+func validateMergedCfg(cfg Config) error {
+	if cfg.K <= 0 {
+		return gferr.BadConfigf("core: K must be positive, got %d", cfg.K)
+	}
+	if cfg.L <= 0 {
+		return gferr.BadConfigf("core: L must be positive, got %d", cfg.L)
+	}
+	if !cfg.Semantics.Valid() {
+		return gferr.BadConfigf("core: Semantics %d is not LM or AV", int(cfg.Semantics))
+	}
+	if !cfg.Aggregation.Valid() {
+		return gferr.BadConfigf("core: Aggregation %d is unknown", int(cfg.Aggregation))
+	}
+	return nil
+}
+
+// BoundContribution is one shard's component of the anytime bound
+// (anytimeBound decomposed over a user partition): under LM the best
+// singleton aggregated satisfaction among residents (the global
+// bound takes the max of these), under AV the residents' summed
+// weighted mass Σ w·max(top-1 score, Missing) (the global bound sums
+// these). CombineBounds reassembles the global figure.
+func BoundContribution(prefs []rank.PrefList, cfg Config) float64 {
+	if cfg.Semantics == semantics.LM {
+		best := math.Inf(-1)
+		for _, p := range prefs {
+			if s := cfg.Aggregation.Aggregate(p.Scores); s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	total := 0.0
+	for _, p := range prefs {
+		mx := p.Scores[0]
+		if cfg.Missing > mx {
+			mx = cfg.Missing
+		}
+		total += cfg.weight(p.User) * mx
+	}
+	return total
+}
+
+// CombineBounds reassembles the admissible anytime bound from
+// per-shard BoundContribution components covering users residents in
+// total. Over the full population this equals anytimeBound exactly
+// under LM (max of maxes) and up to summation reassociation under
+// AV; over a responding subset of shards it is the sound bound for
+// the sub-population actually served — which is what the router's
+// degraded certificate is about.
+func CombineBounds(contribs []float64, users int, cfg Config) float64 {
+	if cfg.Semantics == semantics.LM {
+		best := math.Inf(-1)
+		for _, c := range contribs {
+			if c > best {
+				best = c
+			}
+		}
+		groups := cfg.L
+		if users < groups {
+			groups = users
+		}
+		return float64(groups) * best
+	}
+	ones := make([]float64, cfg.K)
+	for j := range ones {
+		ones[j] = 1
+	}
+	aggFactor := cfg.Aggregation.Aggregate(ones)
+	total := 0.0
+	for _, c := range contribs {
+		total += c
+	}
+	return total * aggFactor
+}
+
+// LocalOracle answers the ScoreOracle questions straight from an
+// in-process Dataset with the serial reference scorer — the oracle
+// the distributed gather path is pinned against in tests, and the
+// degenerate one-process topology.
+type LocalOracle struct {
+	DS  *dataset.Dataset
+	Cfg Config
+}
+
+func (o LocalOracle) scorer() semantics.Scorer {
+	sc := o.Cfg.scorer(o.DS)
+	sc.Workers = 1
+	return sc
+}
+
+// GroupScores mirrors pieceScores: one ItemScore probe per listed
+// item over the given members.
+func (o LocalOracle) GroupScores(ctx context.Context, sem semantics.Semantics, members []dataset.UserID, items []dataset.ItemID) ([]float64, error) {
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, err
+	}
+	sc := o.scorer()
+	out := make([]float64, len(items))
+	for j, it := range items {
+		// One full member scan per item; keep the probe cancelable.
+		if err := gferr.Ctx(ctx); err != nil {
+			return nil, err
+		}
+		out[j] = sc.ItemScore(sem, members, it)
+	}
+	return out, nil
+}
+
+// GroupTopK mirrors the full top-k computation of finalizeBucket and
+// the merged remainder.
+func (o LocalOracle) GroupTopK(ctx context.Context, sem semantics.Semantics, members []dataset.UserID, k int) ([]dataset.ItemID, []float64, error) {
+	if err := gferr.Ctx(ctx); err != nil {
+		return nil, nil, err
+	}
+	return o.scorer().TopK(sem, members, k)
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"groupform/internal/dataset"
+	"groupform/internal/rank"
+	"groupform/internal/semantics"
+	"groupform/internal/synth"
+)
+
+// shardedForm runs the full scatter-gather pipeline in-process: cut
+// ds into S contiguous shards, bucketize each shard independently,
+// merge in shard order, and finalize through the LocalOracle — the
+// exact computation the router performs over HTTP.
+func shardedForm(t *testing.T, ds *dataset.Dataset, cfg Config, shards int) *Result {
+	t.Helper()
+	passes := make([][]ShardBucket, shards)
+	for s := 0; s < shards; s++ {
+		sds, err := ds.ShardUsers(s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass, err := BucketizeShard(context.Background(), sds, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		passes[s] = pass.Buckets
+	}
+	merged := MergeShardBuckets(passes, cfg)
+	res, err := FinalizeMerged(context.Background(), cfg, merged, LocalOracle{DS: ds, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedFormParity is the scale-out tier's core contract: for
+// every dataset, semantics, aggregation and shard count, the
+// sharded pipeline's result is byte-identical to the single-node
+// Form. Under LM this is exact by construction (min is associative
+// and the merge replays the serial keep-first fold); under AV the
+// per-shard partial sums reassociate the serial member order, but
+// the synthetic corpus rates on the integer 1-5 scale where every
+// partial sum is exactly representable, so equality is bitwise there
+// too (the non-dyadic bound is TestShardedFormAVBound).
+func TestShardedFormParity(t *testing.T) {
+	for name, ds := range parallelCorpus(t) {
+		for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+			for _, agg := range []semantics.Aggregation{
+				semantics.Max, semantics.Min, semantics.Sum, semantics.WeightedSumLog,
+			} {
+				cfg := Config{K: 5, L: 10, Semantics: sem, Aggregation: agg}
+				single, err := Form(context.Background(), ds, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range []int{1, 2, 3, 7} {
+					label := fmt.Sprintf("%s/%s-%s/shards=%d", name, sem, agg, s)
+					sharded := shardedForm(t, ds, cfg, s)
+					requireSameResult(t, label, single, sharded)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFormParitySplitBranch pins the other finalization
+// branch: a clustered dataset with few buckets and a large L drives
+// splitBuckets (surplus pieces, par.Ranges cuts, the refold rule),
+// which must survive the oracle indirection byte-for-byte as well.
+func TestShardedFormParitySplitBranch(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Users: 90, Items: 30, Clusters: 3, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+			for _, l := range []int{8, 40, 90} {
+				cfg := Config{K: 4, L: l, Semantics: sem, Aggregation: agg}
+				single, err := Form(context.Background(), ds, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range []int{1, 2, 3, 7} {
+					label := fmt.Sprintf("%s-%s/L=%d/shards=%d", sem, agg, l, s)
+					sharded := shardedForm(t, ds, cfg, s)
+					requireSameResult(t, label, single, sharded)
+				}
+			}
+		}
+	}
+}
+
+// nonDyadicDataset rates on a 0.1 grid — values float64 cannot
+// represent exactly, so AV partial sums genuinely reassociate.
+func nonDyadicDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder(dataset.Scale{Min: 0, Max: 1})
+	for u := 0; u < 60; u++ {
+		for i := 0; i < 12; i++ {
+			if (u+i)%3 == 0 {
+				continue
+			}
+			v := 0.1 * float64(1+(u*7+i*5)%9)
+			if err := b.Add(dataset.UserID(u), dataset.ItemID(i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestShardedFormAVBound asserts the proven AV guarantee on a rating
+// scale that is NOT exactly representable. What is provable there is
+// a bound on the *scores*: reassociating a recursive sum of m terms
+// each bounded by M perturbs it by at most m²·eps·M (a loose form of
+// the classical summation error bound, eps = 2^-52). The pipeline's
+// discrete choices (heap order, piece cuts) are then made on those
+// perturbed scores — a tie between two buckets separated by less
+// than the slack may legally resolve differently than single-node,
+// changing group composition, which is exactly why the tier's
+// contract is "exact for LM, bounded-error for AV". So the test
+// pins (a) every merged bucket score within slack of the serial
+// fold's, and (b) every formed group's reported item scores and
+// satisfaction within slack of an independent direct recomputation
+// over that group's own members.
+func TestShardedFormAVBound(t *testing.T) {
+	ds := nonDyadicDataset(t)
+	eps := math.Ldexp(1, -52)
+	n := float64(ds.NumUsers())
+	slack := n * n * eps // per-score: sums of <= n terms, each |w·v| <= 1
+	for _, agg := range []semantics.Aggregation{semantics.Sum, semantics.Min, semantics.Max} {
+		cfg := Config{K: 3, L: 6, Semantics: semantics.AV, Aggregation: agg, Missing: 0.05}
+		prefs, err := rank.AllTopKParallel(context.Background(), ds, cfg.K, cfg.Missing, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := bucketize(prefs, cfg, false)
+		sc := cfg.scorer(ds)
+		sc.Workers = 1
+		for _, s := range []int{1, 2, 3, 7} {
+			passes := make([][]ShardBucket, s)
+			for i := 0; i < s; i++ {
+				sds, err := ds.ShardUsers(i, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pass, err := BucketizeShard(context.Background(), sds, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				passes[i] = pass.Buckets
+			}
+			merged := MergeShardBuckets(passes, cfg)
+			if len(merged) != len(serial) {
+				t.Fatalf("AV-%s shards=%d: %d buckets != %d", agg, s, len(merged), len(serial))
+			}
+			for i, m := range merged {
+				for j, v := range m.Scores {
+					if d := math.Abs(v - serial[i].scores[j]); d > slack {
+						t.Fatalf("AV-%s shards=%d: bucket %d score %d drift %g > %g", agg, s, i, j, d, slack)
+					}
+				}
+			}
+			sharded, err := FinalizeMerged(context.Background(), cfg, merged, LocalOracle{DS: ds, Cfg: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for gi, g := range sharded.Groups {
+				recomputed := make([]float64, len(g.Items))
+				for j, it := range g.Items {
+					recomputed[j] = sc.ItemScore(semantics.AV, g.Members, it)
+					if d := math.Abs(g.ItemScores[j] - recomputed[j]); d > slack {
+						t.Fatalf("AV-%s shards=%d: group %d item %d drift %g > %g", agg, s, gi, j, d, slack)
+					}
+				}
+				// Aggregations of K scores each within slack stay
+				// within K·slack plus K more roundings of the same
+				// magnitude.
+				aggSlack := float64(cfg.K+1) * slack
+				if d := math.Abs(g.Satisfaction - cfg.Aggregation.Aggregate(recomputed)); d > aggSlack {
+					t.Fatalf("AV-%s shards=%d: group %d satisfaction drift %g > %g", agg, s, gi, d, aggSlack)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFormLMNonDyadicExact: LM's exactness claim does not
+// ride on an exactly-representable rating scale — min never rounds —
+// so on the same non-dyadic data the LM parity stays byte-identical.
+func TestShardedFormLMNonDyadicExact(t *testing.T) {
+	ds := nonDyadicDataset(t)
+	for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+		cfg := Config{K: 3, L: 6, Semantics: semantics.LM, Aggregation: agg, Missing: 0.05}
+		single, err := Form(context.Background(), ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{1, 2, 3, 7} {
+			sharded := shardedForm(t, ds, cfg, s)
+			requireSameResult(t, fmt.Sprintf("LM-%s/shards=%d", agg, s), single, sharded)
+		}
+	}
+}
+
+// TestMergeShardBucketsMatchesSerial checks the merge against the
+// serial reference directly: merging per-shard bucketize outputs
+// must reproduce the single-pass bucket list — same keys in the same
+// first-seen order, same folded scores, same members in pref order.
+func TestMergeShardBucketsMatchesSerial(t *testing.T) {
+	ds, err := synth.YahooLike(500, 80, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		for _, agg := range []semantics.Aggregation{semantics.Max, semantics.Min, semantics.Sum} {
+			cfg := Config{K: 4, L: 10, Semantics: sem, Aggregation: agg}
+			prefs, err := rank.AllTopKParallel(context.Background(), ds, cfg.K, cfg.Missing, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := bucketize(prefs, cfg, false)
+			for _, s := range []int{2, 3, 7} {
+				passes := make([][]ShardBucket, s)
+				for i := 0; i < s; i++ {
+					sds, err := ds.ShardUsers(i, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pass, err := BucketizeShard(context.Background(), sds, cfg, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					passes[i] = pass.Buckets
+				}
+				merged := MergeShardBuckets(passes, cfg)
+				if len(merged) != len(serial) {
+					t.Fatalf("%s-%s shards=%d: %d buckets != %d", sem, agg, s, len(merged), len(serial))
+				}
+				for i, m := range merged {
+					want := serial[i]
+					if string(m.Key) != want.key {
+						t.Fatalf("%s-%s shards=%d: bucket %d key mismatch", sem, agg, s, i)
+					}
+					if !reflect.DeepEqual(m.Items, want.items) || !reflect.DeepEqual(m.Members, want.members) {
+						t.Fatalf("%s-%s shards=%d: bucket %d items/members mismatch", sem, agg, s, i)
+					}
+					if sem == semantics.LM && !reflect.DeepEqual(m.Scores, want.scores) {
+						t.Fatalf("%s-%s shards=%d: bucket %d scores mismatch", sem, agg, s, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombineBoundsMatchesAnytimeBound: the per-shard decomposition
+// reassembles to exactly the single-node admissible bound (LM: max
+// of maxes; AV: integer-rating partials sum exactly).
+func TestCombineBoundsMatchesAnytimeBound(t *testing.T) {
+	ds, err := synth.MovieLensLike(800, 120, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []semantics.Semantics{semantics.LM, semantics.AV} {
+		cfg := Config{K: 5, L: 12, Semantics: sem, Aggregation: semantics.Sum}
+		prefs, err := rank.AllTopKParallel(context.Background(), ds, cfg.K, cfg.Missing, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := anytimeBound(prefs, cfg)
+		for _, s := range []int{1, 3, 7} {
+			contribs := make([]float64, s)
+			users := 0
+			for i := 0; i < s; i++ {
+				sds, err := ds.ShardUsers(i, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, err := rank.AllTopKParallel(context.Background(), sds, cfg.K, cfg.Missing, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				contribs[i] = BoundContribution(sp, cfg)
+				users += sds.NumUsers()
+			}
+			if got := CombineBounds(contribs, users, cfg); got != want {
+				t.Fatalf("%s shards=%d: combined bound %v != %v", sem, s, got, want)
+			}
+		}
+	}
+}

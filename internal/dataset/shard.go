@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"slices"
+
+	"groupform/internal/gferr"
+	"groupform/internal/par"
+)
+
+// ShardUsers returns the shard-th of shards contiguous user slices of
+// the dataset, the deterministic partition the scatter-gather
+// formation tier is built on. The split follows the pipeline's one
+// partitioning convention — par.Ranges over the compacted user rows —
+// so shard boundaries are a pure function of (NumUsers, shards) and
+// every process that partitions the same dataset the same way agrees
+// on who lives where.
+//
+// Unlike SubsetUsers, the slice keeps the FULL item catalog: items
+// with no ratings inside the shard stay in the index tables with a
+// zero rating count. That is not an accident — per-user preference
+// lists pad short lists with unrated items ascending from the
+// catalog, so dropping items would change resident users' lists (and
+// with them the bucket keys) relative to the full dataset. Keeping
+// the catalog makes a resident's preference list byte-identical to
+// the one the single-node engine builds, which is the invariant the
+// router's exact-merge proof rests on (docs/ARCHITECTURE.md, "The
+// scatter-gather tier").
+//
+// shard is 0-based. Errors wrap gferr.ErrBadConfig: shards < 1, shard
+// out of range, or shards exceeding the user count (par.Ranges would
+// silently clamp and leave the high shards empty — an empty shard
+// cannot answer /shard/buckets, so the topology is rejected up
+// front).
+func (ds *Dataset) ShardUsers(shard, shards int) (*Dataset, error) {
+	if shards < 1 {
+		return nil, gferr.BadConfigf("dataset: shards must be positive, got %d", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, gferr.BadConfigf("dataset: shard %d out of range [0, %d)", shard, shards)
+	}
+	ds = ds.Compact() // the copies below walk the frozen arrays directly
+	n := ds.NumUsers()
+	if shards > n {
+		return nil, gferr.BadConfigf("dataset: %d shards exceed %d users", shards, n)
+	}
+	r := par.Ranges(n, shards)[shard]
+	lo, hi := r[0], r[1]
+
+	users := slices.Clone(ds.users[lo:hi])
+	p0, p1 := ds.rowPtr[lo], ds.rowPtr[hi]
+	rowPtr := make([]int32, hi-lo+1)
+	for i := range rowPtr {
+		rowPtr[i] = ds.rowPtr[lo+i] - p0
+	}
+	colIdx := slices.Clone(ds.colIdx[p0:p1])
+	vals := slices.Clone(ds.vals[p0:p1])
+	return newCSR(ds.scale, users, slices.Clone(ds.items), rowPtr, colIdx, vals, 0), nil
+}

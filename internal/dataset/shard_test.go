@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"groupform/internal/gferr"
+)
+
+func shardTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder(DefaultScale)
+	// 11 users, 7 items; item 6 is rated only by user 10 so most
+	// shards see it with zero ratings — the catalog-preservation
+	// case SubsetUsers gets wrong for this purpose.
+	for u := 0; u < 11; u++ {
+		for i := 0; i < 6; i++ {
+			if (u+i)%2 == 0 {
+				if err := b.Add(UserID(u*3), ItemID(i*10), float64(1+(u+i)%5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.Add(UserID(30), ItemID(60), 5); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+// TestShardUsersPartition: the shards are a disjoint, contiguous,
+// complete cover of the user list, each preserving the full item
+// catalog and every resident's ratings verbatim.
+func TestShardUsersPartition(t *testing.T) {
+	ds := shardTestDataset(t)
+	for _, shards := range []int{1, 2, 3, 7, 11} {
+		var seen []UserID
+		for s := 0; s < shards; s++ {
+			sds, err := ds.ShardUsers(s, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sds.Items(), ds.Items()) {
+				t.Fatalf("shards=%d shard %d: item catalog differs: %v vs %v", shards, s, sds.Items(), ds.Items())
+			}
+			if sds.Scale() != ds.Scale() {
+				t.Fatalf("shards=%d shard %d: scale differs", shards, s)
+			}
+			for _, u := range sds.Users() {
+				r, _ := sds.UserIdxOf(u)
+				fr, ok := ds.UserIdxOf(u)
+				if !ok {
+					t.Fatalf("shards=%d shard %d: unknown user %d", shards, s, u)
+				}
+				gotCols, gotVals := sds.RowIdx(r)
+				wantCols, wantVals := ds.RowIdx(fr)
+				if !reflect.DeepEqual(gotCols, wantCols) || !reflect.DeepEqual(gotVals, wantVals) {
+					t.Fatalf("shards=%d shard %d: user %d row differs", shards, s, u)
+				}
+			}
+			seen = append(seen, sds.Users()...)
+		}
+		if !reflect.DeepEqual(seen, ds.Users()) {
+			t.Fatalf("shards=%d: concatenated shard users %v != %v", shards, seen, ds.Users())
+		}
+	}
+}
+
+// TestShardUsersRejects: bad topologies fail loudly with
+// ErrBadConfig instead of producing silently empty shards.
+func TestShardUsersRejects(t *testing.T) {
+	ds := shardTestDataset(t)
+	cases := []struct{ shard, shards int }{
+		{0, 0}, {0, -1}, {-1, 2}, {2, 2}, {5, 3}, {0, ds.NumUsers() + 1},
+	}
+	for _, c := range cases {
+		if _, err := ds.ShardUsers(c.shard, c.shards); !errors.Is(err, gferr.ErrBadConfig) {
+			t.Errorf("ShardUsers(%d, %d): err = %v, want ErrBadConfig", c.shard, c.shards, err)
+		}
+	}
+}
+
+// TestShardUsersOverlay: sharding an overlaid (upserted) dataset
+// sees the post-upsert rows — the partition runs over the compacted
+// view.
+func TestShardUsersOverlay(t *testing.T) {
+	ds := shardTestDataset(t)
+	up, _, err := ds.Upsert([]Rating{{User: 3, Item: 0, Value: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sds, err := up.ShardUsers(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := sds.UserIdxOf(3)
+	if !ok {
+		t.Fatal("user 3 missing from shard 0")
+	}
+	j, _ := sds.ItemIdxOf(0)
+	if v, ok := sds.RatingIdx(r, j); !ok || v != 2 {
+		t.Fatalf("upserted rating = %v, %v; want 2, true", v, ok)
+	}
+}

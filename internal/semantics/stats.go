@@ -1,0 +1,134 @@
+package semantics
+
+import (
+	"math"
+
+	"groupform/internal/dataset"
+	"groupform/internal/gferr"
+)
+
+// ItemStats is one item's partial score accumulation over a subset of
+// a group's members — the quantity a shard ships to the router so the
+// group score over the full membership can be reassembled without
+// moving ratings. Both semantics decompose over a member partition:
+//
+//	LM: score = min over raters' minima, dropped to Missing when the
+//	    summed rater count falls short of the full membership — an
+//	    exact reconstruction, min is associative.
+//	AV: score = Σ WSum + (totalW − Σ WRaters) · Missing — the same
+//	    formula topKDense evaluates, with the member-order rating sum
+//	    reassociated into per-shard partials (bounded float error; see
+//	    docs/ARCHITECTURE.md, "The scatter-gather tier").
+type ItemStats struct {
+	// Item is the item's ID.
+	Item dataset.ItemID
+	// Min is the minimum rating among this subset's raters of Item;
+	// +Inf when Count is 0.
+	Min float64
+	// Count is the number of subset members who rated Item.
+	Count int
+	// WSum is the weighted rating sum over this subset's raters.
+	WSum float64
+	// WRaters is the summed weight of this subset's raters.
+	WRaters float64
+}
+
+// TotalWeight returns the summed weight of the members (group size
+// under the default unit weights) — the totalW of the AV
+// reconstruction formula.
+func (sc Scorer) TotalWeight(members []dataset.UserID) float64 {
+	totalW := 0.0
+	for _, u := range members {
+		totalW += sc.Weight(u)
+	}
+	return totalW
+}
+
+// GroupStats accumulates per-item partial stats over the members'
+// rated items, returned in ascending item-index order (== ascending
+// item ID). Members unknown to the dataset are rejected — on a shard
+// slice that means the router routed a user to the wrong shard, and
+// silently scoring them as all-Missing would corrupt the merged
+// group scores instead of surfacing the topology bug.
+func (sc Scorer) GroupStats(members []dataset.UserID) ([]ItemStats, error) {
+	m := sc.DS.NumItems()
+	mins := make([]float64, m)
+	counts := make([]int, m)
+	wsums := make([]float64, m)
+	wraters := make([]float64, m)
+	touched := make([]dataset.ItemIdx, 0, m)
+	for _, u := range members {
+		r, ok := sc.DS.UserIdxOf(u)
+		if !ok {
+			return nil, gferr.BadConfigf("semantics: member %d is not in the dataset", u)
+		}
+		w := sc.Weight(u)
+		cols, vals := sc.DS.RowIdx(r)
+		for p, j := range cols {
+			v := vals[p]
+			if counts[j] == 0 {
+				mins[j] = v
+				touched = append(touched, j)
+			} else if v < mins[j] {
+				mins[j] = v
+			}
+			counts[j]++
+			wsums[j] += w * v
+			wraters[j] += w
+		}
+	}
+	// touched is in first-seen order; re-walk the dense arrays in
+	// index order instead so the output is canonical regardless of
+	// member order.
+	out := make([]ItemStats, 0, len(touched))
+	for j := 0; j < m; j++ {
+		if counts[j] == 0 {
+			continue
+		}
+		out = append(out, ItemStats{
+			Item:    sc.DS.ItemAt(dataset.ItemIdx(j)),
+			Min:     mins[j],
+			Count:   counts[j],
+			WSum:    wsums[j],
+			WRaters: wraters[j],
+		})
+	}
+	return out, nil
+}
+
+// GroupStatsFor accumulates partial stats for exactly the given
+// items, aligned positionally with the input (unrated items report
+// Count 0 and Min +Inf). This is the probe-mode companion of
+// GroupStats: the router asks each shard for the stats of a fixed
+// item list when refolding a bucket piece's stored positions.
+func (sc Scorer) GroupStatsFor(members []dataset.UserID, items []dataset.ItemID) ([]ItemStats, error) {
+	out := make([]ItemStats, len(items))
+	for q, it := range items {
+		out[q] = ItemStats{Item: it, Min: math.Inf(1)}
+	}
+	for _, u := range members {
+		r, ok := sc.DS.UserIdxOf(u)
+		if !ok {
+			return nil, gferr.BadConfigf("semantics: member %d is not in the dataset", u)
+		}
+		w := sc.Weight(u)
+		for q, it := range items {
+			j, okItem := sc.DS.ItemIdxOf(it)
+			if !okItem {
+				continue
+			}
+			v, rated := sc.DS.RatingIdx(r, j)
+			if !rated {
+				continue
+			}
+			st := &out[q]
+			if v < st.Min {
+				st.Min = v
+			}
+			st.Count++
+			st.WSum += w * v
+			st.WRaters += w
+		}
+	}
+	return out, nil
+}

@@ -133,6 +133,17 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	// A shard-role server is read-only: an upsert applied to one
+	// shard's slice (possibly appending a user every shard would
+	// claim) breaks the partition invariant the router's
+	// Σresidents == len(members) check enforces. Reload every shard
+	// from the source of truth instead.
+	if s.cfg.Shards > 0 {
+		writeSolverError(w, gferr.BadConfigf(
+			"server: shard %d/%d is read-only; upserts must go through a full reload of every shard",
+			s.cfg.Shard, s.cfg.Shards))
+		return
+	}
 	name := r.PathValue("name")
 	if err := validDatasetName(name); err != nil {
 		writeSolverError(w, err)

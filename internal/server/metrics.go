@@ -30,11 +30,13 @@ type endpointMetrics struct {
 // it is atomics — handlers touch it lock-free on the hot path and
 // GET /metrics snapshots it without stopping traffic.
 type serverMetrics struct {
-	form   endpointMetrics
-	batch  endpointMetrics
-	solve  endpointMetrics
-	upload endpointMetrics
-	upsert endpointMetrics
+	form         endpointMetrics
+	batch        endpointMetrics
+	solve        endpointMetrics
+	upload       endpointMetrics
+	upsert       endpointMetrics
+	shardBuckets endpointMetrics
+	shardScores  endpointMetrics
 
 	// shed counts requests refused at the admission gate (503).
 	shed metrics.Counter
@@ -72,10 +74,12 @@ func (m *serverMetrics) init() {
 	m.solve.name = "solve"
 	m.upload.name = "upload"
 	m.upsert.name = "upsert"
+	m.shardBuckets.name = "shard_buckets"
+	m.shardScores.name = "shard_scores"
 }
 
-func (m *serverMetrics) endpoints() [5]*endpointMetrics {
-	return [5]*endpointMetrics{&m.form, &m.batch, &m.solve, &m.upload, &m.upsert}
+func (m *serverMetrics) endpoints() [7]*endpointMetrics {
+	return [7]*endpointMetrics{&m.form, &m.batch, &m.solve, &m.upload, &m.upsert, &m.shardBuckets, &m.shardScores}
 }
 
 // statusWriter captures the status code a handler writes so the

@@ -86,6 +86,16 @@ type Config struct {
 	// threshold the upsert compacts inline (backpressure). 0 means
 	// the 4096 default; negative disables compaction.
 	CompactAfter int
+	// Shards > 0 puts the server in shard role: every dataset entering
+	// the registry (AddDataset or upload) is sliced to the resident
+	// users of shard Shard of Shards (dataset.ShardUsers) before its
+	// engine is built, and ingestion upserts are rejected — a mutation
+	// on one shard would break the partition invariant the router
+	// relies on. The /shard/* endpoints are mounted regardless (a
+	// non-sharded server answers them as the S=1 topology); see
+	// shard.go. Shard must be in [0, Shards).
+	Shard  int
+	Shards int
 }
 
 // defaultMaxUpload is the upload cap when Config.MaxUploadBytes is 0.
@@ -169,6 +179,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /form", s.instrument(&s.met.form, true, s.handleForm))
 	s.mux.HandleFunc("POST /form/batch", s.instrument(&s.met.batch, true, s.handleFormBatch))
 	s.mux.HandleFunc("POST /solve", s.instrument(&s.met.solve, true, s.handleSolve))
+	s.mux.HandleFunc("POST /shard/buckets", s.instrument(&s.met.shardBuckets, true, s.handleShardBuckets))
+	s.mux.HandleFunc("POST /shard/scores", s.instrument(&s.met.shardScores, true, s.handleShardScores))
+	s.mux.HandleFunc("GET /shard/catalog", s.handleShardCatalog)
 	// Routing failures must keep the JSON error contract, which
 	// ServeMux's plain-text defaults would break: "/" catches unknown
 	// paths (404), and a methodless registration per route outranks
@@ -178,7 +191,7 @@ func New(cfg Config) *Server {
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			"server: no such route "+r.URL.Path)
 	})
-	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/datasets/{name}/ratings", "/form", "/form/batch", "/solve", "/metrics"} {
+	for _, p := range []string{"/healthz", "/datasets", "/datasets/{name}", "/datasets/{name}/ratings", "/form", "/form/batch", "/solve", "/metrics", "/shard/buckets", "/shard/scores", "/shard/catalog"} {
 		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusMethodNotAllowed, CodeBadMethod,
 				"server: method "+r.Method+" not allowed on "+r.URL.Path)
@@ -191,9 +204,15 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // AddDataset loads ds into the registry under name (replacing any
-// earlier engine, like the upload endpoint).
+// earlier engine, like the upload endpoint). On a shard-role server
+// (Config.Shards > 0) the dataset is first sliced to this shard's
+// resident users.
 func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
-	return s.reg.Add(name, ds)
+	sliced, err := s.shardSlice(ds)
+	if err != nil {
+		return err
+	}
+	return s.reg.Add(name, sliced)
 }
 
 // Datasets returns the loaded dataset names, sorted.
@@ -231,26 +250,41 @@ func (s *Server) formOnScratch(ctx context.Context, eng *solver.Engine, cfg core
 	return res, sc, err
 }
 
-// solveCtx applies the request deadline: timeout_ms when given, the
-// server default otherwise. A negative timeout_ms is a bad request —
-// silently running unbounded would contradict the strict-decoding
-// stance — and 0 means "no per-request deadline". The returned
-// context also carries the client-disconnect cancellation of
-// r.Context().
-func (s *Server) solveCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+// SolveContext resolves a request deadline against an operator
+// ceiling: timeoutMS when given, the ceiling otherwise — and never
+// longer than the ceiling. A client used to be able to send a
+// timeout_ms far past DefaultTimeout and hold a scratch lease beyond
+// the operator's configured cap; now the requested value clamps to
+// the ceiling, and effectiveMS reports the clamped deadline (in
+// milliseconds) when — and only when — clamping changed the request,
+// so handlers can surface it in the response. A negative timeoutMS
+// is a bad request; 0 means "no per-request deadline" (the ceiling
+// still applies). Exported for the shard router, which enforces the
+// same contract on its own -timeout ceiling.
+func SolveContext(parent context.Context, timeoutMS int64, ceiling time.Duration) (ctx context.Context, cancel context.CancelFunc, effectiveMS int64, err error) {
 	if timeoutMS < 0 {
-		return nil, nil, gferr.BadConfigf("server: timeout_ms must be non-negative, got %d", timeoutMS)
+		return nil, nil, 0, gferr.BadConfigf("server: timeout_ms must be non-negative, got %d", timeoutMS)
 	}
-	ctx := r.Context()
-	d := s.cfg.DefaultTimeout
+	d := ceiling
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
+		if ceiling > 0 && d > ceiling {
+			d = ceiling
+			effectiveMS = int64(ceiling / time.Millisecond)
+		}
 	}
 	if d <= 0 {
-		return ctx, func() {}, nil
+		return parent, func() {}, 0, nil
 	}
-	ctx, cancel := context.WithTimeout(ctx, d)
-	return ctx, cancel, nil
+	ctx, cancel = context.WithTimeout(parent, d)
+	return ctx, cancel, effectiveMS, nil
+}
+
+// solveCtx applies SolveContext to the request: timeout_ms against
+// the server's DefaultTimeout ceiling, on top of the
+// client-disconnect cancellation of r.Context().
+func (s *Server) solveCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, int64, error) {
+	return SolveContext(r.Context(), timeoutMS, s.cfg.DefaultTimeout)
 }
 
 // resolve maps a request's dataset name to its engine (counting the
@@ -277,11 +311,16 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		Datasets: s.reg.Names(),
 		Inflight: s.Inflight(),
-	})
+	}
+	if s.cfg.Shards > 0 {
+		si := s.shardInfo()
+		resp.Shard = &si
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -314,7 +353,7 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 		writeSolverError(w, err)
 		return
 	}
-	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	ctx, cancel, effMS, err := s.solveCtx(r, req.TimeoutMS)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -329,7 +368,9 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	s.observeDegraded(&s.met.form, res.Partial)
 	// The response aliases sc's arenas; the deferred release runs
 	// only after writeJSON has serialized every byte.
-	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
+	resp := toFormResponse(name, res, false)
+	resp.EffectiveTimeoutMS = effMS
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleFormBatch serves POST /form/batch: many parameter sets
@@ -354,7 +395,7 @@ func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	ctx, cancel, effMS, err := s.solveCtx(r, req.TimeoutMS)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -401,7 +442,7 @@ func (s *Server) handleFormBatch(w http.ResponseWriter, r *http.Request) {
 	// A batch cut short by cancellation keeps its partial outcomes in
 	// the body but surfaces the cut on the status line: 499, the same
 	// classification a single canceled solve gets.
-	writeJSON(w, status, BatchResponse{Dataset: name, Results: items})
+	writeJSON(w, status, BatchResponse{Dataset: name, Results: items, EffectiveTimeoutMS: effMS})
 }
 
 // handleSolve serves POST /solve: any registry algorithm. No scratch
@@ -432,7 +473,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeSolverError(w, err)
 		return
 	}
-	ctx, cancel, err := s.solveCtx(r, req.TimeoutMS)
+	ctx, cancel, effMS, err := s.solveCtx(r, req.TimeoutMS)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -444,7 +485,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeDegraded(&s.met.solve, res.Partial)
-	writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
+	resp := toFormResponse(name, res, false)
+	resp.EffectiveTimeoutMS = effMS
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleUpload serves POST /datasets/{name}: parse the body with the
@@ -484,6 +527,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		// Malformed binary streams wrap ErrBadConfig already; CSV
 		// parse errors are plain — classify both as bad requests.
 		writeError(w, http.StatusBadRequest, CodeBadConfig, err.Error())
+		return
+	}
+	// A shard-role server keeps only its resident slice; the response
+	// counts report what this server actually serves.
+	ds, err = s.shardSlice(ds)
+	if err != nil {
+		writeSolverError(w, err)
 		return
 	}
 	eng, err := solver.NewEngine(ds)

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"groupform/internal/gferr"
+)
+
+// TestSolveContext pins the clamp contract: timeout_ms wins when it
+// fits under the ceiling, clamps to the ceiling when it does not (and
+// only then reports an effective deadline), 0 falls back to the
+// ceiling alone, and negatives are bad requests.
+func TestSolveContext(t *testing.T) {
+	cases := []struct {
+		name      string
+		timeoutMS int64
+		ceiling   time.Duration
+		wantEff   int64
+		wantErr   bool
+		// wantDeadline is the expected context deadline duration;
+		// 0 means the parent context must pass through unbounded.
+		wantDeadline time.Duration
+	}{
+		{name: "unbounded", timeoutMS: 0, ceiling: 0, wantEff: 0, wantDeadline: 0},
+		{name: "ceiling-only", timeoutMS: 0, ceiling: time.Second, wantEff: 0, wantDeadline: time.Second},
+		{name: "request-only", timeoutMS: 500, ceiling: 0, wantEff: 0, wantDeadline: 500 * time.Millisecond},
+		{name: "under-ceiling", timeoutMS: 500, ceiling: time.Second, wantEff: 0, wantDeadline: 500 * time.Millisecond},
+		{name: "at-ceiling", timeoutMS: 1000, ceiling: time.Second, wantEff: 0, wantDeadline: time.Second},
+		{name: "clamped", timeoutMS: 600000, ceiling: 2 * time.Second, wantEff: 2000, wantDeadline: 2 * time.Second},
+		{name: "negative", timeoutMS: -1, ceiling: time.Second, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			parent := context.Background()
+			start := time.Now()
+			ctx, cancel, eff, err := SolveContext(parent, c.timeoutMS, c.ceiling)
+			if c.wantErr {
+				if err == nil || !errors.Is(err, gferr.ErrBadConfig) {
+					t.Fatalf("err = %v, want ErrBadConfig", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cancel()
+			if eff != c.wantEff {
+				t.Errorf("effectiveMS = %d, want %d", eff, c.wantEff)
+			}
+			dl, ok := ctx.Deadline()
+			if c.wantDeadline == 0 {
+				if ok {
+					t.Fatalf("deadline = %v, want unbounded", dl)
+				}
+				if ctx != parent {
+					t.Fatal("unbounded result must be the parent context")
+				}
+				return
+			}
+			if !ok {
+				t.Fatal("missing deadline")
+			}
+			got := dl.Sub(start)
+			if got < c.wantDeadline-200*time.Millisecond || got > c.wantDeadline+200*time.Millisecond {
+				t.Errorf("deadline %v from start, want ~%v", got, c.wantDeadline)
+			}
+		})
+	}
+}
+
+// TestFormEffectiveTimeout pins the wire surfacing: a /form request
+// whose timeout_ms exceeds the operator's DefaultTimeout must be
+// answered with the clamped deadline in effective_timeout_ms, and the
+// field must stay absent whenever nothing was clamped (so unclamped
+// responses keep their historical bytes).
+func TestFormEffectiveTimeout(t *testing.T) {
+	s, _ := newTestServer(t, Config{DefaultTimeout: 2 * time.Second})
+	form := func(timeoutMS int64) FormRequest {
+		return FormRequest{
+			Dataset:   "main",
+			TimeoutMS: timeoutMS,
+			FormParams: FormParams{
+				K: 3, L: 5, Semantics: "lm", Aggregation: "max",
+			},
+		}
+	}
+
+	rec := doJSON(t, s, "POST", "/form", form(600000))
+	if rec.Code != 200 {
+		t.Fatalf("/form: %d %s", rec.Code, rec.Body)
+	}
+	resp := decodeAs[FormResponse](t, rec)
+	if resp.EffectiveTimeoutMS != 2000 {
+		t.Fatalf("effective_timeout_ms = %d, want 2000 (body %s)", resp.EffectiveTimeoutMS, rec.Body)
+	}
+
+	for _, ms := range []int64{0, 100} {
+		rec := doJSON(t, s, "POST", "/form", form(ms))
+		if rec.Code != 200 {
+			t.Fatalf("/form timeout_ms=%d: %d %s", ms, rec.Code, rec.Body)
+		}
+		if resp := decodeAs[FormResponse](t, rec); resp.EffectiveTimeoutMS != 0 {
+			t.Fatalf("timeout_ms=%d: effective_timeout_ms = %d, want omitted", ms, resp.EffectiveTimeoutMS)
+		}
+	}
+
+	rec = doJSON(t, s, "POST", "/form/batch", BatchRequest{
+		Dataset:   "main",
+		TimeoutMS: 600000,
+		Requests: []FormParams{
+			{K: 3, L: 5, Semantics: "lm", Aggregation: "max"},
+		},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("/form/batch: %d %s", rec.Code, rec.Body)
+	}
+	if resp := decodeAs[BatchResponse](t, rec); resp.EffectiveTimeoutMS != 2000 {
+		t.Fatalf("batch effective_timeout_ms = %d, want 2000 (body %s)", resp.EffectiveTimeoutMS, rec.Body)
+	}
+
+	rec = doJSON(t, s, "POST", "/form", form(-5))
+	if rec.Code != 400 {
+		t.Fatalf("negative timeout_ms: %d %s, want 400", rec.Code, rec.Body)
+	}
+}

@@ -127,6 +127,10 @@ type FormResponse struct {
 	Gap       float64     `json:"gap,omitempty"`
 	Completed int         `json:"completed,omitempty"`
 	Total     int         `json:"total,omitempty"`
+	// EffectiveTimeoutMS is the per-solve deadline actually applied,
+	// in milliseconds, present only when the requested timeout_ms
+	// exceeded the operator ceiling and was clamped down to it.
+	EffectiveTimeoutMS int64 `json:"effective_timeout_ms,omitempty"`
 }
 
 // BatchItem is one outcome in a batch response: exactly one of Result
@@ -141,6 +145,9 @@ type BatchItem struct {
 type BatchResponse struct {
 	Dataset string      `json:"dataset"`
 	Results []BatchItem `json:"results"`
+	// EffectiveTimeoutMS mirrors FormResponse.EffectiveTimeoutMS: set
+	// only when the shared batch deadline was clamped to the ceiling.
+	EffectiveTimeoutMS int64 `json:"effective_timeout_ms,omitempty"`
 }
 
 // UploadResponse is the body of a successful POST /datasets/{name}.
@@ -157,6 +164,10 @@ type HealthResponse struct {
 	Status   string   `json:"status"`
 	Datasets []string `json:"datasets"`
 	Inflight int64    `json:"inflight"`
+	// Shard is the server's position in the user partition, present
+	// only on shard-role servers (Config.Shards > 0). The router's
+	// health probe cross-checks it against its own topology.
+	Shard *ShardInfo `json:"shard,omitempty"`
 }
 
 // DatasetInfo describes one registry entry in GET /datasets.

@@ -216,7 +216,7 @@ func (s *Server) handleFormWire(w http.ResponseWriter, r *http.Request, binReq, 
 	}
 	ent.requests.Inc()
 
-	ctx, cancel, err := s.solveCtx(r, timeoutMS)
+	ctx, cancel, effMS, err := s.solveCtx(r, timeoutMS)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -230,9 +230,14 @@ func (s *Server) handleFormWire(w http.ResponseWriter, r *http.Request, binReq, 
 	}
 	s.observeDegraded(&s.met.form, res.Partial)
 	if !binResp {
-		writeJSON(w, http.StatusOK, toFormResponse(name, res, false))
+		resp := toFormResponse(name, res, false)
+		resp.EffectiveTimeoutMS = effMS
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// The binary frame has no field for the clamped deadline; the
+	// clamp itself still applied above (effMS is JSON-only).
+	_ = effMS
 	// The frame reads the Result's scratch-backed slices in place; the
 	// deferred release runs only after Write has copied every byte.
 	wb.out = wire.AppendFormResponse(wb.out[:0], res)

@@ -295,6 +295,23 @@ func (e *Engine) FormInto(ctx context.Context, cfg core.Config, s *core.Scratch)
 	return core.FormInto(ctx, e.ds, cfg, prefs, s)
 }
 
+// BucketizeShard runs the scatter half of the distributed greedy
+// pipeline on the bound dataset — an Engine serving one shard's
+// resident slice (dataset.ShardUsers) answers the router's
+// /shard/buckets call through here, reusing the same cached
+// preference lists Form does. The returned pass is wire-safe: no
+// slice aliases the cache or any scratch.
+func (e *Engine) BucketizeShard(ctx context.Context, cfg core.Config) (*core.ShardPass, error) {
+	if err := cfg.Validate(e.ds); err != nil {
+		return nil, err
+	}
+	prefs, err := e.prefLists(ctx, cfg.K, cfg.Missing, cfg.EffectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	return core.BucketizeShard(ctx, e.ds, cfg, prefs)
+}
+
 // Solve runs any registered solver on the bound dataset. The greedy
 // path ("grd" or an alias) is served from the preference-list cache;
 // every other algorithm delegates to the registry unchanged, so one
